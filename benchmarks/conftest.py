@@ -1,0 +1,30 @@
+"""Shared configuration for the table/figure benchmarks.
+
+Each benchmark regenerates one paper table or figure at a reduced scale
+(fewer replications and smaller datasets than the paper's 100-run setting —
+see ``ExperimentConfig.paper_scale()`` for the full-size knobs), prints the
+same rows/series the paper reports, and asserts the qualitative *shape*:
+who wins, which way curves move, where crossovers sit.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    """Benchmark-scale experiment configuration."""
+    return ExperimentConfig(
+        replications=3,
+        survey_tasks=150,
+        sfv_tasks=180,
+        synthetic_tasks=300,
+        synthetic_users=50,
+        seed=2017,
+    )
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

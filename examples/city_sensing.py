@@ -1,0 +1,38 @@
+"""City-scale sensing: why allocation must know about travel.
+
+A municipality crowdsources sensor readings (noise, air quality, traffic)
+across a 10x10 km city.  Users have home locations; performing a task costs
+its sensing time plus a round trip from home.  This example compares two
+planners on the same city:
+
+- travel-aware: Algorithm 1 with true per-pair times (the spatial
+  generalisation of this library),
+- travel-oblivious: the paper's model (sensing time only), with the
+  unrealistic plan truncated at execution.
+
+Run with::
+
+    python examples/city_sensing.py
+"""
+
+from repro.experiments.spatial import spatial_comparison
+
+SPEEDS = (2.0, 4.0, 8.0)  # km/h: walking, brisk cycling, driving in traffic
+
+
+def main():
+    result = spatial_comparison(speeds=SPEEDS, replications=3, seed=7)
+    print(result.render())
+    aware = result.quality_series["travel-aware"]
+    oblivious = result.quality_series["travel-oblivious"]
+    print()
+    print(
+        "At walking speed the travel-aware planner satisfies "
+        f"{aware[0]:.0%} of tasks vs {oblivious[0]:.0%} for the oblivious plan — "
+        "ignoring travel does not just waste time, it silently abandons whole "
+        "neighbourhoods."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Min-cost budgeting: the ETA2 vs ETA2-mc cost/quality trade-off.
+
+When recruiting a user costs money, filling every user's capacity (what
+max-quality ETA2 does) is wasteful: most tasks reach the required quality
+long before capacity runs out.  ETA2-mc (Algorithm 2) instead recruits in
+small rounds of budget ``c^o`` and stops per task as soon as the Fisher-
+information confidence interval certifies the quality requirement
+``|error| < eps_bar`` at 95% confidence.
+
+This example sweeps the per-round budget and prints the resulting cost and
+error, reproducing the Figs. 9-10 story on the synthetic dataset.
+
+Run with::
+
+    python examples/min_cost_budgeting.py
+"""
+
+from repro.datasets import synthetic_dataset
+from repro.simulation import SimulationConfig, run_simulation
+from repro.simulation.approaches import ETA2Approach
+
+SEED = 5
+ERROR_LIMIT = 0.5       # eps_bar: required |mu_hat - mu| / sigma
+CONFIDENCE = 0.95
+ROUND_BUDGETS = (20.0, 40.0, 80.0, 160.0)
+
+
+def main():
+    dataset = synthetic_dataset(n_users=60, n_tasks=400, seed=SEED)
+    config = SimulationConfig(n_days=5, seed=SEED)
+
+    print(f"quality requirement: error < {ERROR_LIMIT} at {CONFIDENCE:.0%} confidence\n")
+    print(f"{'approach':<22}  {'mean error':>10}  {'total cost':>10}")
+    print("-" * 48)
+
+    baseline = run_simulation(dataset, ETA2Approach(alpha=0.5), config)
+    print(f"{'ETA2 (max-quality)':<22}  {baseline.mean_estimation_error:10.3f}  {baseline.total_cost:10.0f}")
+
+    for budget in ROUND_BUDGETS:
+        approach = ETA2Approach(
+            alpha=0.5,
+            allocator="min-cost",
+            min_cost_round_budget=budget,
+            min_cost_error_limit=ERROR_LIMIT,
+            min_cost_confidence=CONFIDENCE,
+        )
+        result = run_simulation(dataset, approach, config)
+        name = f"ETA2-mc (c0={budget:g})"
+        print(f"{name:<22}  {result.mean_estimation_error:10.3f}  {result.total_cost:10.0f}")
+
+    print(
+        "\nETA2-mc meets the quality requirement at a fraction of the cost; "
+        "very small c0 wastes rounds, very large c0 over-recruits per round."
+    )
+
+
+if __name__ == "__main__":
+    main()

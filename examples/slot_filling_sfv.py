@@ -1,0 +1,66 @@
+"""SFV scenario: strongly specialised sources and expertise discovery.
+
+The paper's second dataset treats 18 automatic slot-filling systems as
+"users": each is excellent on a few question types and poor on the rest —
+the setting where expertise-awareness matters most.  This example runs ETA2
+on the SFV-like dataset, then inspects the learned expertise profiles: for
+each discovered domain, which systems does ETA2 consider the specialists,
+and does that match the hidden ground truth?
+
+Run with::
+
+    python examples/slot_filling_sfv.py
+"""
+
+import numpy as np
+
+from repro.datasets import sfv_dataset
+from repro.simulation import SimulationConfig, run_simulation
+from repro.simulation.approaches import ETA2Approach, MeanApproach
+from repro.simulation.metrics import match_domains
+
+SEED = 99
+
+
+def main():
+    dataset = sfv_dataset(seed=SEED)
+    print(f"SFV dataset: {dataset.n_users} systems, {dataset.n_tasks} questions")
+
+    config = SimulationConfig(n_days=5, seed=SEED)
+    eta2 = run_simulation(dataset, ETA2Approach(gamma=0.3, alpha=0.1), config)
+    mean = run_simulation(dataset, MeanApproach(), config)
+
+    print(f"\n{'day':>4}  {'ETA2':>7}  {'mean-baseline':>13}")
+    for eta2_day, mean_day in zip(eta2.days, mean.days):
+        print(f"{eta2_day.day + 1:>4}  {eta2_day.estimation_error:7.3f}  {mean_day.estimation_error:13.3f}")
+
+    # Align discovered domains with the generator's topical domains by task
+    # overlap, then compare specialist rankings.
+    true_domains = dataset.world().true_domains()[eta2.processed_task_order]
+    mapping = match_domains(eta2.task_domain_labels, true_domains)
+    true_expertise = dataset.world().true_expertise_matrix()
+
+    # Note: allocation is exploitative — once ETA2 finds *a* good system for
+    # a domain it keeps using it, so the absolute top specialist may stay
+    # unobserved.  The meaningful question is whether the systems ETA2 rates
+    # highest are genuinely strong in that domain.
+    print("\nhidden quality of ETA2's chosen specialists, per discovered domain:")
+    chosen_quality = []
+    for discovered, true_domain in sorted(mapping.items()):
+        estimated = eta2.expertise_snapshot[discovered]
+        top_estimated = np.argsort(-estimated)[:3]
+        quality = float(np.mean(true_expertise[top_estimated, true_domain]))
+        chosen_quality.append(quality)
+        print(
+            f"  domain {discovered:>2}: estimated top-3 systems {top_estimated.tolist()} "
+            f"| their true expertise {np.round(true_expertise[top_estimated, true_domain], 2).tolist()}"
+        )
+    population_mean = float(np.mean(true_expertise))
+    print(
+        f"\nmean true expertise of chosen specialists: {np.mean(chosen_quality):.2f} "
+        f"vs population average {population_mean:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

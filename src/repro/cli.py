@@ -1,0 +1,175 @@
+"""Command-line interface: reproduce figures and run simulations.
+
+Examples::
+
+    python -m repro list
+    python -m repro figure fig5 --dataset survey --replications 5
+    python -m repro figure table1
+    python -m repro simulate --dataset sfv --approach eta2 --days 5 --seed 7
+    python -m repro simulate --dataset synthetic --approach eta2-mc --round-budget 40
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig2_error_distribution,
+    fig4_parameter_sweep,
+    fig5_error_over_days,
+    fig6_capability_sweep,
+    fig7_expertise_vs_error,
+    fig8_bias_robustness,
+    fig9_fig10_mincost_comparison,
+    fig11_expertise_accuracy,
+    fig12_convergence_cdf,
+    table1_normality,
+    table2_allocation_audit,
+)
+from repro.experiments.config import DATASET_NAMES, dataset_factory
+from repro.simulation import SimulationConfig, run_simulation
+from repro.simulation.approaches import ETA2Approach, MeanApproach, ReliabilityApproach
+from repro.truthdiscovery import AverageLog, HubsAuthorities, TruthFinder
+
+__all__ = ["main", "build_parser"]
+
+#: Figure id -> (runner, needs_dataset_argument, description).
+FIGURES = {
+    "fig2": (lambda cfg, ds: fig2_error_distribution(cfg), False, "observation-error distribution vs N(0,1)"),
+    "table1": (lambda cfg, ds: table1_normality(cfg), False, "chi-square normality non-rejection rates"),
+    "fig4": (lambda cfg, ds: fig4_parameter_sweep(ds or "survey", cfg), True, "(alpha, gamma) parameter sweep"),
+    "fig5": (lambda cfg, ds: fig5_error_over_days(ds or "survey", cfg), True, "estimation error by day, all approaches"),
+    "fig6": (lambda cfg, ds: fig6_capability_sweep(ds or "survey", cfg), True, "error vs processing capability"),
+    "fig7": (lambda cfg, ds: fig7_expertise_vs_error(cfg, dataset_name=ds or "sfv"), True, "observation error vs user expertise"),
+    "fig8": (lambda cfg, ds: fig8_bias_robustness(cfg), False, "robustness to non-normal observations"),
+    "fig9-10": (
+        lambda cfg, ds: fig9_fig10_mincost_comparison(ds or "synthetic", cfg),
+        True,
+        "ETA2 vs ETA2-mc: error and cost vs tau",
+    ),
+    "fig11": (lambda cfg, ds: fig11_expertise_accuracy(cfg), False, "expertise estimation accuracy"),
+    "fig12": (lambda cfg, ds: fig12_convergence_cdf(cfg), False, "CDF of MLE convergence iterations"),
+    "table2": (lambda cfg, ds: table2_allocation_audit(cfg), False, "users-per-task allocation audit"),
+}
+
+APPROACHES = {
+    "eta2": lambda args: ETA2Approach(
+        gamma=args.gamma, alpha=args.alpha, exploration_rate=args.exploration
+    ),
+    "eta2-mc": lambda args: ETA2Approach(
+        gamma=args.gamma,
+        alpha=args.alpha,
+        allocator="min-cost",
+        min_cost_round_budget=args.round_budget,
+    ),
+    "hubs-authorities": lambda args: ReliabilityApproach(HubsAuthorities()),
+    "average-log": lambda args: ReliabilityApproach(AverageLog()),
+    "truthfinder": lambda args: ReliabilityApproach(TruthFinder()),
+    "mean": lambda args: MeanApproach(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ETA2 (ICDCS 2017) reproduction: figures and simulations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figures/tables")
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure/table")
+    figure.add_argument("figure_id", choices=sorted(FIGURES))
+    figure.add_argument("--dataset", choices=DATASET_NAMES, default=None)
+    figure.add_argument("--replications", type=int, default=3)
+    figure.add_argument("--seed", type=int, default=2017)
+
+    simulate = sub.add_parser("simulate", help="run one simulation and print per-day results")
+    simulate.add_argument("--dataset", choices=DATASET_NAMES, default="synthetic")
+    simulate.add_argument("--approach", choices=sorted(APPROACHES), default="eta2")
+    simulate.add_argument("--days", type=int, default=5)
+    simulate.add_argument("--tau", type=float, default=12.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--gamma", type=float, default=0.3)
+    simulate.add_argument("--alpha", type=float, default=0.5)
+    simulate.add_argument("--exploration", type=float, default=0.0)
+    simulate.add_argument("--round-budget", type=float, default=100.0, dest="round_budget")
+    simulate.add_argument("--drift", type=float, default=0.0, help="per-day expertise drift std")
+    simulate.add_argument("--bias", type=float, default=0.0, help="non-normal observation fraction")
+
+    report = sub.add_parser("report", help="run every experiment and write a Markdown report")
+    report.add_argument("--out", default=None, help="output path (default: stdout)")
+    report.add_argument("--replications", type=int, default=3)
+    report.add_argument("--seed", type=int, default=2017)
+    report.add_argument(
+        "--sections",
+        nargs="*",
+        default=None,
+        help="subset of report sections (default: all; see repro.experiments.report)",
+    )
+    return parser
+
+
+def _run_list() -> int:
+    print("reproducible figures/tables (run with: repro figure <id>):")
+    for figure_id in sorted(FIGURES):
+        _, needs_dataset, description = FIGURES[figure_id]
+        suffix = "  [--dataset]" if needs_dataset else ""
+        print(f"  {figure_id:<8} {description}{suffix}")
+    return 0
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    runner, _, _ = FIGURES[args.figure_id]
+    config = ExperimentConfig(replications=args.replications, seed=args.seed)
+    result = runner(config, args.dataset)
+    print(result.render())
+    return 0
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(replications=1, n_days=args.days, tau=args.tau, seed=args.seed)
+    dataset = dataset_factory(args.dataset, config, seed=args.seed)
+    approach = APPROACHES[args.approach](args)
+    sim_config = SimulationConfig(
+        n_days=args.days, seed=args.seed, drift_rate=args.drift, bias_fraction=args.bias
+    )
+    result = run_simulation(dataset, approach, sim_config)
+    print(f"{result.approach_name} on {result.dataset_name} "
+          f"({dataset.n_users} users, {dataset.n_tasks} tasks, tau={args.tau:g})")
+    print(f"{'day':>4}  {'error':>8}  {'cost':>8}  {'pairs':>6}  {'coverage':>8}")
+    for day in result.days:
+        print(
+            f"{day.day + 1:>4}  {day.estimation_error:8.4f}  {day.allocation_cost:8.1f}"
+            f"  {day.pair_count:6d}  {day.observed_task_fraction:8.2f}"
+        )
+    print(f"mean error {result.mean_estimation_error:.4f}   total cost {result.total_cost:.1f}")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    config = ExperimentConfig(replications=args.replications, seed=args.seed)
+    text = generate_report(config, sections=args.sections, out=args.out)
+    if args.out is None:
+        print(text)
+    else:
+        print(f"report written to {args.out}")
+    return 0
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _run_list()
+    if args.command == "figure":
+        return _run_figure(args)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "report":
+        return _run_report(args)
+    raise AssertionError(f"unhandled command: {args.command}")  # pragma: no cover

@@ -1,0 +1,28 @@
+"""Hierarchical clustering of tasks into expertise domains (Section 3.3).
+
+Tasks are clustered by their pair-word semantic distance (Eq. 2) with
+average-linkage agglomerative clustering.  The termination threshold is
+``gamma * d_star`` where ``d_star`` is the longest pairwise distance among
+the warm-up tasks and ``gamma`` in [0, 1] is the paper's single clustering
+parameter.
+
+- :mod:`repro.clustering.linkage` — the vectorised average-linkage engine
+  (cluster-to-cluster summed distances, exact under merging),
+- :mod:`repro.clustering.hierarchical` — the static algorithm of §3.3.1,
+- :mod:`repro.clustering.dynamic` — the dynamic variant of §3.3.2 that
+  absorbs newly created tasks each time step, creating new domains and
+  reporting domain-merge events for the expertise updater.
+"""
+
+from repro.clustering.dynamic import DomainMerge, DynamicClusteringResult, DynamicHierarchicalClustering
+from repro.clustering.hierarchical import ClusteringResult, hierarchical_clustering
+from repro.clustering.linkage import AverageLinkage
+
+__all__ = [
+    "AverageLinkage",
+    "ClusteringResult",
+    "DomainMerge",
+    "DynamicClusteringResult",
+    "DynamicHierarchicalClustering",
+    "hierarchical_clustering",
+]

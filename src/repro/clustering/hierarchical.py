@@ -1,0 +1,86 @@
+"""Static hierarchical clustering (Section 3.3.1).
+
+Every task starts in its own cluster; the two closest clusters (average
+linkage) are merged repeatedly until the closest remaining pair is at least
+``gamma * d_star`` apart, where ``d_star`` is the longest pairwise task
+distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.linkage import AverageLinkage
+
+__all__ = ["ClusteringResult", "hierarchical_clustering"]
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Flat clustering of ``n`` points."""
+
+    clusters: tuple
+    labels: np.ndarray
+    threshold: float
+    d_star: float
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.clusters)
+
+
+def _labels_from_clusters(clusters, n_points: int) -> np.ndarray:
+    labels = np.full(n_points, -1, dtype=int)
+    for cluster_id, members in enumerate(clusters):
+        for index in members:
+            labels[index] = cluster_id
+    if np.any(labels < 0):
+        raise AssertionError("internal error: clustering did not cover all points")
+    return labels
+
+
+def hierarchical_clustering(
+    distances: np.ndarray,
+    gamma: float,
+    d_star: "float | None" = None,
+) -> ClusteringResult:
+    """Cluster points given their pairwise ``distances``.
+
+    Parameters
+    ----------
+    distances:
+        Symmetric ``(n, n)`` matrix of pairwise distances.
+    gamma:
+        The paper's clustering parameter in [0, 1]; the merge loop stops when
+        the closest pair of clusters is at distance >= ``gamma * d_star``.
+    d_star:
+        The reference "longest distance between all existing tasks".  By
+        default it is taken from ``distances``; the dynamic front-end passes
+        the fixed warm-up value instead.
+    """
+    distances = np.asarray(distances, dtype=float)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError("distances must be a square matrix")
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("gamma must lie in [0, 1]")
+    n = distances.shape[0]
+    if n == 0:
+        return ClusteringResult(clusters=(), labels=np.zeros(0, dtype=int), threshold=0.0, d_star=0.0)
+
+    if d_star is None:
+        d_star = float(distances.max())
+    if d_star < 0:
+        raise ValueError("d_star must be non-negative")
+    threshold = gamma * d_star
+
+    engine = AverageLinkage(distances, [[i] for i in range(n)])
+    engine.merge_until(threshold)
+    clusters = tuple(tuple(sorted(members)) for members in engine.members())
+    return ClusteringResult(
+        clusters=clusters,
+        labels=_labels_from_clusters(clusters, n),
+        threshold=threshold,
+        d_star=float(d_star),
+    )

@@ -1,0 +1,139 @@
+"""Average-linkage agglomerative merging over a fixed base distance matrix.
+
+The paper defines cluster distance as the *average* pairwise distance between
+the tasks of two clusters (§3.3.1).  Averages are awkward to update under
+merging, but summed distances are exact and trivial::
+
+    sum(A u B, C) = sum(A, C) + sum(B, C)
+    avg(A, C)     = sum(A, C) / (|A| * |C|)
+
+:class:`AverageLinkage` therefore maintains the cluster-to-cluster *sum*
+matrix and the cluster sizes, exposing merge steps to both the static and the
+dynamic clustering front-ends.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["AverageLinkage"]
+
+
+class AverageLinkage:
+    """Mutable average-linkage state over ``n`` initial clusters.
+
+    Parameters
+    ----------
+    base:
+        Symmetric ``(n_points, n_points)`` matrix of point-to-point distances.
+    groups:
+        Initial clusters as sequences of point indices.  Every point must
+        appear in exactly one group.
+    """
+
+    def __init__(self, base: np.ndarray, groups: Sequence[Sequence[int]]):
+        base = np.asarray(base, dtype=float)
+        if base.ndim != 2 or base.shape[0] != base.shape[1]:
+            raise ValueError("base must be a square matrix")
+        if not np.allclose(base, base.T):
+            raise ValueError("base distance matrix must be symmetric")
+        n_points = base.shape[0]
+        flat = [index for group in groups for index in group]
+        if sorted(flat) != list(range(n_points)):
+            raise ValueError("groups must partition the point indices exactly")
+
+        self._members: list = [list(group) for group in groups]
+        k = len(self._members)
+        self._sizes = np.array([len(group) for group in self._members], dtype=float)
+        sums = np.zeros((k, k), dtype=float)
+        for a in range(k):
+            rows = base[np.ix_(self._members[a], self._members[a])]
+            sums[a, a] = rows.sum() / 2.0
+            for b in range(a + 1, k):
+                total = base[np.ix_(self._members[a], self._members[b])].sum()
+                sums[a, b] = total
+                sums[b, a] = total
+        self._sums = sums
+        self._alive = np.ones(k, dtype=bool)
+
+    @property
+    def cluster_count(self) -> int:
+        return int(self._alive.sum())
+
+    def members(self) -> list:
+        """Point indices of each live cluster (copy)."""
+        return [list(self._members[i]) for i in np.flatnonzero(self._alive)]
+
+    def live_indices(self) -> np.ndarray:
+        """Internal slot indices of the live clusters."""
+        return np.flatnonzero(self._alive)
+
+    def members_of(self, slot: int) -> list:
+        if not self._alive[slot]:
+            raise ValueError(f"cluster slot {slot} is not alive")
+        return list(self._members[slot])
+
+    def average_distances(self) -> np.ndarray:
+        """Average-linkage distance matrix over live slots (inf diagonal).
+
+        Indexed by internal slot; dead slots are fully inf so that argmin
+        scans stay valid without compaction.
+        """
+        sizes = self._sizes
+        with np.errstate(divide="ignore", invalid="ignore"):
+            avg = self._sums / np.outer(sizes, sizes)
+        dead = ~self._alive
+        avg[dead, :] = np.inf
+        avg[:, dead] = np.inf
+        np.fill_diagonal(avg, np.inf)
+        return avg
+
+    def closest_pair(self) -> "tuple[int, int, float]":
+        """Slots of the two closest live clusters and their average distance."""
+        if self.cluster_count < 2:
+            raise ValueError("need at least two live clusters")
+        avg = self.average_distances()
+        position = int(np.argmin(avg))
+        a, b = divmod(position, avg.shape[1])
+        return (min(a, b), max(a, b), float(avg[a, b]))
+
+    def merge(self, a: int, b: int) -> int:
+        """Merge slot ``b`` into slot ``a``; returns the surviving slot."""
+        if a == b:
+            raise ValueError("cannot merge a cluster with itself")
+        if not (self._alive[a] and self._alive[b]):
+            raise ValueError("both clusters must be alive")
+        # Internal sum of the union: both internal sums plus the cross sum.
+        new_internal = self._sums[a, a] + self._sums[b, b] + self._sums[a, b]
+        cross = self._sums[a, :] + self._sums[b, :]
+        self._sums[a, :] = cross
+        self._sums[:, a] = cross
+        self._sums[a, a] = new_internal
+        self._alive[b] = False
+        self._sums[b, :] = 0.0
+        self._sums[:, b] = 0.0
+        self._sizes[a] = self._sizes[a] + self._sizes[b]
+        self._sizes[b] = 0.0
+        self._members[a].extend(self._members[b])
+        self._members[b] = []
+        return a
+
+    def merge_until(self, threshold: float) -> list:
+        """Repeatedly merge the closest pair while its distance < ``threshold``.
+
+        Returns the merge log as ``(kept_slot, absorbed_slot, distance)``
+        tuples, in merge order — the §3.3.1 loop with the §3.3.1 termination
+        criterion (stop when the closest pair is at or beyond the minimum
+        allowed distance).
+        """
+        log: list = []
+        while self.cluster_count > 1:
+            a, b, distance = self.closest_pair()
+            if not distance < threshold:
+                break
+            kept = self.merge(a, b)
+            absorbed = b if kept == a else a
+            log.append((kept, absorbed, distance))
+        return log

@@ -1,0 +1,33 @@
+"""The ETA2 core: expertise-aware truth analysis and task allocation.
+
+- :mod:`repro.core.expertise` — per-user per-domain expertise profiles and
+  the numerical guards the MLE equations need,
+- :mod:`repro.core.truth` — the batch maximum-likelihood estimator of truths,
+  base numbers and expertise (Eqs. 5-6),
+- :mod:`repro.core.update` — the decayed incremental expertise update across
+  time steps (Eqs. 7-9), including new-domain and domain-merge handling,
+- :mod:`repro.core.allocation` — max-quality (Algorithm 1) and min-cost
+  (Algorithm 2) task allocation plus baseline and exact reference allocators,
+- :mod:`repro.core.pipeline` — the closed loop of Figure 1 gluing the three
+  modules together over time steps.
+"""
+
+from repro.core.expertise import (
+    DEFAULT_EXPERTISE,
+    MAX_EXPERTISE,
+    MIN_EXPERTISE,
+    ExpertiseMatrix,
+)
+from repro.core.truth import TruthAnalysisResult, estimate_truth
+from repro.core.update import ExpertiseUpdater, IncorporateResult
+
+__all__ = [
+    "DEFAULT_EXPERTISE",
+    "ExpertiseMatrix",
+    "ExpertiseUpdater",
+    "IncorporateResult",
+    "MAX_EXPERTISE",
+    "MIN_EXPERTISE",
+    "TruthAnalysisResult",
+    "estimate_truth",
+]

@@ -1,0 +1,42 @@
+"""Expertise-aware task allocation (Section 5).
+
+- :mod:`repro.core.allocation.base` — the allocation problem instance, the
+  assignment container, and the max-quality objective (Eqs. 10-14),
+- :mod:`repro.core.allocation.max_quality` — the greedy efficiency heuristic
+  (Algorithm 1) plus the cardinality-greedy extra pass that restores the
+  1/2-approximation guarantee,
+- :mod:`repro.core.allocation.min_cost` — the iterative min-cost allocator
+  (Algorithm 2) with the Fisher-information quality check,
+- :mod:`repro.core.allocation.exact` — exhaustive and dynamic-programming
+  reference solvers for small instances (tests and approximation audits),
+- :mod:`repro.core.allocation.baselines` — the random allocator (warm-up and
+  the "Baseline" comparison) and the reliability-greedy allocator used by the
+  Hubs-and-Authorities / Average-Log / TruthFinder comparisons.
+"""
+
+from repro.core.allocation.base import (
+    AllocationProblem,
+    Assignment,
+    accuracy_probabilities,
+    allocation_objective,
+)
+from repro.core.allocation.baselines import RandomAllocator, ReliabilityGreedyAllocator
+from repro.core.allocation.exact import exhaustive_max_quality, single_user_knapsack
+from repro.core.allocation.max_quality import MaxQualityAllocator, greedy_allocate
+from repro.core.allocation.min_cost import MinCostAllocator, MinCostOutcome, MinCostRound
+
+__all__ = [
+    "AllocationProblem",
+    "Assignment",
+    "MaxQualityAllocator",
+    "MinCostAllocator",
+    "MinCostOutcome",
+    "MinCostRound",
+    "RandomAllocator",
+    "ReliabilityGreedyAllocator",
+    "accuracy_probabilities",
+    "allocation_objective",
+    "exhaustive_max_quality",
+    "greedy_allocate",
+    "single_user_knapsack",
+]

@@ -1,0 +1,93 @@
+"""Exact reference solvers for small allocation instances.
+
+Used by the test suite to audit the greedy heuristic's approximation quality:
+
+- :func:`exhaustive_max_quality` enumerates every feasible assignment of a
+  tiny instance (exponential — guarded by a size limit),
+- :func:`single_user_knapsack` solves the single-user case exactly; by the
+  paper's NP-hardness proof it *is* a 0/1 knapsack, so a classic dynamic
+  program over a discretised capacity applies.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.core.allocation.base import AllocationProblem, Assignment, allocation_objective
+
+__all__ = ["exhaustive_max_quality", "single_user_knapsack"]
+
+_MAX_EXHAUSTIVE_PAIRS = 20
+
+
+def exhaustive_max_quality(problem: AllocationProblem) -> "tuple[Assignment, float]":
+    """Optimal assignment by brute force (instances up to ~20 pairs)."""
+    n_pairs = problem.n_users * problem.n_tasks
+    if n_pairs > _MAX_EXHAUSTIVE_PAIRS:
+        raise ValueError(
+            f"instance too large for exhaustive search ({n_pairs} pairs > {_MAX_EXHAUSTIVE_PAIRS})"
+        )
+    best_value = -1.0
+    best_matrix = np.zeros((problem.n_users, problem.n_tasks), dtype=bool)
+    for bits in product([False, True], repeat=n_pairs):
+        matrix = np.array(bits, dtype=bool).reshape(problem.n_users, problem.n_tasks)
+        assignment = Assignment(matrix=matrix)
+        if not assignment.respects_capacities(problem):
+            continue
+        value = allocation_objective(problem, assignment)
+        if value > best_value:
+            best_value = value
+            best_matrix = matrix
+    return Assignment(matrix=best_matrix), best_value
+
+
+def single_user_knapsack(
+    values: np.ndarray,
+    weights: np.ndarray,
+    capacity: float,
+    resolution: int = 1000,
+) -> "tuple[np.ndarray, float]":
+    """Exact 0/1 knapsack via dynamic programming on a discretised capacity.
+
+    ``values[j]`` is the objective gain of assigning task *j* to the single
+    user (``p_ij`` in the Eq. 15 reduction), ``weights[j]`` its processing
+    time.  Weights are scaled onto an integer grid of ``resolution`` steps;
+    the returned selection is exact for the discretised weights, which the
+    tests account for by using grid-aligned inputs.
+
+    Returns ``(selected_mask, total_value)``.
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if values.shape != weights.shape or values.ndim != 1:
+        raise ValueError("values and weights must be 1-D arrays of equal length")
+    if np.any(weights <= 0):
+        raise ValueError("weights must be positive")
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    if resolution < 1:
+        raise ValueError("resolution must be at least 1")
+
+    scale = resolution / max(capacity, weights.max(), 1e-12)
+    int_weights = np.maximum(1, np.round(weights * scale).astype(int))
+    int_capacity = int(np.floor(capacity * scale + 1e-9))
+
+    n = len(values)
+    table = np.zeros((n + 1, int_capacity + 1), dtype=float)
+    for j in range(1, n + 1):
+        weight = int_weights[j - 1]
+        value = values[j - 1]
+        table[j, :] = table[j - 1, :]
+        if weight <= int_capacity:
+            candidate = table[j - 1, : int_capacity - weight + 1] + value
+            np.maximum(table[j, weight:], candidate, out=table[j, weight:])
+
+    selected = np.zeros(n, dtype=bool)
+    remaining = int_capacity
+    for j in range(n, 0, -1):
+        if table[j, remaining] != table[j - 1, remaining]:
+            selected[j - 1] = True
+            remaining -= int_weights[j - 1]
+    return selected, float(table[n, int_capacity])

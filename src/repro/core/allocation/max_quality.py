@@ -1,0 +1,169 @@
+"""Max-quality task allocation: Algorithm 1 plus the approximation fix.
+
+The greedy heuristic repeatedly assigns the (user, task) pair with the
+highest *efficiency* — marginal objective gain per unit of processing time
+(Definition 1)::
+
+    efficiency(i, j) = p_ij * (1 - p_j) / t_j     if t_j <= T'_i, else 0
+
+where ``p_j`` is the task's current coverage probability and ``T'_i`` the
+user's remaining capacity.  Following the paper's Section 5.1.2 analysis
+(greedy on a monotone submodular objective under a knapsack constraint can be
+arbitrarily bad when processing times differ wildly), a second greedy pass
+that ignores processing times in the efficiency — the cardinality greedy —
+is run as well, and the better of the two solutions is returned, giving the
+classic 1/2-approximation guarantee.
+
+The same greedy core also serves Algorithm 2 (min-cost), which adds a
+per-round cost budget and restricts attention to the not-yet-satisfied tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocation.base import AllocationProblem, Assignment, allocation_objective
+
+__all__ = ["GreedyOutcome", "greedy_allocate", "MaxQualityAllocator"]
+
+
+@dataclass(frozen=True)
+class GreedyOutcome:
+    """Result of one greedy pass."""
+
+    assignment: Assignment
+    added_pairs: tuple
+    objective: float
+    spent_cost: float
+
+
+def greedy_allocate(
+    problem: AllocationProblem,
+    initial: "Assignment | None" = None,
+    divide_by_time: bool = True,
+    cost_budget: "float | None" = None,
+    active_tasks: "np.ndarray | None" = None,
+) -> GreedyOutcome:
+    """Run the Algorithm 1 greedy loop.
+
+    Parameters
+    ----------
+    initial:
+        Pairs assigned in earlier rounds (min-cost).  Their processing time
+        is already deducted from capacities, their ``p_ij`` already counts
+        toward task coverage, and their cost does **not** count against
+        ``cost_budget``.
+    divide_by_time:
+        True for Definition 1's efficiency; False for the cardinality-greedy
+        extra pass (gain not divided by ``t_j``).
+    cost_budget:
+        Maximum cost of *newly added* pairs (Algorithm 2's ``c^o``).
+    active_tasks:
+        Boolean mask of tasks eligible for new assignments (min-cost skips
+        tasks whose quality requirement is already met).
+    """
+    n_users, n_tasks = problem.n_users, problem.n_tasks
+    p = problem.accuracy_matrix()
+    times = problem.pair_times()  # (n_users, n_tasks); per-task t_j broadcast
+    costs = problem.costs
+
+    if initial is None:
+        assigned = np.zeros((n_users, n_tasks), dtype=bool)
+    else:
+        if initial.matrix.shape != (n_users, n_tasks):
+            raise ValueError("initial assignment shape does not match the problem")
+        assigned = initial.matrix.copy()
+    remaining = problem.capacities - (assigned * times).sum(axis=1)
+    if np.any(remaining < -1e-9):
+        raise ValueError("initial assignment already exceeds capacities")
+    miss = np.prod(np.where(assigned, 1.0 - p, 1.0), axis=0)
+
+    if active_tasks is None:
+        active = np.ones(n_tasks, dtype=bool)
+    else:
+        active = np.asarray(active_tasks, dtype=bool)
+        if active.shape != (n_tasks,):
+            raise ValueError("active_tasks must have one flag per task")
+        active = active.copy()
+
+    spent = 0.0
+    budget_blocked = np.zeros(n_tasks, dtype=bool)
+
+    def best_for_task(task: int) -> "tuple[float, int]":
+        if not active[task] or budget_blocked[task]:
+            return (0.0, -1)
+        feasible = (~assigned[:, task]) & (times[:, task] <= remaining + 1e-12)
+        if not np.any(feasible):
+            return (0.0, -1)
+        gain = p[:, task] * miss[task]
+        if divide_by_time:
+            gain = gain / times[:, task]
+        gain = np.where(feasible, gain, 0.0)
+        user = int(np.argmax(gain))
+        return (float(gain[user]), user)
+
+    best_eff = np.zeros(n_tasks, dtype=float)
+    best_user = np.full(n_tasks, -1, dtype=int)
+    for task in range(n_tasks):
+        best_eff[task], best_user[task] = best_for_task(task)
+
+    added: list = []
+    while True:
+        task = int(np.argmax(best_eff))
+        if best_eff[task] <= 0.0:
+            break
+        if cost_budget is not None and spent + costs[task] > cost_budget + 1e-12:
+            # Cost only grows, so this task can never be afforded again.
+            budget_blocked[task] = True
+            best_eff[task], best_user[task] = 0.0, -1
+            continue
+        user = best_user[task]
+        assigned[user, task] = True
+        remaining[user] -= times[user, task]
+        miss[task] *= 1.0 - p[user, task]
+        spent += costs[task]
+        added.append((user, task))
+        # Stale entries: the chosen task (its coverage changed) and every
+        # task whose cached best user was the one whose capacity shrank.
+        stale = np.flatnonzero(best_user == user)
+        best_eff[task], best_user[task] = best_for_task(task)
+        for other in stale:
+            if other != task:
+                best_eff[other], best_user[other] = best_for_task(int(other))
+
+    assignment = Assignment(matrix=assigned)
+    return GreedyOutcome(
+        assignment=assignment,
+        added_pairs=tuple(added),
+        objective=allocation_objective(problem, assignment),
+        spent_cost=spent,
+    )
+
+
+@dataclass
+class MaxQualityAllocator:
+    """Max-quality allocation with the guaranteed-approximation extra pass.
+
+    With ``extra_pass=True`` (the default, per the end of Section 5.1.2) the
+    time-divided greedy and the cardinality greedy both run and the higher-
+    objective solution wins.
+    """
+
+    extra_pass: bool = True
+    #: Populated after each allocate() call: which pass won ("efficiency" or
+    #: "cardinality").  Exposed for the ablation benchmarks.
+    last_winner: str = field(default="", init=False)
+
+    def allocate(self, problem: AllocationProblem) -> Assignment:
+        efficiency = greedy_allocate(problem, divide_by_time=True)
+        if not self.extra_pass:
+            self.last_winner = "efficiency"
+            return efficiency.assignment
+        cardinality = greedy_allocate(problem, divide_by_time=False)
+        if cardinality.objective > efficiency.objective:
+            self.last_winner = "cardinality"
+            return cardinality.assignment
+        self.last_winner = "efficiency"
+        return efficiency.assignment

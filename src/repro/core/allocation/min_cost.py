@@ -1,0 +1,218 @@
+"""Min-cost task allocation: the iterative Algorithm 2.
+
+Definition 2: recruit users at minimum cost such that every task's estimate
+satisfies the quality requirement ``|mu_hat_j - mu_j| / sigma_j < eps_bar``.
+Because no data exists at allocation time, the requirement is checked
+*probabilistically*: after each round of data collection, the task passes
+once the ``1 - alpha`` Fisher-information confidence interval for its truth
+(Eq. 24) is no wider than ``2 * eps_bar * sigma_j``.
+
+Each round spends at most ``c^o`` of recruiting budget through the
+Algorithm 1 greedy (restricted to the not-yet-satisfied tasks), collects the
+newly assigned observations, re-estimates truths from *all* data gathered so
+far, and re-checks the confidence intervals.  The loop ends when every task
+passes or no further assignment is possible (capacities exhausted).
+
+The allocator is driven through two callbacks so it works both in the
+simulation engine and against recorded datasets:
+
+- ``observe(pairs)`` returns the observed values for newly assigned pairs;
+- ``estimate(observations)`` returns ``(truths, sigmas, task_expertise)``
+  from the cumulative observations — by default Eq. 5 with the problem's
+  prior expertise, the pipeline passes the full expertise-aware analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.allocation.base import AllocationProblem, Assignment
+from repro.core.allocation.max_quality import greedy_allocate
+from repro.core.truth import update_truths_for_expertise
+from repro.stats.confidence import mle_truth_confidence_interval
+from repro.truthdiscovery.base import ObservationMatrix
+
+__all__ = ["MinCostRound", "MinCostOutcome", "MinCostAllocator"]
+
+
+@dataclass(frozen=True)
+class MinCostRound:
+    """Bookkeeping for one Algorithm 2 iteration."""
+
+    added_pairs: tuple
+    round_cost: float
+    satisfied_after: int
+
+
+@dataclass(frozen=True)
+class MinCostOutcome:
+    """Final state of a min-cost allocation run."""
+
+    assignment: Assignment
+    observations: ObservationMatrix
+    truths: np.ndarray
+    sigmas: np.ndarray
+    satisfied: np.ndarray
+    rounds: tuple
+    total_cost: float
+
+    @property
+    def all_satisfied(self) -> bool:
+        return bool(np.all(self.satisfied))
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+
+class MinCostAllocator:
+    """Iterative min-cost allocation (Algorithm 2)."""
+
+    def __init__(
+        self,
+        round_budget: float,
+        error_limit: float = 0.5,
+        confidence: float = 0.95,
+        max_rounds: int = 100,
+        extra_pass: bool = True,
+    ):
+        if round_budget <= 0:
+            raise ValueError("round_budget (c^o) must be positive")
+        if error_limit <= 0:
+            raise ValueError("error_limit (eps_bar) must be positive")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must lie in (0, 1)")
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        self._round_budget = float(round_budget)
+        self._error_limit = float(error_limit)
+        self._confidence = float(confidence)
+        self._max_rounds = int(max_rounds)
+        # The paper (end of Section 5.2.2a) notes the Section 5.1.2 extra
+        # step "can also be added" to each round's greedy; on by default.
+        self._extra_pass = bool(extra_pass)
+
+    def run(
+        self,
+        problem: AllocationProblem,
+        observe: Callable,
+        estimate: "Callable | None" = None,
+    ) -> MinCostOutcome:
+        """Run the iterative allocation until the quality requirement holds.
+
+        ``observe(pairs)`` must return one observed value per ``(user,
+        task)`` pair.  ``estimate(observations)`` must return ``(truths,
+        sigmas, task_expertise)`` over the full task set.
+        """
+        n_users, n_tasks = problem.n_users, problem.n_tasks
+        if estimate is None:
+            estimate = self._default_estimator(problem)
+
+        assignment = Assignment.empty(n_users, n_tasks)
+        values = np.zeros((n_users, n_tasks), dtype=float)
+        mask = np.zeros((n_users, n_tasks), dtype=bool)
+        satisfied = np.zeros(n_tasks, dtype=bool)
+        truths = np.full(n_tasks, np.nan)
+        sigmas = np.full(n_tasks, np.nan)
+        task_expertise = problem.expertise
+        rounds: list = []
+        total_cost = 0.0
+
+        for _ in range(self._max_rounds):
+            outcome = greedy_allocate(
+                problem,
+                initial=assignment,
+                divide_by_time=True,
+                cost_budget=self._round_budget,
+                active_tasks=~satisfied,
+            )
+            if self._extra_pass:
+                cardinality = greedy_allocate(
+                    problem,
+                    initial=assignment,
+                    divide_by_time=False,
+                    cost_budget=self._round_budget,
+                    active_tasks=~satisfied,
+                )
+                if cardinality.objective > outcome.objective:
+                    outcome = cardinality
+            if not outcome.added_pairs:
+                break
+            assignment = outcome.assignment
+            total_cost += outcome.spent_cost
+
+            observed = observe(list(outcome.added_pairs))
+            observed = np.asarray(observed, dtype=float)
+            if observed.shape != (len(outcome.added_pairs),):
+                raise ValueError("observe() must return one value per new pair")
+            for (user, task), value in zip(outcome.added_pairs, observed):
+                if np.isnan(value):
+                    # Dropout: the recruiting cost is spent and the capacity
+                    # consumed, but no observation arrives — the quality
+                    # check simply stays unsatisfied and later rounds
+                    # recruit replacements.
+                    continue
+                values[user, task] = value
+                mask[user, task] = True
+
+            observations = ObservationMatrix(values=values, mask=mask)
+            truths, sigmas, task_expertise = estimate(observations)
+            satisfied = self._check_quality(assignment, truths, sigmas, task_expertise)
+            rounds.append(
+                MinCostRound(
+                    added_pairs=outcome.added_pairs,
+                    round_cost=outcome.spent_cost,
+                    satisfied_after=int(satisfied.sum()),
+                )
+            )
+            if np.all(satisfied):
+                break
+
+        return MinCostOutcome(
+            assignment=assignment,
+            observations=ObservationMatrix(values=values, mask=mask),
+            truths=truths,
+            sigmas=sigmas,
+            satisfied=satisfied,
+            rounds=tuple(rounds),
+            total_cost=total_cost,
+        )
+
+    def _check_quality(
+        self,
+        assignment: Assignment,
+        truths: np.ndarray,
+        sigmas: np.ndarray,
+        task_expertise: np.ndarray,
+    ) -> np.ndarray:
+        """Line 12-15 of Algorithm 2: the per-task confidence-interval test."""
+        n_tasks = assignment.n_tasks
+        satisfied = np.zeros(n_tasks, dtype=bool)
+        for task in range(n_tasks):
+            users = assignment.users_of_task(task)
+            if users.size == 0 or np.isnan(truths[task]):
+                continue
+            sigma = float(sigmas[task])
+            if not np.isfinite(sigma) or sigma <= 0:
+                continue
+            interval = mle_truth_confidence_interval(
+                estimate=float(truths[task]),
+                expertise=task_expertise[users, task],
+                sigma=sigma,
+                confidence=self._confidence,
+            )
+            satisfied[task] = interval.satisfies_quality(sigma, self._error_limit)
+        return satisfied
+
+    @staticmethod
+    def _default_estimator(problem: AllocationProblem) -> Callable:
+        """Eq. 5 with the problem's prior expertise held fixed."""
+
+        def estimate(observations: ObservationMatrix):
+            truths, sigmas = update_truths_for_expertise(observations, problem.expertise)
+            return truths, sigmas, problem.expertise
+
+        return estimate

@@ -1,0 +1,372 @@
+"""The ETA2 closed loop (Figure 1) as a reusable system object.
+
+:class:`ETA2System` glues the three modules together exactly as the paper's
+overview describes: a warm-up step with random allocation (no expertise is
+known yet), then a repetitive daily process — identify the new tasks'
+expertise domains, allocate with the expertise-aware allocator, collect
+data, and run expertise-aware truth analysis to update user expertise.
+
+The system is environment-agnostic: data collection happens through an
+``observe(pairs) -> values`` callback, so the same object runs against the
+simulation world, a recorded dataset, or (in principle) live users.
+
+Two allocation modes mirror the paper's two problem formulations:
+
+- ``allocator="max-quality"`` — ETA2 proper (Algorithm 1 + extra pass),
+- ``allocator="min-cost"``   — ETA2-mc (Algorithm 2), which interleaves
+  recruiting rounds with data collection inside a single :meth:`step`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.clustering.dynamic import DynamicHierarchicalClustering
+from repro.core.allocation.base import DEFAULT_EPSILON, AllocationProblem, Assignment
+from repro.core.allocation.baselines import RandomAllocator
+from repro.core.allocation.max_quality import MaxQualityAllocator
+from repro.core.allocation.min_cost import MinCostAllocator
+from repro.core.expertise import ExpertiseMatrix
+from repro.core.truth import estimate_truth
+from repro.core.update import ExpertiseUpdater
+from repro.semantics.distance import semantics_for_descriptions
+from repro.semantics.embeddings.base import EmbeddingModel
+from repro.semantics.embeddings.cooccurrence import PPMISVDEmbedding
+from repro.semantics.embeddings.corpus import generate_topical_corpus
+from repro.truthdiscovery.base import ObservationMatrix
+
+__all__ = ["IncomingTask", "StepResult", "ETA2System", "default_embedding"]
+
+
+@dataclass(frozen=True)
+class IncomingTask:
+    """A newly created task as handed to the server.
+
+    Exactly one of ``description`` (text datasets — the system clusters it)
+    or ``domain`` (pre-known expertise domain, Section 6.1.3 style) must be
+    provided.
+    """
+
+    processing_time: float
+    cost: float = 1.0
+    description: "str | None" = None
+    domain: "int | None" = None
+
+    def __post_init__(self):
+        if self.processing_time <= 0:
+            raise ValueError("processing_time must be positive")
+        if self.cost < 0:
+            raise ValueError("cost must be non-negative")
+        if (self.description is None) == (self.domain is None):
+            raise ValueError("provide exactly one of description or domain")
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one warm-up or daily step."""
+
+    assignment: Assignment
+    observations: ObservationMatrix
+    truths: np.ndarray
+    sigmas: np.ndarray
+    task_domains: np.ndarray
+    merges: tuple
+    new_domains: tuple
+    mle_iterations: int
+    allocation_cost: float
+    #: Per-task expertise ``u_{i, d_j}`` used for this step's allocation and
+    #: confidence intervals (post-update values).
+    task_expertise: "np.ndarray | None" = None
+
+    @property
+    def pair_count(self) -> int:
+        return self.assignment.pair_count
+
+    def confidence_intervals(self, confidence: float = 0.95) -> list:
+        """Eq. 24 confidence intervals for every task's truth estimate.
+
+        Returns one :class:`~repro.stats.confidence.ConfidenceInterval` per
+        task (infinite width for tasks with no informative observation).
+        Requires ``task_expertise`` (set by :class:`ETA2System`).
+        """
+        from repro.stats.confidence import mle_truth_confidence_interval
+
+        if self.task_expertise is None:
+            raise ValueError("this result carries no per-task expertise")
+        intervals = []
+        for task in range(self.observations.n_tasks):
+            users = self.observations.observations_for_task(task)[0]
+            sigma = float(self.sigmas[task])
+            if users.size == 0 or not np.isfinite(sigma) or sigma <= 0:
+                intervals.append(
+                    mle_truth_confidence_interval(
+                        float("nan"), [], sigma=1.0, confidence=confidence
+                    )
+                )
+                continue
+            intervals.append(
+                mle_truth_confidence_interval(
+                    float(self.truths[task]),
+                    self.task_expertise[users, task],
+                    sigma=sigma,
+                    confidence=confidence,
+                )
+            )
+        return intervals
+
+
+def default_embedding(dim: int = 32, seed: int = 0) -> EmbeddingModel:
+    """The library's default embedding backend.
+
+    A PPMI+SVD model trained on the bundled topical corpus — deterministic,
+    fast, and sufficient for same-domain words to cluster (DESIGN.md's
+    substitution for the paper's Wikipedia-trained skip-gram vectors).
+    """
+    corpus = generate_topical_corpus(seed=seed)
+    return PPMISVDEmbedding(corpus.sentences, dim=dim)
+
+
+class ETA2System:
+    """Expertise-aware truth analysis and task allocation, end to end."""
+
+    def __init__(
+        self,
+        n_users: int,
+        capacities: Sequence[float],
+        gamma: float = 0.5,
+        alpha: float = 0.5,
+        epsilon: float = DEFAULT_EPSILON,
+        allocator: str = "max-quality",
+        embedding: "EmbeddingModel | None" = None,
+        min_cost_round_budget: float = 100.0,
+        min_cost_error_limit: float = 0.5,
+        min_cost_confidence: float = 0.95,
+        extra_greedy_pass: bool = True,
+        exploration_rate: float = 0.0,
+        clustering_metric: str = "euclidean",
+        seed=None,
+    ):
+        capacities = np.asarray(capacities, dtype=float)
+        if capacities.shape != (n_users,):
+            raise ValueError("capacities must have one entry per user")
+        if allocator not in ("max-quality", "min-cost"):
+            raise ValueError("allocator must be 'max-quality' or 'min-cost'")
+        if not 0.0 <= exploration_rate <= 1.0:
+            raise ValueError("exploration_rate must lie in [0, 1]")
+        self._n_users = int(n_users)
+        self._capacities = capacities
+        self._epsilon = float(epsilon)
+        self._allocator_kind = allocator
+        self._embedding = embedding
+        self._clustering = DynamicHierarchicalClustering(gamma=gamma, metric=clustering_metric)
+        self._updater = ExpertiseUpdater(n_users, alpha=alpha)
+        if exploration_rate > 0.0:
+            from repro.core.allocation.exploring import ExploringMaxQualityAllocator
+
+            self._max_quality = ExploringMaxQualityAllocator(
+                exploration_rate=exploration_rate,
+                extra_pass=extra_greedy_pass,
+                seed=seed,
+            )
+        else:
+            self._max_quality = MaxQualityAllocator(extra_pass=extra_greedy_pass)
+        self._min_cost = MinCostAllocator(
+            round_budget=min_cost_round_budget,
+            error_limit=min_cost_error_limit,
+            confidence=min_cost_confidence,
+        )
+        self._random = RandomAllocator(seed=seed)
+        self._warmed_up = False
+        #: Per-step MLE iteration counts (consumed by the Fig. 12 experiment).
+        self.iteration_log: list = []
+
+    @property
+    def n_users(self) -> int:
+        return self._n_users
+
+    @property
+    def is_warmed_up(self) -> bool:
+        return self._warmed_up
+
+    def expertise_matrix(self) -> ExpertiseMatrix:
+        """Current per-user per-domain expertise estimates."""
+        return self._updater.expertise_matrix()
+
+    # ------------------------------------------------------------------ #
+    # Domain identification (Module 1)
+    # ------------------------------------------------------------------ #
+
+    def _embedding_model(self) -> EmbeddingModel:
+        if self._embedding is None:
+            self._embedding = default_embedding()
+        return self._embedding
+
+    def _identify_domains(self, tasks: Sequence[IncomingTask]) -> "tuple[np.ndarray, tuple, tuple]":
+        """Domain ids for a batch of tasks, plus (merges, new_domains)."""
+        with_text = [task.description is not None for task in tasks]
+        if all(with_text):
+            vectors = np.vstack(
+                [
+                    item.concatenated
+                    for item in semantics_for_descriptions(
+                        [task.description for task in tasks], self._embedding_model()
+                    )
+                ]
+            )
+            if self._clustering.is_fitted:
+                result = self._clustering.add(vectors)
+            else:
+                result = self._clustering.fit(vectors)
+            for merge in result.merges:
+                self._updater.merge_domains(merge.kept, merge.deleted)
+            return result.added_labels, result.merges, result.new_domains
+        if any(with_text):
+            raise ValueError("a batch must be all-text or all-preknown-domain tasks")
+        labels = np.array([task.domain for task in tasks], dtype=int)
+        return labels, (), ()
+
+    # ------------------------------------------------------------------ #
+    # Warm-up (random allocation, batch MLE seed)
+    # ------------------------------------------------------------------ #
+
+    def warmup(self, tasks: Sequence[IncomingTask], observe: Callable) -> StepResult:
+        """Run the warm-up period: random allocation, then batch MLE.
+
+        ``observe(pairs)`` receives ``(user, local_task_index)`` pairs and
+        must return one observed value per pair.
+        """
+        if self._warmed_up:
+            raise RuntimeError("warm-up already done; use step()")
+        if not tasks:
+            raise ValueError("warm-up needs at least one task")
+        domains, merges, new_domains = self._identify_domains(tasks)
+
+        problem = self._problem(tasks, self._default_expertise_for(domains))
+        assignment = self._random.allocate(problem)
+        observations = self._collect(assignment, observe)
+
+        result = estimate_truth(observations, domains)
+        self._updater.seed_from_batch(observations, domains, result)
+        self.iteration_log.append(result.iterations)
+        self._warmed_up = True
+        return StepResult(
+            assignment=assignment,
+            observations=observations,
+            truths=result.truths,
+            sigmas=result.sigmas,
+            task_domains=domains,
+            merges=merges,
+            new_domains=new_domains,
+            mle_iterations=result.iterations,
+            allocation_cost=assignment.total_cost(problem.costs),
+            task_expertise=result.expertise_for_tasks(domains),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Daily step (Modules 1 + 3 + 2)
+    # ------------------------------------------------------------------ #
+
+    def step(self, tasks: Sequence[IncomingTask], observe: Callable) -> StepResult:
+        """One time step: identify domains, allocate, collect, analyse."""
+        if not self._warmed_up:
+            raise RuntimeError("run warmup() first")
+        if not tasks:
+            raise ValueError("step needs at least one task")
+        domains, merges, new_domains = self._identify_domains(tasks)
+        expertise = self._expertise_for(domains)
+        problem = self._problem(tasks, expertise)
+
+        if self._allocator_kind == "max-quality":
+            assignment = self._max_quality.allocate(problem)
+            observations = self._collect(assignment, observe)
+            incorporate = self._updater.incorporate(observations, domains)
+        else:
+            outcome = self._min_cost.run(
+                problem,
+                observe=observe,
+                estimate=self._min_cost_estimator(domains),
+            )
+            assignment = outcome.assignment
+            observations = outcome.observations
+            incorporate = self._updater.incorporate(observations, domains)
+
+        self.iteration_log.append(incorporate.iterations)
+        task_expertise = np.vstack(
+            [incorporate.expertise[d] for d in domains.tolist()]
+        ).T
+        return StepResult(
+            assignment=assignment,
+            observations=observations,
+            truths=incorporate.truths,
+            sigmas=incorporate.sigmas,
+            task_domains=domains,
+            merges=merges,
+            new_domains=new_domains,
+            mle_iterations=incorporate.iterations,
+            allocation_cost=assignment.total_cost(problem.costs),
+            task_expertise=task_expertise,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _problem(self, tasks: Sequence[IncomingTask], expertise: np.ndarray) -> AllocationProblem:
+        return AllocationProblem(
+            expertise=expertise,
+            processing_times=np.array([task.processing_time for task in tasks], dtype=float),
+            capacities=self._capacities,
+            epsilon=self._epsilon,
+            costs=np.array([task.cost for task in tasks], dtype=float),
+        )
+
+    def _default_expertise_for(self, domains: np.ndarray) -> np.ndarray:
+        from repro.core.expertise import DEFAULT_EXPERTISE
+
+        return np.full((self._n_users, len(domains)), DEFAULT_EXPERTISE, dtype=float)
+
+    def _expertise_for(self, domains: np.ndarray) -> np.ndarray:
+        matrix = self._updater.expertise_matrix()
+        return matrix.for_tasks(domains.tolist())
+
+    def _collect(self, assignment: Assignment, observe: Callable) -> ObservationMatrix:
+        """Collect observations for an assignment.
+
+        ``observe`` may return NaN for a pair to signal a *dropout* — an
+        assigned user that never delivered.  Dropped pairs are excluded from
+        the observation mask (the capacity they consumed is already spent;
+        mobile users that accept and abandon tasks still block their slot).
+        """
+        pairs = assignment.pairs()
+        values = np.zeros(assignment.matrix.shape, dtype=float)
+        mask = assignment.matrix.copy()
+        if pairs:
+            observed = np.asarray(observe(pairs), dtype=float)
+            if observed.shape != (len(pairs),):
+                raise ValueError("observe() must return one value per pair")
+            for (user, task), value in zip(pairs, observed):
+                if np.isnan(value):
+                    mask[user, task] = False
+                else:
+                    values[user, task] = value
+        return ObservationMatrix(values=values, mask=mask)
+
+    def _min_cost_estimator(self, domains: np.ndarray) -> Callable:
+        """Expertise-aware estimation for Algorithm 2's inner rounds.
+
+        Each round previews the Section 4.2 update on the data collected so
+        far *without committing it*, returning refreshed truths, sigmas and
+        the per-task expertise the confidence-interval check needs.
+        """
+
+        def estimate(observations: ObservationMatrix):
+            preview = self._updater.incorporate(observations, domains, commit=False)
+            task_expertise = np.vstack(
+                [preview.expertise[d] for d in domains.tolist()]
+            ).T
+            return preview.truths, preview.sigmas, task_expertise
+
+        return estimate

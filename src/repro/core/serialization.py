@@ -1,0 +1,142 @@
+"""Persistence for the ETA2 closed loop.
+
+A deployed crowdsourcing server runs for many time steps; restarting it must
+not forget what it learned.  This module serialises the two stateful pieces
+of :class:`~repro.core.pipeline.ETA2System` — the expertise updater's running
+``N``/``D`` sums and the dynamic clustering's points/domains — to plain JSON
+(arrays as nested lists), and restores them.
+
+The embedding model is *not* serialised: it is deterministic given its
+configuration (the default backend is rebuilt from the bundled corpus), and
+hash-backed models carry no state at all.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.clustering.dynamic import DynamicHierarchicalClustering
+from repro.core.pipeline import ETA2System
+from repro.core.update import ExpertiseUpdater
+
+__all__ = [
+    "updater_to_dict",
+    "updater_from_dict",
+    "clustering_to_dict",
+    "clustering_from_dict",
+    "save_system_state",
+    "load_system_state",
+]
+
+_FORMAT_VERSION = 1
+
+
+def updater_to_dict(updater: ExpertiseUpdater) -> dict:
+    """Snapshot an :class:`ExpertiseUpdater` as JSON-compatible data."""
+    return {
+        "n_users": updater.n_users,
+        "alpha": updater.alpha,
+        "numerators": {str(d): updater._numerators[d].tolist() for d in updater.domain_ids},
+        "denominators": {str(d): updater._denominators[d].tolist() for d in updater.domain_ids},
+    }
+
+
+def updater_from_dict(data: dict) -> ExpertiseUpdater:
+    """Rebuild an :class:`ExpertiseUpdater` from :func:`updater_to_dict` data."""
+    updater = ExpertiseUpdater(n_users=int(data["n_users"]), alpha=float(data["alpha"]))
+    for key, numerator in data["numerators"].items():
+        domain_id = int(key)
+        numerator = np.asarray(numerator, dtype=float)
+        denominator = np.asarray(data["denominators"][key], dtype=float)
+        if numerator.shape != (updater.n_users,) or denominator.shape != (updater.n_users,):
+            raise ValueError(f"domain {domain_id}: sums have the wrong length")
+        updater.ensure_domain(domain_id)
+        updater._numerators[domain_id] = numerator
+        updater._denominators[domain_id] = denominator
+    return updater
+
+
+def clustering_to_dict(clustering: DynamicHierarchicalClustering) -> dict:
+    """Snapshot a :class:`DynamicHierarchicalClustering` (fitted or not)."""
+    data = {
+        "gamma": clustering.gamma,
+        "refresh_d_star": clustering._refresh_d_star,
+        "metric": clustering._metric,
+        "fitted": clustering.is_fitted,
+    }
+    if clustering.is_fitted:
+        data.update(
+            {
+                "points": clustering._points.tolist(),
+                "d_star": clustering._d_star,
+                "domains": {str(d): members for d, members in clustering._domains.items()},
+                "next_domain_id": clustering._next_domain_id,
+            }
+        )
+    return data
+
+
+def clustering_from_dict(data: dict) -> DynamicHierarchicalClustering:
+    """Rebuild a :class:`DynamicHierarchicalClustering` snapshot."""
+    clustering = DynamicHierarchicalClustering(
+        gamma=float(data["gamma"]),
+        refresh_d_star=bool(data["refresh_d_star"]),
+        metric=data.get("metric", "euclidean"),
+    )
+    if not data.get("fitted", False):
+        return clustering
+    points = np.asarray(data["points"], dtype=float)
+    clustering._points = points
+    clustering._base = clustering._distances(points, points)
+    np.fill_diagonal(clustering._base, 0.0)
+    clustering._d_star = float(data["d_star"])
+    domains = {int(d): [int(i) for i in members] for d, members in data["domains"].items()}
+    covered = sorted(index for members in domains.values() for index in members)
+    if covered != list(range(points.shape[0])):
+        raise ValueError("domain membership does not partition the stored points")
+    clustering._domains = domains
+    clustering._next_domain_id = int(data["next_domain_id"])
+    return clustering
+
+
+def save_system_state(system: ETA2System, path: "str | Path") -> None:
+    """Write an :class:`ETA2System`'s learned state to ``path`` (JSON).
+
+    Captures the expertise history, the clustering state, the warm-up flag
+    and the iteration log.  Allocator settings and the embedding model are
+    construction-time configuration and must be supplied again on restore.
+    """
+    state = {
+        "format_version": _FORMAT_VERSION,
+        "warmed_up": system.is_warmed_up,
+        "iteration_log": list(system.iteration_log),
+        "updater": updater_to_dict(system._updater),
+        "clustering": clustering_to_dict(system._clustering),
+    }
+    Path(path).write_text(json.dumps(state))
+
+
+def load_system_state(system: ETA2System, path: "str | Path") -> ETA2System:
+    """Restore state saved by :func:`save_system_state` into ``system``.
+
+    ``system`` must be freshly constructed with the same ``n_users``; its
+    gamma/alpha construction parameters are overridden by the stored values.
+    Returns ``system`` for chaining.
+    """
+    state = json.loads(Path(path).read_text())
+    version = state.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported state format version: {version!r}")
+    updater = updater_from_dict(state["updater"])
+    if updater.n_users != system.n_users:
+        raise ValueError(
+            f"state has {updater.n_users} users but the system was built for {system.n_users}"
+        )
+    system._updater = updater
+    system._clustering = clustering_from_dict(state["clustering"])
+    system._warmed_up = bool(state["warmed_up"])
+    system.iteration_log = [int(i) for i in state["iteration_log"]]
+    return system

@@ -1,0 +1,109 @@
+"""Common dataset container and shared experimental-setting generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import ensure_rng
+from repro.simulation.entities import UserSpec
+from repro.simulation.world import World
+
+__all__ = ["CrowdsourcingDataset", "uniform_capacities", "evenly_distributed_days"]
+
+
+def uniform_capacities(n_users: int, tau: float, rng, half_width: float = 4.0) -> np.ndarray:
+    """Per-user processing capability ``T_i ~ U[tau - 4, tau + 4]`` (Section 6.2)."""
+    if tau <= half_width:
+        # Keep capacities positive for small-tau sweeps (Fig. 6 goes low).
+        low = max(tau - half_width, 0.5)
+    else:
+        low = tau - half_width
+    rng = ensure_rng(rng)
+    return rng.uniform(low, tau + half_width, size=n_users)
+
+
+def evenly_distributed_days(n_tasks: int, n_days: int, rng) -> np.ndarray:
+    """Random day label per task with near-equal counts per day (Section 6.2)."""
+    if n_days < 1:
+        raise ValueError("n_days must be at least 1")
+    rng = ensure_rng(rng)
+    base = np.repeat(np.arange(n_days), int(np.ceil(n_tasks / n_days)))[:n_tasks]
+    rng.shuffle(base)
+    return base
+
+
+@dataclass(frozen=True)
+class CrowdsourcingDataset:
+    """A full evaluation dataset: users, tasks, and hidden ground truth."""
+
+    name: str
+    users: tuple
+    tasks: tuple
+    n_true_domains: int
+    #: True when the algorithms may read tasks' domain labels directly (the
+    #: synthetic dataset of Section 6.1.3); False when they must cluster the
+    #: textual descriptions.
+    domains_known: bool
+
+    def __post_init__(self):
+        if not self.users:
+            raise ValueError("dataset has no users")
+        if not self.tasks:
+            raise ValueError("dataset has no tasks")
+        for task in self.tasks:
+            if not 0 <= task.true_domain < self.n_true_domains:
+                raise ValueError("task has an out-of-range true domain")
+        for user in self.users:
+            if len(user.expertise) != self.n_true_domains:
+                raise ValueError("user expertise vector length mismatch")
+        if not self.domains_known:
+            for task in self.tasks:
+                if task.description is None:
+                    raise ValueError("text datasets must give every task a description")
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    def world(
+        self,
+        bias_fraction: float = 0.0,
+        drift_rate: float = 0.0,
+        adversaries: "dict | None" = None,
+        seed=None,
+    ) -> World:
+        """A :class:`World` sampling observations from this dataset."""
+        return World(
+            users=self.users,
+            tasks=self.tasks,
+            bias_fraction=bias_fraction,
+            drift_rate=drift_rate,
+            adversaries=adversaries,
+            seed=seed,
+        )
+
+    def descriptions(self) -> list:
+        return [task.description for task in self.tasks]
+
+    def with_capacities(self, capacities: np.ndarray) -> "CrowdsourcingDataset":
+        """A copy with replaced per-user capacities (for tau sweeps)."""
+        capacities = np.asarray(capacities, dtype=float)
+        if capacities.shape != (self.n_users,):
+            raise ValueError("capacities must have one entry per user")
+        users = tuple(
+            UserSpec(user_id=user.user_id, expertise=user.expertise, capacity=float(capacity))
+            for user, capacity in zip(self.users, capacities)
+        )
+        return CrowdsourcingDataset(
+            name=self.name,
+            users=users,
+            tasks=self.tasks,
+            n_true_domains=self.n_true_domains,
+            domains_known=self.domains_known,
+        )

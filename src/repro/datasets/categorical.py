@@ -1,0 +1,124 @@
+"""Categorical SFV-like dataset: slot-filling answers as discrete choices.
+
+The real TAC-KBP SFV answers are categorical (a candidate slot value is
+right or wrong).  This generator mirrors :func:`repro.datasets.sfv.sfv_dataset`
+but produces discrete ground truth: each question has ``n_choices``
+candidates, one correct; each system answers correctly with its hidden
+per-domain *accuracy* and otherwise picks a wrong candidate uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import ensure_rng
+from repro.truthdiscovery.categorical.base import MISSING, CategoricalObservations
+
+__all__ = ["CategoricalDataset", "categorical_sfv_dataset"]
+
+
+@dataclass(frozen=True)
+class CategoricalDataset:
+    """Hidden ground truth of a categorical crowdsourcing instance."""
+
+    name: str
+    true_labels: np.ndarray
+    n_choices: np.ndarray
+    task_domains: np.ndarray
+    #: Hidden per-user per-domain accuracy in (0, 1).
+    true_accuracies: np.ndarray
+
+    def __post_init__(self):
+        true_labels = np.asarray(self.true_labels, dtype=int)
+        n_choices = np.asarray(self.n_choices, dtype=int)
+        task_domains = np.asarray(self.task_domains, dtype=int)
+        true_accuracies = np.asarray(self.true_accuracies, dtype=float)
+        if not (true_labels.shape == n_choices.shape == task_domains.shape):
+            raise ValueError("per-task arrays must share one shape")
+        if np.any((true_labels < 0) | (true_labels >= n_choices)):
+            raise ValueError("true labels must index their candidate sets")
+        if task_domains.max(initial=-1) >= true_accuracies.shape[1]:
+            raise ValueError("task domain out of range for the accuracy matrix")
+        if np.any((true_accuracies <= 0.0) | (true_accuracies >= 1.0)):
+            raise ValueError("accuracies must lie strictly in (0, 1)")
+        object.__setattr__(self, "true_labels", true_labels)
+        object.__setattr__(self, "n_choices", n_choices)
+        object.__setattr__(self, "task_domains", task_domains)
+        object.__setattr__(self, "true_accuracies", true_accuracies)
+
+    @property
+    def n_users(self) -> int:
+        return self.true_accuracies.shape[0]
+
+    @property
+    def n_tasks(self) -> int:
+        return self.true_labels.shape[0]
+
+    @property
+    def n_domains(self) -> int:
+        return self.true_accuracies.shape[1]
+
+    def answer(self, user: int, task: int, rng) -> int:
+        """Sample one answer under the symmetric one-coin noise model."""
+        rng = ensure_rng(rng)
+        accuracy = self.true_accuracies[user, self.task_domains[task]]
+        truth = int(self.true_labels[task])
+        if rng.random() < accuracy:
+            return truth
+        k = int(self.n_choices[task])
+        wrong = int(rng.integers(k - 1))
+        return wrong if wrong < truth else wrong + 1
+
+    def observe(self, assignment_mask: np.ndarray, rng) -> CategoricalObservations:
+        """Sample a full observation matrix for an assignment mask."""
+        rng = ensure_rng(rng)
+        assignment_mask = np.asarray(assignment_mask, dtype=bool)
+        if assignment_mask.shape != (self.n_users, self.n_tasks):
+            raise ValueError("assignment mask has the wrong shape")
+        answers = np.full((self.n_users, self.n_tasks), MISSING, dtype=int)
+        for user, task in zip(*np.nonzero(assignment_mask)):
+            answers[user, task] = self.answer(int(user), int(task), rng)
+        return CategoricalObservations(answers=answers, n_choices=self.n_choices)
+
+
+def categorical_sfv_dataset(
+    n_users: int = 18,
+    n_tasks: int = 300,
+    n_domains: int = 8,
+    n_choices: "int | tuple[int, int]" = (3, 6),
+    strong_domains_per_user: int = 3,
+    background_accuracy: "tuple[float, float]" = (0.25, 0.5),
+    strong_accuracy: "tuple[float, float]" = (0.85, 0.98),
+    seed=None,
+) -> CategoricalDataset:
+    """Generate the categorical SFV-like instance.
+
+    Mirrors the numeric SFV generator's specialisation structure: each
+    "system" is highly accurate in a few domains and near-guessing
+    elsewhere.
+    """
+    if n_users < 1 or n_tasks < 1 or n_domains < 1:
+        raise ValueError("n_users, n_tasks and n_domains must be positive")
+    rng = ensure_rng(seed)
+
+    accuracies = rng.uniform(*background_accuracy, size=(n_users, n_domains))
+    for user in range(n_users):
+        strong = rng.choice(n_domains, size=min(strong_domains_per_user, n_domains), replace=False)
+        accuracies[user, strong] = rng.uniform(*strong_accuracy, size=strong.size)
+
+    if isinstance(n_choices, int):
+        choice_counts = np.full(n_tasks, n_choices, dtype=int)
+    else:
+        low, high = n_choices
+        choice_counts = rng.integers(low, high + 1, size=n_tasks)
+    domains = rng.integers(0, n_domains, size=n_tasks)
+    labels = np.array([rng.integers(k) for k in choice_counts], dtype=int)
+    return CategoricalDataset(
+        name="categorical-sfv",
+        true_labels=labels,
+        n_choices=choice_counts,
+        task_domains=domains,
+        true_accuracies=accuracies,
+    )

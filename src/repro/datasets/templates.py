@@ -1,0 +1,59 @@
+"""Natural-language question templates shared by the text datasets.
+
+Questions pair a Query term (the asked-for quantity) with a Target term (the
+entity it is asked about), both drawn from one domain's vocabulary
+(:mod:`repro.semantics.vocab`) — the structure the paper's pair-word
+extractor expects.  The survey generator additionally appends time/location
+qualifiers to replicated questions, mirroring how the paper's 89 base survey
+questions became 150.
+"""
+
+from __future__ import annotations
+
+from repro.rng import ensure_rng
+from repro.semantics.vocab import DomainVocabulary
+
+__all__ = ["QUESTION_TEMPLATES", "QUALIFIERS", "generate_question"]
+
+QUESTION_TEMPLATES = (
+    "What is the {query} at the {target}?",
+    "What is the {query} around the {target}?",
+    "What is the {query} near the {target}?",
+    "What is the current {query} for the {target}?",
+    "What is the estimated {query} at the {target}?",
+    "How much is the {query} at the {target}?",
+)
+
+QUALIFIERS = (
+    "during the weekend",
+    "during weekday evenings",
+    "in the early morning",
+    "in the late afternoon",
+    "during the holiday season",
+    "during the summer semester",
+)
+
+
+def generate_question(
+    domain: DomainVocabulary,
+    rng,
+    qualifier_probability: float = 0.0,
+) -> "tuple[str, str, str]":
+    """One templated question for ``domain``.
+
+    Returns ``(question, query_term, target_term)`` so generators can record
+    which terms produced the sentence.  With probability
+    ``qualifier_probability`` a time/location qualifier is appended before
+    the question mark (a replicated-question variant).
+    """
+    if not 0.0 <= qualifier_probability <= 1.0:
+        raise ValueError("qualifier_probability must lie in [0, 1]")
+    rng = ensure_rng(rng)
+    template = QUESTION_TEMPLATES[int(rng.integers(len(QUESTION_TEMPLATES)))]
+    query = domain.query_terms[int(rng.integers(len(domain.query_terms)))]
+    target = domain.target_terms[int(rng.integers(len(domain.target_terms)))]
+    question = template.format(query=query, target=target)
+    if qualifier_probability > 0.0 and rng.random() < qualifier_probability:
+        qualifier = QUALIFIERS[int(rng.integers(len(QUALIFIERS)))]
+        question = question[:-1] + " " + qualifier + "?"
+    return question, query, target

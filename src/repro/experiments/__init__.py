@@ -1,0 +1,44 @@
+"""Experiment harness: one entry point per paper table/figure (Section 6).
+
+Each ``figN_*`` / ``tableN_*`` function in :mod:`repro.experiments.figures`
+regenerates the corresponding result as plain data (series, grids, tables)
+plus a formatted text rendering.  The benchmarks under ``benchmarks/`` call
+these with reduced replication counts; pass ``replications=100`` to match
+the paper's averaging.
+"""
+
+from repro.experiments.config import ExperimentConfig, dataset_factory
+from repro.experiments.figures import (
+    fig2_error_distribution,
+    fig4_parameter_sweep,
+    fig5_error_over_days,
+    fig6_capability_sweep,
+    fig7_expertise_vs_error,
+    fig8_bias_robustness,
+    fig9_fig10_mincost_comparison,
+    fig11_expertise_accuracy,
+    fig12_convergence_cdf,
+    table1_normality,
+    table2_allocation_audit,
+)
+from repro.experiments.runner import average_day_errors, replicate
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "average_day_errors",
+    "dataset_factory",
+    "fig11_expertise_accuracy",
+    "fig12_convergence_cdf",
+    "fig2_error_distribution",
+    "fig4_parameter_sweep",
+    "fig5_error_over_days",
+    "fig6_capability_sweep",
+    "fig7_expertise_vs_error",
+    "fig8_bias_robustness",
+    "fig9_fig10_mincost_comparison",
+    "format_table",
+    "replicate",
+    "table1_normality",
+    "table2_allocation_audit",
+]

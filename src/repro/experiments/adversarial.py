@@ -1,0 +1,116 @@
+"""Adversarial-robustness experiment (extension beyond the paper).
+
+Replaces a growing fraction of users with fabricating behaviours
+(:mod:`repro.simulation.adversaries`) and measures (a) how each approach's
+estimation error degrades and (b) whether ETA2 *detects* the adversaries —
+their estimated expertise should fall below the honest users'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import replicate
+from repro.simulation.approaches import ETA2Approach, MeanApproach
+from repro.simulation.engine import SimulationResult
+
+__all__ = ["AdversarialRobustness", "adversarial_robustness", "adversary_detection_gap"]
+
+
+@dataclass(frozen=True)
+class AdversarialRobustness:
+    """Error vs adversary fraction, plus the ETA2 detection gap."""
+
+    kind: str
+    fractions: tuple
+    error_series: dict
+    #: Mean (honest expertise - adversary expertise) per fraction, from
+    #: ETA2's estimates; positive = adversaries detected.
+    detection_gaps: tuple
+
+    def render(self) -> str:
+        table = format_series(
+            "adversary_fraction",
+            self.fractions,
+            {**self.error_series, "ETA2_detection_gap": list(self.detection_gaps)},
+            precision=3,
+            title=f"Adversarial robustness ({self.kind} adversaries)",
+        )
+        return table
+
+
+def adversary_detection_gap(result: SimulationResult) -> float:
+    """Mean estimated expertise of honest users minus adversaries (ETA2).
+
+    Returns NaN when the run had no adversaries or no expertise snapshot.
+    """
+    snapshot = result.expertise_snapshot
+    adversaries = set(result.adversary_users)
+    if snapshot is None or not adversaries:
+        return float("nan")
+    stacked = np.column_stack([snapshot[d] for d in sorted(snapshot)])
+    per_user = stacked.mean(axis=1)
+    honest = [per_user[i] for i in range(len(per_user)) if i not in adversaries]
+    bad = [per_user[i] for i in adversaries]
+    return float(np.mean(honest) - np.mean(bad))
+
+
+def adversarial_robustness(
+    config: ExperimentConfig = ExperimentConfig(),
+    kind: str = "random",
+    fractions: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
+    dataset_name: str = "synthetic",
+) -> AdversarialRobustness:
+    """Sweep the adversary fraction for ETA2 and the mean baseline."""
+    best = config.best_parameters(dataset_name)
+    error_series: dict = {"ETA2": [], "baseline-mean": []}
+    detection_gaps: list = []
+    for fraction in fractions:
+        eta2_results = _replicate_with_adversaries(
+            dataset_name,
+            lambda: ETA2Approach(gamma=best["gamma"], alpha=best["alpha"]),
+            config,
+            kind,
+            fraction,
+        )
+        mean_results = _replicate_with_adversaries(
+            dataset_name, lambda: MeanApproach(), config, kind, fraction
+        )
+        error_series["ETA2"].append(
+            float(np.nanmean([r.mean_estimation_error for r in eta2_results]))
+        )
+        error_series["baseline-mean"].append(
+            float(np.nanmean([r.mean_estimation_error for r in mean_results]))
+        )
+        gaps = [adversary_detection_gap(r) for r in eta2_results]
+        detection_gaps.append(float(np.nanmean(gaps)) if fraction > 0 else float("nan"))
+    return AdversarialRobustness(
+        kind=kind,
+        fractions=tuple(fractions),
+        error_series=error_series,
+        detection_gaps=tuple(detection_gaps),
+    )
+
+
+def _replicate_with_adversaries(dataset_name, approach_factory, config, kind, fraction):
+    from repro.experiments.config import dataset_factory
+    from repro.rng import spawn_rngs
+    from repro.simulation.engine import SimulationConfig, run_simulation
+
+    results = []
+    for rng in spawn_rngs(config.seed, config.replications):
+        dataset_seed, sim_seed = rng.spawn(2)
+        dataset = dataset_factory(dataset_name, config, seed=dataset_seed)
+        sim_config = SimulationConfig(
+            n_days=config.n_days,
+            seed=sim_seed,
+            adversary_fraction=fraction,
+            adversary_kind=kind,
+        )
+        results.append(run_simulation(dataset, approach_factory(), sim_config))
+    return results

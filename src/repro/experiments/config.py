@@ -1,0 +1,83 @@
+"""Experiment configuration shared across figures and benchmarks.
+
+The paper's full setting (Section 6.2) is 100 replications per point over
+datasets of 150 / ~2,000 / 1,000 tasks.  The defaults here are scaled down
+so the whole benchmark suite runs in minutes; every knob is a field, and
+``ExperimentConfig.paper_scale()`` restores the publication sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.datasets import sfv_dataset, survey_dataset, synthetic_dataset
+
+__all__ = ["ExperimentConfig", "dataset_factory", "DATASET_NAMES"]
+
+DATASET_NAMES = ("survey", "sfv", "synthetic")
+
+#: Per-dataset best (alpha, gamma) used by the comparison figures.  The
+#: paper's Fig. 4 found (alpha=0.5, gamma=0.6) for the survey and
+#: (alpha=0.1, gamma=0.5) for SFV; our alphas match, but gamma thresholds
+#: *our* embedding geometry (PPMI+SVD on the bundled corpus, squared Eq. 2
+#: distances), where the within/cross-domain distance ratio puts the sweet
+#: spot near 0.3 — see the Fig. 4 benchmark for the sweep.  Gamma is unused
+#: for the synthetic dataset (domains are pre-known).
+BEST_PARAMETERS = {
+    "survey": {"alpha": 0.5, "gamma": 0.3},
+    "sfv": {"alpha": 0.1, "gamma": 0.3},
+    "synthetic": {"alpha": 0.5, "gamma": 0.3},
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scaling knobs for the experiment harness."""
+
+    replications: int = 5
+    n_days: int = 5
+    tau: float = 12.0
+    seed: int = 2017
+    #: Scaled-down dataset sizes (paper sizes: 150 / 2000 / 1000 tasks and
+    #: 60 / 18 / 100 users).
+    survey_tasks: int = 150
+    sfv_tasks: int = 180
+    synthetic_tasks: int = 400
+    synthetic_users: int = 60
+
+    def __post_init__(self):
+        if self.replications < 1:
+            raise ValueError("replications must be at least 1")
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The publication-scale configuration (slow!)."""
+        return cls(
+            replications=100,
+            survey_tasks=150,
+            sfv_tasks=2000,
+            synthetic_tasks=1000,
+            synthetic_users=100,
+        )
+
+    def with_tau(self, tau: float) -> "ExperimentConfig":
+        return replace(self, tau=tau)
+
+    def best_parameters(self, dataset_name: str) -> dict:
+        return dict(BEST_PARAMETERS[dataset_name])
+
+
+def dataset_factory(name: str, config: ExperimentConfig, seed):
+    """Build one of the three evaluation datasets at the configured scale."""
+    if name == "survey":
+        return survey_dataset(n_tasks=config.survey_tasks, tau=config.tau, seed=seed)
+    if name == "sfv":
+        return sfv_dataset(n_tasks=config.sfv_tasks, tau=config.tau, seed=seed)
+    if name == "synthetic":
+        return synthetic_dataset(
+            n_users=config.synthetic_users,
+            n_tasks=config.synthetic_tasks,
+            tau=config.tau,
+            seed=seed,
+        )
+    raise ValueError(f"unknown dataset: {name!r} (expected one of {DATASET_NAMES})")

@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    precision: int = 4,
+    title: "str | None" = None,
+) -> str:
+    """Render an aligned text table."""
+    rendered = [[_cell(value, precision) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[col]) for row in rendered)) if rendered else len(str(header))
+        for col, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict,
+    precision: int = 4,
+    title: "str | None" = None,
+) -> str:
+    """Render one or more named series against a shared x axis."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for position, x in enumerate(x_values):
+        row = [x]
+        for values in series.values():
+            row.append(values[position])
+        rows.append(row)
+    return format_table(headers, rows, precision=precision, title=title)

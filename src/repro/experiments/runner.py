@@ -1,0 +1,59 @@
+"""Replication runner: seed sweeps and averaging (Section 6.2's 100 runs)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, dataset_factory
+from repro.rng import spawn_rngs
+from repro.simulation.engine import SimulationConfig, SimulationResult, run_simulation
+
+__all__ = ["replicate", "average_day_errors", "mean_and_sem"]
+
+
+def replicate(
+    dataset_name: str,
+    approach_factory: Callable,
+    config: ExperimentConfig,
+    bias_fraction: float = 0.0,
+) -> list:
+    """Run ``config.replications`` independent simulations.
+
+    Each replication draws a fresh dataset instance, task-arrival schedule
+    and observation noise from its own seed stream (mirroring the paper's
+    "different seeds to randomly select tasks in each day").
+    ``approach_factory()`` must return a *fresh* approach object.
+    """
+    results: list = []
+    rngs = spawn_rngs(config.seed, config.replications)
+    for rng in rngs:
+        dataset_seed, sim_seed = rng.spawn(2)
+        dataset = dataset_factory(dataset_name, config, seed=dataset_seed)
+        sim_config = SimulationConfig(
+            n_days=config.n_days,
+            bias_fraction=bias_fraction,
+            seed=sim_seed,
+        )
+        results.append(run_simulation(dataset, approach_factory(), sim_config))
+    return results
+
+
+def average_day_errors(results: Sequence[SimulationResult]) -> np.ndarray:
+    """Mean per-day estimation error across replications (NaN-safe)."""
+    if not results:
+        raise ValueError("no results to average")
+    stacked = np.vstack([result.errors_by_day() for result in results])
+    with np.errstate(invalid="ignore"):
+        return np.nanmean(stacked, axis=0)
+
+
+def mean_and_sem(values: Sequence[float]) -> "tuple[float, float]":
+    """Mean and standard error of a scalar metric across replications."""
+    arr = np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+    if arr.size == 0:
+        return float("nan"), float("nan")
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    return float(arr.mean()), float(arr.std(ddof=1) / np.sqrt(arr.size))

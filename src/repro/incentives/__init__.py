@@ -1,0 +1,29 @@
+"""Incentive mechanisms with effort-responsive users (extension).
+
+The paper treats payment as a fixed per-assignment cost and cites
+quality-aware incentive mechanisms ([34][35]) as orthogonal work that "can
+be easily built on top of our strategy".  This package builds exactly that:
+
+- :mod:`repro.incentives.payments` — payment schemes: flat per-task pay and
+  an accuracy bonus paid when a user's observation lands within the quality
+  band of the final estimate,
+- :mod:`repro.incentives.effort` — users who *choose their effort*: high
+  effort reaches their full expertise but costs more; each user picks the
+  effort whose expected payment minus cost is larger,
+- :mod:`repro.experiments.incentives` — the closed loop: under flat pay
+  rational users slack (low effort dominates), data quality collapses and
+  no amount of clever truth analysis recovers it; an accuracy bonus makes
+  high effort individually rational for skilled users, and ETA2's expertise
+  tracking then routes tasks to exactly those users.
+"""
+
+from repro.incentives.effort import EFFORT_LEVELS, EffortChoice, EffortResponsiveUser
+from repro.incentives.payments import AccuracyBonusPayment, FlatPayment
+
+__all__ = [
+    "AccuracyBonusPayment",
+    "EFFORT_LEVELS",
+    "EffortChoice",
+    "EffortResponsiveUser",
+    "FlatPayment",
+]

@@ -1,0 +1,87 @@
+"""Effort-responsive users.
+
+Each user has a full-effort expertise vector (the hidden ``u_i`` of the
+paper) and a *low-effort discount*: slacking yields ``low_effort_factor *
+u`` expertise at a lower per-task cost (answering from the couch instead of
+going to measure).  Before answering an assignment the user compares, for
+each effort level, the expected payment under the announced scheme against
+the effort's cost, and picks the better deal.
+
+The accuracy probability a user plugs into the expected payment is the
+model's own Eq. 11 quantity ``Phi(eps_bar * u_eff) - Phi(-eps_bar * u_eff)``
+with the effective expertise of that effort level — users know their own
+skill (they do not know the server's estimates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.expertise import MIN_EXPERTISE
+from repro.stats.normal import symmetric_tail_probability
+
+__all__ = ["EFFORT_LEVELS", "EffortChoice", "EffortResponsiveUser"]
+
+EFFORT_LEVELS = ("low", "high")
+
+
+@dataclass(frozen=True)
+class EffortChoice:
+    """One user's decision for one assignment."""
+
+    effort: str
+    effective_expertise: float
+    expected_utility: float
+
+
+@dataclass(frozen=True)
+class EffortResponsiveUser:
+    """A user whose expertise depends on chosen effort.
+
+    ``full_expertise`` is the per-domain vector at high effort;
+    ``low_effort_factor`` scales it down when slacking; ``cost_low`` /
+    ``cost_high`` are the per-task effort costs (in payment units).
+    """
+
+    user_id: int
+    full_expertise: tuple
+    low_effort_factor: float = 0.25
+    cost_low: float = 0.05
+    cost_high: float = 0.6
+
+    def __post_init__(self):
+        if not 0.0 <= self.low_effort_factor <= 1.0:
+            raise ValueError("low_effort_factor must lie in [0, 1]")
+        if self.cost_low < 0 or self.cost_high < self.cost_low:
+            raise ValueError("need 0 <= cost_low <= cost_high")
+
+    def effective_expertise(self, domain: int, effort: str) -> float:
+        base = float(self.full_expertise[domain])
+        if effort == "high":
+            return max(base, MIN_EXPERTISE)
+        if effort == "low":
+            return max(base * self.low_effort_factor, MIN_EXPERTISE)
+        raise ValueError(f"unknown effort level {effort!r}")
+
+    def accuracy_probability(self, domain: int, effort: str, eps_bar: float) -> float:
+        u = self.effective_expertise(domain, effort)
+        return float(symmetric_tail_probability(eps_bar * u))
+
+    def choose_effort(self, domain: int, scheme, eps_bar: float) -> EffortChoice:
+        """Pick the effort level maximising expected pay minus effort cost.
+
+        Ties break toward low effort (why work harder for nothing — which
+        is exactly what happens under accuracy-blind flat pay).
+        """
+        best: "EffortChoice | None" = None
+        for effort, cost in (("low", self.cost_low), ("high", self.cost_high)):
+            probability = self.accuracy_probability(domain, effort, eps_bar)
+            utility = scheme.expected_pay(probability) - cost
+            candidate = EffortChoice(
+                effort=effort,
+                effective_expertise=self.effective_expertise(domain, effort),
+                expected_utility=float(utility),
+            )
+            if best is None or candidate.expected_utility > best.expected_utility + 1e-12:
+                best = candidate
+        return best

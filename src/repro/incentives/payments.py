@@ -1,0 +1,70 @@
+"""Payment schemes.
+
+A scheme answers two questions:
+
+- what does the server pay for one completed assignment (given whether the
+  observation turned out accurate)?
+- what payment does a *user* expect for one assignment if their observation
+  is accurate with probability ``p`` — the quantity that drives the effort
+  choice in :mod:`repro.incentives.effort`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlatPayment", "AccuracyBonusPayment"]
+
+
+@dataclass(frozen=True)
+class FlatPayment:
+    """A fixed amount per completed assignment, accuracy-blind.
+
+    The paper's Section 6.4.3 cost model ("a user is paid $1 for each task
+    he or she finishes").
+    """
+
+    rate: float = 1.0
+
+    def __post_init__(self):
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+
+    name = "flat"
+
+    def payout(self, accurate: bool) -> float:
+        return self.rate
+
+    def expected_pay(self, accuracy_probability: float) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class AccuracyBonusPayment:
+    """A small base plus a bonus paid only for accurate observations.
+
+    "Accurate" is judged against the server's final estimate: the
+    observation must land within ``eps_bar`` base numbers of it — the same
+    band as the min-cost quality requirement, so the server can audit the
+    payout from data it already has.
+    """
+
+    base: float = 0.2
+    bonus: float = 1.6
+    eps_bar: float = 0.5
+
+    def __post_init__(self):
+        if self.base < 0 or self.bonus < 0:
+            raise ValueError("base and bonus must be non-negative")
+        if self.eps_bar <= 0:
+            raise ValueError("eps_bar must be positive")
+
+    name = "accuracy-bonus"
+
+    def payout(self, accurate: bool) -> float:
+        return self.base + (self.bonus if accurate else 0.0)
+
+    def expected_pay(self, accuracy_probability: float) -> float:
+        if not 0.0 <= accuracy_probability <= 1.0:
+            raise ValueError("accuracy_probability must lie in [0, 1]")
+        return self.base + self.bonus * accuracy_probability

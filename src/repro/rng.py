@@ -1,0 +1,38 @@
+"""Deterministic random-number handling shared by the whole library.
+
+Every stochastic component in :mod:`repro` accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None``.  This module provides
+the single conversion point so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` creates an unseeded generator, an ``int`` seeds a fresh
+    generator, and an existing generator is passed through unchanged so
+    that callers can share a stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Used by experiment runners to give each repetition its own stream while
+    keeping the whole sweep reproducible from a single integer.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    root = ensure_rng(seed)
+    return [np.random.default_rng(s) for s in root.spawn(count)]

@@ -1,0 +1,45 @@
+"""Semantic analysis of task descriptions (Section 3 of the paper).
+
+Crowdsourcing task descriptions are short sentences ("What is the noise level
+around the municipal building?"), too short for topic models.  The paper's
+*pair-word* method instead extracts two terms per description — a **Query**
+term (what is being asked) and a **Target** term (what it is asked about) —
+embeds both with word embeddings, and measures task-to-task distance on the
+concatenated pair (Eq. 2).
+
+This package provides:
+
+- :mod:`repro.semantics.tokenize` — tokenizer + stopword list,
+- :mod:`repro.semantics.vocab` — the topical domain vocabularies shared by
+  the embedding corpus and the dataset generators,
+- :mod:`repro.semantics.pairword` — the rule-based Query/Target extractor,
+- :mod:`repro.semantics.embeddings` — three interchangeable embedding
+  backends (deterministic hashing, PPMI+SVD co-occurrence, and a from-scratch
+  skip-gram-with-negative-sampling trainer),
+- :mod:`repro.semantics.distance` — Eq. 2 distances and pairwise matrices.
+"""
+
+from repro.semantics.collocations import PhraseDetector
+from repro.semantics.distance import (
+    TaskSemantics,
+    pair_distance,
+    pairwise_distance_matrix,
+    semantics_for_descriptions,
+)
+from repro.semantics.pairword import PairWord, extract_pair_word
+from repro.semantics.tokenize import STOPWORDS, tokenize
+from repro.semantics.weighting import IdfWeights, WeightedEmbedding
+
+__all__ = [
+    "IdfWeights",
+    "PairWord",
+    "PhraseDetector",
+    "STOPWORDS",
+    "TaskSemantics",
+    "WeightedEmbedding",
+    "extract_pair_word",
+    "pair_distance",
+    "pairwise_distance_matrix",
+    "semantics_for_descriptions",
+    "tokenize",
+]

@@ -1,0 +1,36 @@
+"""Word-embedding backends for the pair-word method.
+
+The paper trains Continuous Skip-gram vectors on a full Wikipedia dump —
+unavailable offline, and irrelevant to the algorithmic claims.  We provide
+three interchangeable backends behind one interface
+(:class:`~repro.semantics.embeddings.base.EmbeddingModel`):
+
+- :class:`~repro.semantics.embeddings.hashing.HashingEmbedding` — a
+  dependency-free deterministic embedder (each word maps to a fixed Gaussian
+  vector derived from its hash).  Words carry no learned similarity, but the
+  pipeline stays total; useful for tests and as an OOV fallback.
+- :class:`~repro.semantics.embeddings.cooccurrence.PPMISVDEmbedding` — the
+  classical count-based embedder (positive pointwise mutual information
+  matrix, truncated SVD), trained on the bundled synthetic topical corpus.
+- :class:`~repro.semantics.embeddings.skipgram.SkipGramEmbedding` — a
+  from-scratch numpy implementation of skip-gram with negative sampling,
+  matching the paper's choice of model.
+
+Multi-word terms are composed additively (``V = x1 + x2 + ... + xl``),
+exactly as in Section 3.2.
+"""
+
+from repro.semantics.embeddings.base import EmbeddingModel
+from repro.semantics.embeddings.corpus import TopicalCorpus, generate_topical_corpus
+from repro.semantics.embeddings.cooccurrence import PPMISVDEmbedding
+from repro.semantics.embeddings.hashing import HashingEmbedding
+from repro.semantics.embeddings.skipgram import SkipGramEmbedding
+
+__all__ = [
+    "EmbeddingModel",
+    "HashingEmbedding",
+    "PPMISVDEmbedding",
+    "SkipGramEmbedding",
+    "TopicalCorpus",
+    "generate_topical_corpus",
+]

@@ -1,0 +1,62 @@
+"""Common interface for embedding backends."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["EmbeddingModel"]
+
+
+class EmbeddingModel(abc.ABC):
+    """A word-embedding model with additive phrase composition.
+
+    Subclasses implement :meth:`vector` for single words.  Multi-word phrases
+    are composed by element-wise addition of the word vectors, the simple
+    additive model the paper adopts from Mikolov et al. for multi-word Query
+    and Target terms.
+    """
+
+    def __init__(self, dim: int):
+        if dim <= 0:
+            raise ValueError("embedding dimension must be positive")
+        self._dim = int(dim)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the word vectors."""
+        return self._dim
+
+    @abc.abstractmethod
+    def vector(self, word: str) -> np.ndarray:
+        """The embedding of a single ``word`` (shape ``(dim,)``).
+
+        Implementations must be total: out-of-vocabulary words get a
+        deterministic fallback vector rather than raising, because task
+        descriptions routinely contain words missing from the training
+        corpus.
+        """
+
+    def has_word(self, word: str) -> bool:
+        """Whether ``word`` was seen during training (hash backends: True)."""
+        return True
+
+    def phrase_vector(self, words: "Sequence[str] | str") -> np.ndarray:
+        """Additive composition ``V = x1 + ... + xl`` for a multi-word term."""
+        if isinstance(words, str):
+            words = words.split()
+        if not words:
+            raise ValueError("cannot embed an empty phrase")
+        total = np.zeros(self.dim, dtype=float)
+        for word in words:
+            total += self.vector(word)
+        return total
+
+    def phrase_vectors(self, phrases: Iterable[Sequence[str]]) -> np.ndarray:
+        """Stack phrase vectors into a ``(len(phrases), dim)`` matrix."""
+        rows = [self.phrase_vector(phrase) for phrase in phrases]
+        if not rows:
+            return np.zeros((0, self.dim), dtype=float)
+        return np.vstack(rows)

@@ -1,0 +1,111 @@
+"""Count-based embeddings: PPMI matrix + truncated SVD.
+
+The classical alternative to skip-gram (Levy & Goldberg showed SGNS
+implicitly factorises a shifted PMI matrix).  We build a symmetric windowed
+co-occurrence matrix over the corpus, convert it to positive pointwise mutual
+information, and take the top-``dim`` left singular vectors scaled by the
+square roots of the singular values.  On the small bundled corpus this is
+exact, fast and deterministic — a good default backend for experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.semantics.embeddings.base import EmbeddingModel
+from repro.semantics.embeddings.hashing import HashingEmbedding
+
+__all__ = ["PPMISVDEmbedding", "build_cooccurrence", "ppmi_matrix"]
+
+
+def build_cooccurrence(
+    sentences: Iterable[Sequence[str]],
+    vocabulary: Sequence[str],
+    window: int = 4,
+) -> np.ndarray:
+    """Symmetric windowed co-occurrence counts over ``sentences``.
+
+    Pairs within ``window`` tokens of each other are counted once per
+    direction, the usual symmetric-context convention.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    index = {word: i for i, word in enumerate(vocabulary)}
+    counts = np.zeros((len(vocabulary), len(vocabulary)), dtype=float)
+    for sentence in sentences:
+        ids = [index[word] for word in sentence if word in index]
+        for pos, center in enumerate(ids):
+            stop = min(len(ids), pos + window + 1)
+            for other in ids[pos + 1 : stop]:
+                counts[center, other] += 1.0
+                counts[other, center] += 1.0
+    return counts
+
+
+def ppmi_matrix(counts: np.ndarray) -> np.ndarray:
+    """Positive pointwise mutual information of a co-occurrence matrix."""
+    if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+        raise ValueError("counts must be a square matrix")
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("co-occurrence matrix is empty")
+    row = counts.sum(axis=1, keepdims=True)
+    col = counts.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log((counts * total) / (row * col))
+    pmi[~np.isfinite(pmi)] = 0.0
+    np.maximum(pmi, 0.0, out=pmi)
+    return pmi
+
+
+class PPMISVDEmbedding(EmbeddingModel):
+    """PPMI + truncated-SVD word vectors trained on a token corpus."""
+
+    def __init__(
+        self,
+        sentences: Iterable[Sequence[str]],
+        dim: int = 32,
+        window: int = 4,
+        oov_scale: float = 0.1,
+    ):
+        super().__init__(dim)
+        sentences = [tuple(sentence) for sentence in sentences]
+        vocabulary: list[str] = []
+        seen: set[str] = set()
+        for sentence in sentences:
+            for word in sentence:
+                if word not in seen:
+                    seen.add(word)
+                    vocabulary.append(word)
+        if not vocabulary:
+            raise ValueError("corpus is empty")
+        if dim > len(vocabulary):
+            raise ValueError("embedding dim exceeds vocabulary size")
+
+        counts = build_cooccurrence(sentences, vocabulary, window=window)
+        ppmi = ppmi_matrix(counts)
+        left, singular, _ = np.linalg.svd(ppmi, full_matrices=False)
+        vectors = left[:, :dim] * np.sqrt(singular[:dim])
+
+        self._index = {word: i for i, word in enumerate(vocabulary)}
+        self._vectors = vectors
+        self._vectors.setflags(write=False)
+        # Unseen words fall back to small deterministic hash vectors so that
+        # distances remain defined (and different unseen words remain
+        # distinguishable).
+        self._fallback = HashingEmbedding(dim=dim, scale=oov_scale)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._index)
+
+    def has_word(self, word: str) -> bool:
+        return word in self._index
+
+    def vector(self, word: str) -> np.ndarray:
+        position = self._index.get(word)
+        if position is None:
+            return self._fallback.vector(word)
+        return self._vectors[position]

@@ -1,0 +1,92 @@
+"""Synthetic topical corpus generation.
+
+The embedding backends need a corpus in which words that belong to the same
+expertise domain co-occur.  The paper uses Wikipedia for this; offline, we
+generate one from the bundled domain vocabularies
+(:mod:`repro.semantics.vocab`): each sentence picks one domain and samples a
+bag of its words, sprinkled with a few domain-neutral glue words.  Trained on
+such a corpus, both the PPMI+SVD and the skip-gram backends place same-domain
+words close together — the only property the downstream clustering relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.rng import ensure_rng
+from repro.semantics.vocab import DOMAIN_VOCABULARIES, DomainVocabulary
+
+__all__ = ["TopicalCorpus", "generate_topical_corpus", "GLUE_WORDS"]
+
+#: Domain-neutral words mixed into every sentence; they give the corpus the
+#: shared background mass a natural corpus has.
+GLUE_WORDS = (
+    "city", "local", "area", "daily", "people", "service", "public",
+    "record", "measure", "update", "value", "level", "number", "open",
+)
+
+
+@dataclass(frozen=True)
+class TopicalCorpus:
+    """Token sentences plus the domain each sentence was drawn from."""
+
+    sentences: tuple
+    domains: tuple
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    def vocabulary(self) -> list[str]:
+        """Distinct words in first-appearance order."""
+        seen: set[str] = set()
+        words: list[str] = []
+        for sentence in self.sentences:
+            for word in sentence:
+                if word not in seen:
+                    seen.add(word)
+                    words.append(word)
+        return words
+
+
+def generate_topical_corpus(
+    domains: "Sequence[DomainVocabulary] | None" = None,
+    sentences_per_domain: int = 300,
+    words_per_sentence: "tuple[int, int]" = (8, 14),
+    glue_probability: float = 0.2,
+    seed=None,
+) -> TopicalCorpus:
+    """Generate a topical corpus from domain vocabularies.
+
+    Each sentence draws ``words_per_sentence`` (uniform in the inclusive
+    range) tokens, each of which is a glue word with probability
+    ``glue_probability`` and an in-domain word otherwise.
+    """
+    if domains is None:
+        domains = DOMAIN_VOCABULARIES
+    if sentences_per_domain <= 0:
+        raise ValueError("sentences_per_domain must be positive")
+    low, high = words_per_sentence
+    if not 1 <= low <= high:
+        raise ValueError("words_per_sentence must be an increasing positive range")
+    if not 0.0 <= glue_probability < 1.0:
+        raise ValueError("glue_probability must lie in [0, 1)")
+
+    rng = ensure_rng(seed)
+    sentences: list[tuple] = []
+    labels: list[str] = []
+    for domain in domains:
+        domain_words = domain.all_words()
+        if not domain_words:
+            raise ValueError(f"domain {domain.name!r} has an empty vocabulary")
+        for _ in range(sentences_per_domain):
+            length = int(rng.integers(low, high + 1))
+            sentence = []
+            for _ in range(length):
+                if rng.random() < glue_probability:
+                    sentence.append(GLUE_WORDS[int(rng.integers(len(GLUE_WORDS)))])
+                else:
+                    sentence.append(domain_words[int(rng.integers(len(domain_words)))])
+            sentences.append(tuple(sentence))
+            labels.append(domain.name)
+    return TopicalCorpus(sentences=tuple(sentences), domains=tuple(labels))

@@ -1,0 +1,52 @@
+"""A small, deterministic tokenizer for task descriptions.
+
+Task descriptions in the paper are single English sentences.  We lowercase,
+strip punctuation, and split on whitespace; no external NLP dependency is
+needed (or available offline).  The stopword list covers function words plus
+the interrogative scaffolding that carries no topical signal ("what is the",
+"how many", ...), so that the pair-word extractor sees only content terms.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["STOPWORDS", "QUESTION_WORDS", "tokenize", "content_words"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+#: Interrogative lead-ins; kept separate because the pair-word extractor uses
+#: them to locate the query clause of a question.
+QUESTION_WORDS = frozenset(
+    "what which who whom whose when where why how".split()
+)
+
+STOPWORDS = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at be
+    because been before being below between both but by can cannot could
+    couldn't did didn't do does doesn't doing don't down during each few for
+    from further had hadn't has hasn't have haven't having he he'd he'll he's
+    her here here's hers herself him himself his how how's i i'd i'll i'm
+    i've if in into is isn't it it's its itself let's me more most mustn't my
+    myself no nor not of off on once only or other ought our ours ourselves
+    out over own same shan't she she'd she'll she's should shouldn't so some
+    such than that that's the their theirs them themselves then there there's
+    these they they'd they'll they're they've this those through to too under
+    until up very was wasn't we we'd we'll we're we've were weren't what
+    what's when when's where where's which while who who's whom why why's
+    with won't would wouldn't you you'd you'll you're you've your yours
+    yourself yourselves many much around near today currently current please
+    report estimated
+    """.split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens of ``text`` (punctuation dropped)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def content_words(text: str) -> list[str]:
+    """Tokens of ``text`` with stopwords removed, in original order."""
+    return [token for token in tokenize(text) if token not in STOPWORDS]

@@ -1,0 +1,252 @@
+"""Topical domain vocabularies.
+
+These vocabularies play the role the Wikipedia corpus plays in the paper:
+they define which words co-occur, so that the embedding backends place words
+from the same expertise domain near each other.  The same vocabularies drive
+the dataset generators (survey / SFV question templates) so that the text the
+clustering module sees is drawn from the same distribution the embeddings
+were trained on — exactly the property the paper gets from training on a
+large general corpus.
+
+Each :class:`DomainVocabulary` provides:
+
+- ``query_terms`` — phrases usable as a question's Query term (the quantity
+  being asked for),
+- ``target_terms`` — phrases usable as the Target term (the entity the
+  question is about),
+- ``topic_words`` — additional in-domain words used only for corpus
+  generation, giving the embedder enough context to learn the topic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DomainVocabulary", "DOMAIN_VOCABULARIES", "domain_names", "get_domain"]
+
+
+@dataclass(frozen=True)
+class DomainVocabulary:
+    """The lexical material of one expertise domain."""
+
+    name: str
+    query_terms: tuple
+    target_terms: tuple
+    topic_words: tuple = field(default=())
+
+    def all_words(self) -> list[str]:
+        """Every distinct single word appearing in this domain."""
+        words: list[str] = []
+        seen: set[str] = set()
+        for phrase in (*self.query_terms, *self.target_terms, *self.topic_words):
+            for word in phrase.split():
+                if word not in seen:
+                    seen.add(word)
+                    words.append(word)
+        return words
+
+
+DOMAIN_VOCABULARIES: tuple = (
+    DomainVocabulary(
+        name="traffic",
+        query_terms=(
+            "driving hours",
+            "commute time",
+            "traffic delay",
+            "travel distance",
+            "congestion level",
+            "average speed",
+        ),
+        target_terms=(
+            "downtown highway",
+            "interstate exit",
+            "city bridge",
+            "airport shuttle route",
+            "campus loop road",
+            "harbor tunnel",
+        ),
+        topic_words=(
+            "lane", "vehicle", "rush", "intersection", "detour", "toll",
+            "merge", "freeway", "carpool", "gridlock", "onramp", "mileage",
+        ),
+    ),
+    DomainVocabulary(
+        name="environment",
+        query_terms=(
+            "noise level",
+            "air quality index",
+            "pollen count",
+            "temperature reading",
+            "humidity percentage",
+            "rainfall amount",
+        ),
+        target_terms=(
+            "municipal building",
+            "riverside park",
+            "construction site",
+            "botanical garden",
+            "recycling center",
+            "lakefront trail",
+        ),
+        topic_words=(
+            "decibel", "sensor", "pollution", "ozone", "particulate",
+            "forecast", "breeze", "smog", "thermometer", "microclimate",
+            "emission", "canopy",
+        ),
+    ),
+    DomainVocabulary(
+        name="retail",
+        query_terms=(
+            "grocery price",
+            "gasoline price",
+            "discount percentage",
+            "checkout wait time",
+            "stock quantity",
+            "membership fee",
+        ),
+        target_terms=(
+            "corner supermarket",
+            "fuel station",
+            "farmers market",
+            "electronics outlet",
+            "department store",
+            "convenience shop",
+        ),
+        topic_words=(
+            "coupon", "receipt", "aisle", "cashier", "inventory", "brand",
+            "wholesale", "bargain", "shelf", "barcode", "refund", "retailer",
+        ),
+    ),
+    DomainVocabulary(
+        name="campus",
+        query_terms=(
+            "parking lots open",
+            "seminar attendance",
+            "library occupancy",
+            "dining hall menu price",
+            "shuttle frequency",
+            "lecture enrollment",
+        ),
+        target_terms=(
+            "engineering quad",
+            "student union",
+            "graduate dormitory",
+            "main auditorium",
+            "research laboratory",
+            "athletics fieldhouse",
+        ),
+        topic_words=(
+            "semester", "faculty", "syllabus", "tuition", "professor",
+            "undergraduate", "registrar", "orientation", "thesis", "dean",
+            "scholarship", "alumni",
+        ),
+    ),
+    DomainVocabulary(
+        name="sports",
+        query_terms=(
+            "final score",
+            "attendance count",
+            "player age",
+            "season wins",
+            "ticket price",
+            "match duration",
+        ),
+        target_terms=(
+            "basketball arena",
+            "soccer stadium",
+            "baseball franchise",
+            "hockey league",
+            "tennis tournament",
+            "marathon course",
+        ),
+        topic_words=(
+            "coach", "playoff", "referee", "championship", "roster",
+            "inning", "goalkeeper", "dribble", "umpire", "halftime",
+            "scoreboard", "athlete",
+        ),
+    ),
+    DomainVocabulary(
+        name="health",
+        query_terms=(
+            "clinic wait time",
+            "flu cases",
+            "vaccine doses",
+            "calorie count",
+            "heart rate",
+            "pharmacy price",
+        ),
+        target_terms=(
+            "community hospital",
+            "urgent care clinic",
+            "fitness center",
+            "wellness pharmacy",
+            "pediatric ward",
+            "dental office",
+        ),
+        topic_words=(
+            "physician", "diagnosis", "prescription", "symptom", "nurse",
+            "therapy", "immunization", "outbreak", "dosage", "screening",
+            "cardiology", "appointment",
+        ),
+    ),
+    DomainVocabulary(
+        name="technology",
+        query_terms=(
+            "download speed",
+            "battery life",
+            "software salary",
+            "wifi signal strength",
+            "server latency",
+            "device price",
+        ),
+        target_terms=(
+            "engineering firm",
+            "coworking space",
+            "data center",
+            "startup incubator",
+            "electronics laboratory",
+            "internet provider",
+        ),
+        topic_words=(
+            "bandwidth", "processor", "firmware", "router", "gigabit",
+            "smartphone", "compiler", "kernel", "silicon", "broadband",
+            "megabyte", "developer",
+        ),
+    ),
+    DomainVocabulary(
+        name="finance",
+        query_terms=(
+            "exchange rate",
+            "mortgage rate",
+            "stock price",
+            "annual salary",
+            "rental price",
+            "insurance premium",
+        ),
+        target_terms=(
+            "credit union",
+            "brokerage branch",
+            "downtown bank",
+            "realty agency",
+            "accounting firm",
+            "treasury office",
+        ),
+        topic_words=(
+            "dividend", "portfolio", "interest", "equity", "loan", "audit",
+            "ledger", "bond", "inflation", "appraisal", "escrow", "deposit",
+        ),
+    ),
+)
+
+
+def domain_names() -> list[str]:
+    """Names of all built-in domains, in declaration order."""
+    return [domain.name for domain in DOMAIN_VOCABULARIES]
+
+
+def get_domain(name: str) -> DomainVocabulary:
+    """Look up a built-in domain vocabulary by name."""
+    for domain in DOMAIN_VOCABULARIES:
+        if domain.name == name:
+            return domain
+    raise KeyError(f"unknown domain vocabulary: {name!r}")

@@ -1,0 +1,83 @@
+"""IDF-weighted phrase composition.
+
+Plain additive composition (Section 3.2) lets frequent, uninformative words
+dominate long terms.  A standard refinement weights each word vector by its
+inverse document frequency before summing::
+
+    V = sum_w idf(w) * x_w,      idf(w) = log((1 + N) / (1 + df(w))) + 1
+
+where ``df(w)`` counts the corpus sentences containing ``w``.  Unseen words
+get the maximum weight (they are maximally informative).  The helper wraps
+any :class:`~repro.semantics.embeddings.base.EmbeddingModel` without
+changing its word vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.semantics.embeddings.base import EmbeddingModel
+
+__all__ = ["IdfWeights", "WeightedEmbedding"]
+
+
+class IdfWeights:
+    """Inverse document frequencies learned from a token corpus."""
+
+    def __init__(self, sentences: Iterable[Sequence[str]]):
+        document_frequency: dict = {}
+        n_documents = 0
+        for sentence in sentences:
+            n_documents += 1
+            for word in set(sentence):
+                document_frequency[word] = document_frequency.get(word, 0) + 1
+        if n_documents == 0:
+            raise ValueError("corpus is empty")
+        self._n_documents = n_documents
+        self._idf = {
+            word: float(np.log((1 + n_documents) / (1 + df)) + 1.0)
+            for word, df in document_frequency.items()
+        }
+        #: Weight assigned to words never seen in the corpus.
+        self._default = float(np.log(1 + n_documents) + 1.0)
+
+    @property
+    def n_documents(self) -> int:
+        return self._n_documents
+
+    def weight(self, word: str) -> float:
+        return self._idf.get(word, self._default)
+
+    def weights(self, words: Sequence[str]) -> np.ndarray:
+        return np.array([self.weight(word) for word in words], dtype=float)
+
+
+class WeightedEmbedding(EmbeddingModel):
+    """An embedding whose phrase composition is IDF-weighted.
+
+    Word vectors are delegated to the wrapped model; only
+    :meth:`phrase_vector` changes.
+    """
+
+    def __init__(self, base: EmbeddingModel, idf: IdfWeights):
+        super().__init__(base.dim)
+        self._base = base
+        self._idf = idf
+
+    def vector(self, word: str) -> np.ndarray:
+        return self._base.vector(word)
+
+    def has_word(self, word: str) -> bool:
+        return self._base.has_word(word)
+
+    def phrase_vector(self, words: "Sequence[str] | str") -> np.ndarray:
+        if isinstance(words, str):
+            words = words.split()
+        if not words:
+            raise ValueError("cannot embed an empty phrase")
+        total = np.zeros(self.dim, dtype=float)
+        for word in words:
+            total += self._idf.weight(word) * self._base.vector(word)
+        return total

@@ -1,0 +1,116 @@
+"""Adversarial user behaviours (failure injection).
+
+The paper's introduction motivates truth analysis with users who
+"intentionally generate data instead of performing the task".  This module
+models those users so robustness can be measured:
+
+- :class:`ConstantAdversary` — always reports the same value regardless of
+  the task (the laziest fabrication),
+- :class:`RandomAdversary` — reports a plausible-looking uniform draw from
+  the task value range (fabrication that dodges range checks),
+- :class:`BiasedAdversary` — performs the task but adds a systematic offset
+  of ``bias_sigmas`` base numbers (mis-calibrated or self-interested),
+- :class:`ColludingAdversary` — a group that agrees on the *same* wrong
+  value per task (truth + offset, deterministic in the task), the attack
+  that defeats naive agreement-based weighting.
+
+A behaviour is a callable ``(task_spec, honest_std, rng) -> float``; the
+:class:`~repro.simulation.world.World` consults an ``adversaries`` map
+before falling back to the honest observation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rng import ensure_rng
+from repro.simulation.entities import TaskSpec
+
+__all__ = [
+    "ConstantAdversary",
+    "RandomAdversary",
+    "BiasedAdversary",
+    "ColludingAdversary",
+    "make_adversary_map",
+    "ADVERSARY_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class ConstantAdversary:
+    """Reports ``value`` for every task."""
+
+    value: float = 0.0
+
+    def __call__(self, task: TaskSpec, honest_std: float, rng) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class RandomAdversary:
+    """Reports a uniform draw from ``value_range`` (task-independent)."""
+
+    value_range: "tuple[float, float]" = (0.0, 20.0)
+
+    def __post_init__(self):
+        low, high = self.value_range
+        if not low < high:
+            raise ValueError("value_range must be increasing")
+
+    def __call__(self, task: TaskSpec, honest_std: float, rng) -> float:
+        rng = ensure_rng(rng)
+        return float(rng.uniform(*self.value_range))
+
+
+@dataclass(frozen=True)
+class BiasedAdversary:
+    """Reports an honest observation shifted by ``bias_sigmas`` base numbers."""
+
+    bias_sigmas: float = 2.0
+
+    def __call__(self, task: TaskSpec, honest_std: float, rng) -> float:
+        rng = ensure_rng(rng)
+        honest = rng.normal(task.true_value, honest_std)
+        return float(honest + self.bias_sigmas * task.base_number)
+
+
+@dataclass(frozen=True)
+class ColludingAdversary:
+    """All colluders report the *same* wrong value for a given task.
+
+    The reported value is ``truth + offset_sigmas * base_number`` with the
+    sign derived deterministically from the task id, so every colluder
+    agrees perfectly — the attack that inflates agreement-based credibility.
+    """
+
+    offset_sigmas: float = 3.0
+
+    def __call__(self, task: TaskSpec, honest_std: float, rng) -> float:
+        sign = 1.0 if task.task_id % 2 == 0 else -1.0
+        return float(task.true_value + sign * self.offset_sigmas * task.base_number)
+
+
+ADVERSARY_KINDS = {
+    "constant": lambda: ConstantAdversary(value=0.0),
+    "random": lambda: RandomAdversary(),
+    "biased": lambda: BiasedAdversary(),
+    "colluding": lambda: ColludingAdversary(),
+}
+
+
+def make_adversary_map(n_users: int, fraction: float, kind: str, seed=None) -> dict:
+    """Pick ``fraction`` of users uniformly and give them ``kind`` behaviour.
+
+    Returns a ``{user_index: behaviour}`` map for :class:`World`.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    if kind not in ADVERSARY_KINDS:
+        raise ValueError(f"unknown adversary kind {kind!r} (choose from {sorted(ADVERSARY_KINDS)})")
+    rng = ensure_rng(seed)
+    count = int(round(fraction * n_users))
+    if count == 0:
+        return {}
+    chosen = rng.choice(n_users, size=count, replace=False)
+    factory = ADVERSARY_KINDS[kind]
+    return {int(user): factory() for user in chosen}

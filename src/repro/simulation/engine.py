@@ -1,0 +1,203 @@
+"""The multi-day simulation driver (Section 6.2's experimental loop).
+
+Tasks are evenly distributed across ``n_days`` days.  Day 0 is the warm-up
+period — the approaches allocate randomly because no reliability or
+expertise is known yet (each approach handles this internally).  Each day
+the engine hands the approach that day's tasks and an ``observe`` callback
+wired to the ground-truth world, then scores the returned truth estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.rng import ensure_rng
+from repro.simulation.approaches import Approach
+from repro.simulation.metrics import normalized_estimation_error
+from repro.truthdiscovery.base import ObservationMatrix
+
+__all__ = ["SimulationConfig", "DayRecord", "SimulationResult", "run_simulation"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-level settings."""
+
+    n_days: int = 5
+    bias_fraction: float = 0.0
+    #: Std of the per-day Gaussian random walk on hidden user expertise
+    #: (0 = the paper's stationary setting).
+    drift_rate: float = 0.0
+    #: Fraction of users replaced by adversarial behaviour, and its kind
+    #: (see :mod:`repro.simulation.adversaries`).
+    adversary_fraction: float = 0.0
+    adversary_kind: str = "random"
+    #: Probability that an assigned user never delivers an observation
+    #: (capacity and recruiting cost are still spent).
+    dropout_rate: float = 0.0
+    seed: "int | None" = None
+
+    def __post_init__(self):
+        if self.n_days < 1:
+            raise ValueError("n_days must be at least 1")
+        if not 0.0 <= self.bias_fraction <= 1.0:
+            raise ValueError("bias_fraction must lie in [0, 1]")
+        if self.drift_rate < 0.0:
+            raise ValueError("drift_rate must be non-negative")
+        if not 0.0 <= self.adversary_fraction <= 1.0:
+            raise ValueError("adversary_fraction must lie in [0, 1]")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout_rate must lie in [0, 1)")
+
+
+@dataclass(frozen=True)
+class DayRecord:
+    """Per-day outcome."""
+
+    day: int
+    task_indices: np.ndarray
+    estimation_error: float
+    allocation_cost: float
+    pair_count: int
+    observations: ObservationMatrix
+    truths: np.ndarray
+
+    @property
+    def observed_task_fraction(self) -> float:
+        observed = self.observations.mask.any(axis=0)
+        return float(np.mean(observed)) if observed.size else 0.0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Full outcome of one simulation run."""
+
+    approach_name: str
+    dataset_name: str
+    days: tuple
+    expertise_snapshot: "dict | None"
+    task_domain_labels: "np.ndarray | None"
+    mle_iterations: tuple
+    #: Hidden per-pair expertise of every collected observation, aligned
+    #: with ``all_observation_errors`` (Figs. 2 and 7).
+    observation_expertise: np.ndarray
+    observation_errors: np.ndarray
+    #: Users that were given adversarial behaviour this run (empty tuple in
+    #: the paper's honest setting).
+    adversary_users: tuple = ()
+
+    @property
+    def mean_estimation_error(self) -> float:
+        errors = [day.estimation_error for day in self.days if np.isfinite(day.estimation_error)]
+        return float(np.mean(errors)) if errors else float("nan")
+
+    @property
+    def final_day_error(self) -> float:
+        return self.days[-1].estimation_error
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(day.allocation_cost for day in self.days))
+
+    def errors_by_day(self) -> np.ndarray:
+        return np.array([day.estimation_error for day in self.days], dtype=float)
+
+    @property
+    def processed_task_order(self) -> np.ndarray:
+        """Global task indices in processing order.
+
+        Aligns with ``task_domain_labels`` (approaches append labels in the
+        order the engine feeds them tasks).
+        """
+        if not self.days:
+            return np.zeros(0, dtype=int)
+        return np.concatenate([day.task_indices for day in self.days])
+
+
+def run_simulation(
+    dataset,
+    approach: Approach,
+    config: SimulationConfig = SimulationConfig(),
+) -> SimulationResult:
+    """Run one approach over one dataset for ``config.n_days`` days.
+
+    ``dataset`` is a :class:`repro.datasets.base.CrowdsourcingDataset`
+    (imported lazily here to keep the package import graph acyclic).
+    """
+    from repro.datasets.base import evenly_distributed_days
+
+    rng = ensure_rng(config.seed)
+    schedule_rng, world_rng, approach_seed, adversary_rng, dropout_rng = rng.spawn(5)
+    schedule = evenly_distributed_days(dataset.n_tasks, config.n_days, schedule_rng)
+    adversaries = None
+    if config.adversary_fraction > 0.0:
+        from repro.simulation.adversaries import make_adversary_map
+
+        adversaries = make_adversary_map(
+            dataset.n_users, config.adversary_fraction, config.adversary_kind, seed=adversary_rng
+        )
+    world = dataset.world(
+        bias_fraction=config.bias_fraction,
+        drift_rate=config.drift_rate,
+        adversaries=adversaries,
+        seed=world_rng,
+    )
+    approach.begin(dataset, seed=approach_seed)
+
+    true_values = world.true_values()
+    base_numbers = world.base_numbers()
+
+    day_records: list = []
+    pair_expertise: list = []
+    pair_errors: list = []
+    for day in range(config.n_days):
+        task_indices = np.flatnonzero(schedule == day)
+        if task_indices.size == 0:
+            continue
+        day_tasks = [dataset.tasks[j] for j in task_indices]
+
+        def observe(pairs, _indices=task_indices):
+            global_pairs = [(user, int(_indices[task])) for user, task in pairs]
+            values = world.observe_pairs(global_pairs)
+            if config.dropout_rate > 0.0:
+                dropped = dropout_rng.random(len(values)) < config.dropout_rate
+                values = [
+                    float("nan") if drop else value for value, drop in zip(values, dropped)
+                ]
+            for (user, task), value in zip(global_pairs, values):
+                if np.isnan(value):
+                    continue  # dropout: nothing was delivered
+                expertise = world.user_expertise_for_task(user, task)
+                pair_expertise.append(expertise)
+                pair_errors.append((value - true_values[task]) / base_numbers[task])
+            return values
+
+        outcome = approach.run_day(day, day_tasks, observe)
+        world.advance_day()
+        error = normalized_estimation_error(
+            outcome.truths, true_values[task_indices], base_numbers[task_indices]
+        )
+        day_records.append(
+            DayRecord(
+                day=day,
+                task_indices=task_indices,
+                estimation_error=error,
+                allocation_cost=outcome.allocation_cost,
+                pair_count=outcome.assignment.pair_count,
+                observations=outcome.observations,
+                truths=np.asarray(outcome.truths, dtype=float),
+            )
+        )
+
+    return SimulationResult(
+        approach_name=approach.name,
+        dataset_name=dataset.name,
+        days=tuple(day_records),
+        expertise_snapshot=approach.expertise_snapshot(),
+        task_domain_labels=approach.task_domain_labels(),
+        mle_iterations=tuple(approach.iteration_counts()),
+        observation_expertise=np.asarray(pair_expertise, dtype=float),
+        observation_errors=np.asarray(pair_errors, dtype=float),
+        adversary_users=tuple(world.adversary_users),
+    )

@@ -1,0 +1,55 @@
+"""Tasks and users of the simulated crowdsourcing system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TaskSpec", "UserSpec"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One sensing task.
+
+    ``true_domain`` is the *generator's* domain label — hidden from the
+    algorithms for text datasets (which must cluster descriptions), exposed
+    for the synthetic dataset (whose domains are pre-known per Section
+    6.1.3).  ``true_value``/``base_number`` are the ground truth used to
+    sample observations and score estimates.
+    """
+
+    task_id: int
+    true_value: float
+    base_number: float
+    processing_time: float
+    cost: float = 1.0
+    description: "str | None" = None
+    true_domain: int = 0
+
+    def __post_init__(self):
+        if self.base_number <= 0:
+            raise ValueError("base_number must be positive")
+        if self.processing_time <= 0:
+            raise ValueError("processing_time must be positive")
+        if self.cost < 0:
+            raise ValueError("cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class UserSpec:
+    """One mobile user.
+
+    ``expertise`` is the hidden per-domain expertise vector used by the
+    world to sample this user's observation noise; algorithms never see it
+    (except the Fig. 11 evaluation, which compares estimates against it).
+    """
+
+    user_id: int
+    expertise: tuple
+    capacity: float
+
+    def __post_init__(self):
+        if self.capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if any(u < 0 for u in self.expertise):
+            raise ValueError("expertise must be non-negative")

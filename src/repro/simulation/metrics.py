@@ -1,0 +1,94 @@
+"""Evaluation metrics (Section 6.4).
+
+- :func:`normalized_estimation_error` — the paper's headline metric: the
+  average of ``|mu_hat_j - mu_j| / sigma_j`` over tasks (tasks with no
+  estimate are skipped; coverage is reported separately by the engine).
+- :func:`expertise_estimation_error` — Fig. 11's metric: mean absolute error
+  between estimated and hidden expertise, after matching the system's
+  discovered domains to the generator's true domains.
+- :func:`match_domains` — the greedy majority-overlap matching used above.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalized_estimation_error", "match_domains", "expertise_estimation_error"]
+
+
+def normalized_estimation_error(
+    estimates: np.ndarray,
+    true_values: np.ndarray,
+    base_numbers: np.ndarray,
+) -> float:
+    """Mean ``|mu_hat - mu| / sigma`` over tasks with a finite estimate.
+
+    Returns ``nan`` when no task has an estimate.
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    true_values = np.asarray(true_values, dtype=float)
+    base_numbers = np.asarray(base_numbers, dtype=float)
+    if estimates.shape != true_values.shape or estimates.shape != base_numbers.shape:
+        raise ValueError("all inputs must have the same shape")
+    valid = np.isfinite(estimates)
+    if not np.any(valid):
+        return float("nan")
+    errors = np.abs(estimates[valid] - true_values[valid]) / base_numbers[valid]
+    return float(np.mean(errors))
+
+
+def match_domains(
+    estimated_labels: np.ndarray,
+    true_labels: np.ndarray,
+) -> dict:
+    """Greedy matching of discovered domain ids to true domain ids.
+
+    Pairs are matched by descending task-overlap count; each discovered
+    domain maps to at most one true domain and vice versa.  Discovered
+    domains with no counterpart are left out of the mapping.
+    """
+    estimated_labels = np.asarray(estimated_labels)
+    true_labels = np.asarray(true_labels)
+    if estimated_labels.shape != true_labels.shape:
+        raise ValueError("label arrays must have the same shape")
+    overlaps: list = []
+    for estimated in sorted(set(estimated_labels.tolist())):
+        mask = estimated_labels == estimated
+        for true in sorted(set(true_labels[mask].tolist())):
+            count = int(np.sum(mask & (true_labels == true)))
+            overlaps.append((count, estimated, true))
+    overlaps.sort(key=lambda item: (-item[0], item[1], item[2]))
+    mapping: dict = {}
+    used_true: set = set()
+    for count, estimated, true in overlaps:
+        if estimated in mapping or true in used_true or count == 0:
+            continue
+        mapping[estimated] = true
+        used_true.add(true)
+    return mapping
+
+
+def expertise_estimation_error(
+    estimated: dict,
+    true_matrix: np.ndarray,
+    domain_mapping: dict,
+) -> float:
+    """Mean absolute expertise error over matched (user, domain) pairs.
+
+    ``estimated`` maps discovered domain ids to per-user expertise columns;
+    ``domain_mapping`` maps discovered ids to true-domain column indices of
+    ``true_matrix``.  Returns ``nan`` when nothing matched.
+    """
+    true_matrix = np.asarray(true_matrix, dtype=float)
+    errors: list = []
+    for estimated_id, column in estimated.items():
+        true_id = domain_mapping.get(estimated_id)
+        if true_id is None:
+            continue
+        column = np.asarray(column, dtype=float)
+        if column.shape != (true_matrix.shape[0],):
+            raise ValueError("expertise column has the wrong length")
+        errors.append(np.abs(column - true_matrix[:, true_id]))
+    if not errors:
+        return float("nan")
+    return float(np.mean(np.concatenate(errors)))

@@ -1,0 +1,151 @@
+"""The ground-truth world: observation sampling per the Section 2.4 model.
+
+If task *j* (truth ``mu_j``, base number ``sigma_j``) is allocated to user
+*i* whose hidden expertise in the task's true domain is ``u``, the observed
+value is a draw from ``N(mu_j, (sigma_j / u)^2)``.
+
+For the Fig. 8 robustness experiment a ``bias_fraction`` of observations is
+instead drawn from a *uniform* distribution with the same mean and standard
+deviation (``mu +- sqrt(3) * sigma/u``), violating the normality assumption
+while keeping the first two moments.
+
+``drift_rate`` extends the paper's model with non-stationary expertise: on
+every :meth:`World.advance_day` call each user's per-domain expertise takes
+a clipped Gaussian random-walk step.  The paper's decay factor ``alpha``
+(Eqs. 7-8) exists precisely to track such drift — the drift ablation
+benchmark measures that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.expertise import MIN_EXPERTISE
+from repro.rng import ensure_rng
+from repro.simulation.entities import TaskSpec, UserSpec
+
+__all__ = ["World"]
+
+_SQRT3 = float(np.sqrt(3.0))
+
+
+class World:
+    """Samples observations from the hidden ground truth."""
+
+    #: Drifted expertise never leaves this range (the synthetic generator's
+    #: U[0, 3] support).
+    DRIFT_BOUNDS = (0.0, 3.0)
+
+    def __init__(
+        self,
+        users: Sequence[UserSpec],
+        tasks: Sequence[TaskSpec],
+        bias_fraction: float = 0.0,
+        drift_rate: float = 0.0,
+        adversaries: "dict | None" = None,
+        seed=None,
+    ):
+        if not users:
+            raise ValueError("world needs at least one user")
+        if not tasks:
+            raise ValueError("world needs at least one task")
+        if not 0.0 <= bias_fraction <= 1.0:
+            raise ValueError("bias_fraction must lie in [0, 1]")
+        if drift_rate < 0.0:
+            raise ValueError("drift_rate must be non-negative")
+        self._users = tuple(users)
+        self._tasks = tuple(tasks)
+        self._bias_fraction = float(bias_fraction)
+        self._drift_rate = float(drift_rate)
+        self._adversaries = dict(adversaries) if adversaries else {}
+        for user in self._adversaries:
+            if not 0 <= user < len(self._users):
+                raise ValueError(f"adversary index {user} out of range")
+        self._rng = ensure_rng(seed)
+        self._expertise = np.array([user.expertise for user in self._users], dtype=float)
+
+    @property
+    def n_users(self) -> int:
+        return len(self._users)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def users(self) -> tuple:
+        return self._users
+
+    @property
+    def tasks(self) -> tuple:
+        return self._tasks
+
+    def user_expertise_for_task(self, user: int, task: int) -> float:
+        """Hidden expertise of ``user`` in ``task``'s true domain, floored."""
+        task_spec = self._tasks[task]
+        expertise = self._expertise[user, task_spec.true_domain]
+        return max(float(expertise), MIN_EXPERTISE)
+
+    def advance_day(self) -> None:
+        """Apply one day of expertise drift (no-op at ``drift_rate = 0``)."""
+        if self._drift_rate == 0.0:
+            return
+        step = self._rng.normal(0.0, self._drift_rate, size=self._expertise.shape)
+        low, high = self.DRIFT_BOUNDS
+        self._expertise = np.clip(self._expertise + step, low, high)
+
+    def observation_std(self, user: int, task: int) -> float:
+        """The model's ``sigma_j / u_ij`` for this pair."""
+        return self._tasks[task].base_number / self.user_expertise_for_task(user, task)
+
+    @property
+    def adversary_users(self) -> list:
+        """Indices of adversarial users (sorted)."""
+        return sorted(self._adversaries)
+
+    def observe(self, user: int, task: int) -> float:
+        """Sample one observation for the pair (normal, or uniform if biased).
+
+        Adversarial users' behaviours override the honest model entirely.
+        """
+        task_spec = self._tasks[task]
+        std = self.observation_std(user, task)
+        behaviour = self._adversaries.get(user)
+        if behaviour is not None:
+            return float(behaviour(task_spec, std, self._rng))
+        if self._bias_fraction > 0.0 and self._rng.random() < self._bias_fraction:
+            half_width = _SQRT3 * std
+            return float(self._rng.uniform(task_spec.true_value - half_width, task_spec.true_value + half_width))
+        return float(self._rng.normal(task_spec.true_value, std))
+
+    def observe_pairs(self, pairs: Sequence) -> list:
+        """Observations for a batch of ``(user, task)`` pairs."""
+        return [self.observe(user, task) for user, task in pairs]
+
+    def true_values(self) -> np.ndarray:
+        return np.array([task.true_value for task in self._tasks], dtype=float)
+
+    def base_numbers(self) -> np.ndarray:
+        return np.array([task.base_number for task in self._tasks], dtype=float)
+
+    def true_domains(self) -> np.ndarray:
+        return np.array([task.true_domain for task in self._tasks], dtype=int)
+
+    def processing_times(self) -> np.ndarray:
+        return np.array([task.processing_time for task in self._tasks], dtype=float)
+
+    def costs(self) -> np.ndarray:
+        return np.array([task.cost for task in self._tasks], dtype=float)
+
+    def capacities(self) -> np.ndarray:
+        return np.array([user.capacity for user in self._users], dtype=float)
+
+    def true_expertise_matrix(self) -> np.ndarray:
+        """Hidden ``(n_users, n_true_domains)`` expertise matrix.
+
+        Reflects any drift applied so far (a copy; mutating it does not
+        affect the world).
+        """
+        return self._expertise.copy()

@@ -1,0 +1,26 @@
+"""Spatial mobile crowdsourcing (extension beyond the paper).
+
+The paper's related work is full of location-dependent crowdsourcing
+([24][25]: spatial coverage, travel cost), but its own model charges every
+user the same processing time ``t_j``.  In a city, a task costs each user
+its sensing time *plus the travel to the task's location* — a per-pair time
+``t_ij`` that the generalised allocation core
+(:class:`repro.core.allocation.base.AllocationProblem` with a time matrix)
+handles natively.
+
+- :mod:`repro.spatial.geometry` — planar locations, distances, travel times,
+- :mod:`repro.spatial.dataset` — a spatial synthetic dataset: users with
+  home locations, tasks placed in the city, hidden per-domain expertise,
+- :mod:`repro.experiments.spatial` — the travel-aware vs travel-oblivious
+  allocation experiment.
+"""
+
+from repro.spatial.dataset import SpatialDataset, spatial_synthetic_dataset
+from repro.spatial.geometry import pairwise_distances, travel_time_matrix
+
+__all__ = [
+    "SpatialDataset",
+    "pairwise_distances",
+    "spatial_synthetic_dataset",
+    "travel_time_matrix",
+]

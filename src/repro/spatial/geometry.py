@@ -1,0 +1,42 @@
+"""Planar geometry for the spatial extension."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pairwise_distances", "travel_time_matrix"]
+
+
+def pairwise_distances(origins: np.ndarray, destinations: np.ndarray) -> np.ndarray:
+    """Euclidean distances between two batches of planar points.
+
+    ``origins`` is ``(n, 2)``, ``destinations`` is ``(m, 2)``; the result is
+    ``(n, m)``.
+    """
+    origins = np.asarray(origins, dtype=float)
+    destinations = np.asarray(destinations, dtype=float)
+    if origins.ndim != 2 or origins.shape[1] != 2:
+        raise ValueError("origins must be an (n, 2) array")
+    if destinations.ndim != 2 or destinations.shape[1] != 2:
+        raise ValueError("destinations must be an (m, 2) array")
+    diff = origins[:, None, :] - destinations[None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+def travel_time_matrix(
+    user_locations: np.ndarray,
+    task_locations: np.ndarray,
+    speed: float,
+    round_trip: bool = True,
+) -> np.ndarray:
+    """Travel time from each user's home to each task's location.
+
+    ``speed`` is in distance units per hour; with ``round_trip=True`` (the
+    default — the user returns home between tasks) the one-way time is
+    doubled.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    distances = pairwise_distances(user_locations, task_locations)
+    factor = 2.0 if round_trip else 1.0
+    return factor * distances / speed

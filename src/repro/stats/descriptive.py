@@ -1,0 +1,107 @@
+"""Descriptive statistics backing the evaluation figures.
+
+- :func:`histogram` — normalised histograms for Fig. 2 (observation-error
+  distribution vs. the standard normal density).
+- :func:`boxplot_stats` — five-number summaries for Fig. 7 (observation error
+  binned by user expertise).
+- :func:`empirical_cdf` — the Fig. 12 CDF of MLE iterations to convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Histogram", "BoxplotStats", "histogram", "boxplot_stats", "empirical_cdf"]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A density-normalised histogram."""
+
+    edges: np.ndarray
+    density: np.ndarray
+
+    @property
+    def centers(self) -> np.ndarray:
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    @property
+    def widths(self) -> np.ndarray:
+        return np.diff(self.edges)
+
+    def total_mass(self) -> float:
+        return float(np.sum(self.density * self.widths))
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary plus mean, as drawn in the paper's boxplots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def histogram(values: Sequence[float], bins: int = 30, value_range: "tuple[float, float] | None" = None) -> Histogram:
+    """Density histogram of ``values``.
+
+    ``value_range`` pins the support (the paper plots errors on roughly
+    [-4, 4]); out-of-range values are clipped into the terminal bins so the
+    density still integrates to one over the plotted support.
+    """
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot build a histogram of an empty sample")
+    if bins < 1:
+        raise ValueError("bins must be at least 1")
+    if value_range is not None:
+        lo, hi = value_range
+        if not lo < hi:
+            raise ValueError("value_range must be increasing")
+        x = np.clip(x, lo, hi)
+        density, edges = np.histogram(x, bins=bins, range=(lo, hi), density=True)
+    else:
+        density, edges = np.histogram(x, bins=bins, density=True)
+    return Histogram(edges=edges, density=density)
+
+
+def boxplot_stats(values: Sequence[float]) -> BoxplotStats:
+    """Five-number summary of ``values`` using linear-interpolation quartiles."""
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    q1, median, q3 = np.percentile(x, [25.0, 50.0, 75.0])
+    return BoxplotStats(
+        minimum=float(np.min(x)),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(np.max(x)),
+        mean=float(np.mean(x)),
+        count=int(x.size),
+    )
+
+
+def empirical_cdf(values: Sequence[float]) -> "tuple[np.ndarray, np.ndarray]":
+    """Return ``(sorted_values, cumulative_probabilities)``.
+
+    ``cumulative_probabilities[k]`` is the fraction of the sample that is
+    less than or equal to ``sorted_values[k]`` — the standard right-continuous
+    empirical CDF plotted in Fig. 12.
+    """
+    x = np.sort(np.asarray(values, dtype=float))
+    if x.size == 0:
+        raise ValueError("cannot build a CDF of an empty sample")
+    probs = np.arange(1, x.size + 1, dtype=float) / x.size
+    return x, probs

@@ -1,0 +1,85 @@
+"""Normal-distribution primitives.
+
+The paper's observation model assumes user *i* observes task *j* as a draw
+from ``N(mu_j, (sigma_j / u_ij)^2)`` (Section 2.4).  The allocation objective
+needs ``Phi(eps * u) - Phi(-eps * u)`` (Eq. 11) and the min-cost quality check
+needs standard-normal quantiles ``Z_{alpha/2}`` (Eq. 24).  These helpers are
+thin, vectorised wrappers around :func:`scipy.special.erf` and
+:func:`scipy.special.erfinv` so the rest of the library never touches scipy
+distributions directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+__all__ = [
+    "standard_normal_pdf",
+    "standard_normal_cdf",
+    "standard_normal_quantile",
+    "normal_pdf",
+    "normal_cdf",
+    "normal_quantile",
+    "symmetric_tail_probability",
+]
+
+_SQRT2 = float(np.sqrt(2.0))
+_SQRT_2PI = float(np.sqrt(2.0 * np.pi))
+
+
+def standard_normal_pdf(x):
+    """Density of N(0, 1) at ``x`` (scalar or array)."""
+    x = np.asarray(x, dtype=float)
+    return np.exp(-0.5 * x * x) / _SQRT_2PI
+
+
+def standard_normal_cdf(x):
+    """``Phi(x)`` for scalar or array ``x``."""
+    x = np.asarray(x, dtype=float)
+    return 0.5 * (1.0 + special.erf(x / _SQRT2))
+
+
+def standard_normal_quantile(p):
+    """Inverse of ``Phi`` — the ``Z_p`` used in Eq. 24's confidence interval."""
+    p = np.asarray(p, dtype=float)
+    if np.any((p <= 0.0) | (p >= 1.0)):
+        raise ValueError("quantile probability must lie strictly in (0, 1)")
+    return _SQRT2 * special.erfinv(2.0 * p - 1.0)
+
+
+def normal_pdf(x, mean: float, std: float):
+    """Density of ``N(mean, std^2)`` at ``x``."""
+    if std <= 0:
+        raise ValueError("std must be positive")
+    x = np.asarray(x, dtype=float)
+    z = (x - mean) / std
+    return standard_normal_pdf(z) / std
+
+
+def normal_cdf(x, mean: float, std: float):
+    """CDF of ``N(mean, std^2)`` at ``x``."""
+    if std <= 0:
+        raise ValueError("std must be positive")
+    x = np.asarray(x, dtype=float)
+    return standard_normal_cdf((x - mean) / std)
+
+
+def normal_quantile(p, mean: float, std: float):
+    """Quantile of ``N(mean, std^2)``."""
+    if std <= 0:
+        raise ValueError("std must be positive")
+    return mean + std * standard_normal_quantile(p)
+
+
+def symmetric_tail_probability(half_width):
+    """``P(|Z| < half_width) = Phi(w) - Phi(-w)`` for standard normal Z.
+
+    This is exactly the accuracy probability of Eq. 11 with
+    ``half_width = eps * u_ij``; it is the building block of the max-quality
+    objective.  Vectorised over ``half_width``.
+    """
+    w = np.asarray(half_width, dtype=float)
+    if np.any(w < 0):
+        raise ValueError("half_width must be non-negative")
+    return special.erf(w / _SQRT2)

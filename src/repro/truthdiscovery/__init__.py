@@ -1,0 +1,40 @@
+"""Truth-discovery baselines the paper compares against (Section 6.3).
+
+All four estimate per-task truths from a sparse user x task observation
+matrix; the first three additionally infer a scalar per-user *reliability*
+that the comparison approaches use for task allocation:
+
+- :class:`~repro.truthdiscovery.hubs_authorities.HubsAuthorities` — source
+  reliability is the sum of the credibility of its data items; item
+  credibility is the reliability-weighted support from agreeing sources.
+- :class:`~repro.truthdiscovery.average_log.AverageLog` — reliability is the
+  average credibility of a source's items scaled by the logarithm of how many
+  items it provided.
+- :class:`~repro.truthdiscovery.truthfinder.TruthFinder` — item confidence is
+  the probability the item is accurate, combined across sources in
+  log-odds space; source trustworthiness is the average confidence of its
+  items.
+- :class:`~repro.truthdiscovery.mean.MeanBaseline` — the plain average
+  (the paper's lower-bound "Baseline").
+
+The published methods target categorical claims; per the paper's evaluation
+we use their standard numeric adaptation, where agreement between two
+observations of the same task is a Gaussian kernel on their gap normalised by
+the task's observation spread.
+"""
+
+from repro.truthdiscovery.average_log import AverageLog
+from repro.truthdiscovery.base import ObservationMatrix, TruthDiscovery, TruthEstimate
+from repro.truthdiscovery.hubs_authorities import HubsAuthorities
+from repro.truthdiscovery.mean import MeanBaseline
+from repro.truthdiscovery.truthfinder import TruthFinder
+
+__all__ = [
+    "AverageLog",
+    "HubsAuthorities",
+    "MeanBaseline",
+    "ObservationMatrix",
+    "TruthDiscovery",
+    "TruthEstimate",
+    "TruthFinder",
+]

@@ -1,0 +1,92 @@
+"""Numeric-adaptation helpers shared by the categorical baselines.
+
+The published baselines score *claims*; for numeric crowdsourcing data the
+standard adaptation replaces claim identity with a soft agreement kernel:
+two observations of task *j* support each other with weight
+``exp(-0.5 * ((x - y) / s_j)^2)`` where ``s_j`` is the task's observation
+spread.  Closeness of an observation to the current truth estimate uses the
+same kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.truthdiscovery.base import ObservationMatrix
+
+__all__ = [
+    "closeness_to_truth",
+    "pairwise_support",
+    "weighted_truths",
+    "relative_change",
+]
+
+
+def closeness_to_truth(
+    observations: ObservationMatrix, truths: np.ndarray, spreads: np.ndarray
+) -> np.ndarray:
+    """Kernel closeness ``c_ij`` of every observation to the current truths.
+
+    Entries where ``mask`` is False are zero.
+    """
+    z = (observations.values - truths[None, :]) / spreads[None, :]
+    closeness = np.exp(-0.5 * z * z)
+    return np.where(observations.mask, closeness, 0.0)
+
+
+def pairwise_support(
+    observations: ObservationMatrix,
+    source_scores: np.ndarray,
+    spreads: np.ndarray,
+    normalize: bool = False,
+) -> np.ndarray:
+    """Score-weighted support each observation receives from co-observers.
+
+    ``support[i, j] = sum_{i'} score_{i'} * k((x_ij - x_i'j) / s_j)`` over all
+    users *i'* observing task *j* (including *i* itself, whose kernel value
+    is 1) — the credibility propagation step of Hubs & Authorities and
+    TruthFinder.
+
+    With ``normalize=True`` the sum becomes a mean over the task's observers.
+    TruthFinder uses this: its dampened logistic was designed for implication
+    sums of bounded size, and raw sums over many co-observers would saturate
+    every confidence at 1, erasing the reliability signal.
+    """
+    values, mask = observations.values, observations.mask
+    support = np.zeros_like(values)
+    for task in range(observations.n_tasks):
+        users = np.flatnonzero(mask[:, task])
+        if users.size == 0:
+            continue
+        x = values[users, task]
+        z = (x[:, None] - x[None, :]) / spreads[task]
+        kernel = np.exp(-0.5 * z * z)
+        task_support = kernel @ source_scores[users]
+        if normalize:
+            task_support = task_support / users.size
+        support[users, task] = task_support
+    return support
+
+
+def weighted_truths(
+    observations: ObservationMatrix, weights: np.ndarray, fallback: "np.ndarray | None" = None
+) -> np.ndarray:
+    """Per-task weighted means with per-observation ``weights``.
+
+    Tasks whose total weight is zero fall back to the unweighted mean (or the
+    provided ``fallback`` estimates), so one fully distrusted task does not
+    produce NaNs that then poison every later iteration.
+    """
+    masked = np.where(observations.mask, weights, 0.0)
+    totals = masked.sum(axis=0)
+    sums = (masked * observations.values).sum(axis=0)
+    if fallback is None:
+        fallback = observations.task_means()
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, sums / np.where(totals > 0, totals, 1.0), fallback)
+
+
+def relative_change(new: np.ndarray, old: np.ndarray) -> float:
+    """Largest relative change between two vectors (absolute near zero)."""
+    denom = np.maximum(np.abs(old), 1e-12)
+    return float(np.max(np.abs(new - old) / denom))

@@ -1,0 +1,117 @@
+"""Shared data structures and interface for truth-discovery methods."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["ObservationMatrix", "TruthEstimate", "TruthDiscovery"]
+
+
+@dataclass(frozen=True)
+class ObservationMatrix:
+    """A sparse user x task observation matrix.
+
+    ``values[i, j]`` is user *i*'s observation of task *j*, meaningful only
+    where ``mask[i, j]`` is True (the paper's ``w_ij = 1``).
+    """
+
+    values: np.ndarray
+    mask: np.ndarray
+
+    def __post_init__(self):
+        values = np.asarray(self.values, dtype=float)
+        mask = np.asarray(self.mask, dtype=bool)
+        if values.shape != mask.shape or values.ndim != 2:
+            raise ValueError("values and mask must be 2-D arrays of the same shape")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "mask", mask)
+
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable, n_users: int, n_tasks: int
+    ) -> "ObservationMatrix":
+        """Build from ``(user, task, value)`` triples."""
+        values = np.zeros((n_users, n_tasks), dtype=float)
+        mask = np.zeros((n_users, n_tasks), dtype=bool)
+        for user, task, value in triples:
+            values[user, task] = float(value)
+            mask[user, task] = True
+        return cls(values=values, mask=mask)
+
+    @property
+    def n_users(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_tasks(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def observation_count(self) -> int:
+        return int(self.mask.sum())
+
+    def observations_for_task(self, task: int) -> "tuple[np.ndarray, np.ndarray]":
+        """``(user_indices, values)`` of the observations for ``task``."""
+        users = np.flatnonzero(self.mask[:, task])
+        return users, self.values[users, task]
+
+    def tasks_of_user(self, user: int) -> np.ndarray:
+        return np.flatnonzero(self.mask[user, :])
+
+    def task_means(self) -> np.ndarray:
+        """Unweighted per-task observation means (nan for unobserved tasks)."""
+        counts = self.mask.sum(axis=0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts > 0, (self.values * self.mask).sum(axis=0) / counts, np.nan)
+        return means
+
+    def task_spreads(self, floor: float = 1e-9) -> np.ndarray:
+        """Per-task observation standard deviations, floored away from zero.
+
+        Used as the agreement scale of the numeric baselines; tasks with one
+        observation (or identical observations) get the floor so Gaussian
+        kernels stay defined.
+        """
+        counts = self.mask.sum(axis=0)
+        means = self.task_means()
+        centred = np.where(self.mask, self.values - np.where(np.isnan(means), 0.0, means), 0.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            variance = np.where(counts > 0, (centred**2).sum(axis=0) / np.maximum(counts, 1), 0.0)
+        spread = np.sqrt(variance)
+        return np.maximum(spread, floor)
+
+    def restricted_to_tasks(self, tasks: np.ndarray) -> "ObservationMatrix":
+        """A copy containing only the given task columns."""
+        tasks = np.asarray(tasks, dtype=int)
+        return ObservationMatrix(values=self.values[:, tasks], mask=self.mask[:, tasks])
+
+
+@dataclass(frozen=True)
+class TruthEstimate:
+    """Output of a truth-discovery method."""
+
+    truths: np.ndarray
+    reliabilities: np.ndarray
+    iterations: int = 0
+    converged: bool = True
+    extras: dict = field(default_factory=dict)
+
+
+class TruthDiscovery(abc.ABC):
+    """Interface every truth-discovery method implements."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "truth-discovery"
+
+    @abc.abstractmethod
+    def estimate(self, observations: ObservationMatrix) -> TruthEstimate:
+        """Estimate per-task truths (and per-user reliabilities)."""
+
+    @staticmethod
+    def _require_observations(observations: ObservationMatrix) -> None:
+        if observations.observation_count == 0:
+            raise ValueError("observation matrix is empty")

@@ -1,0 +1,38 @@
+"""Categorical truth discovery (extension beyond the paper's numeric model).
+
+The paper evaluates on the TAC-KBP Slot Filling Validation data by coercing
+its answers to numbers, but slot-filling answers are natively *categorical*:
+each question has a small set of candidate answers and each system picks one.
+This subpackage implements the categorical counterpart of the paper's
+machinery so the same expertise-aware ideas run on discrete answers:
+
+- :class:`~repro.truthdiscovery.categorical.base.CategoricalObservations` —
+  the sparse user x task answer matrix (per-task candidate counts),
+- :class:`~repro.truthdiscovery.categorical.majority.MajorityVote` — the
+  baseline,
+- :class:`~repro.truthdiscovery.categorical.dawid_skene.DawidSkene` — the
+  classic EM over per-user confusion structure (single global accuracy per
+  user here is the reliability-style model),
+- :class:`~repro.truthdiscovery.categorical.expertise_voting.ExpertiseVoting`
+  — the categorical ETA2 analog: per-user **per-domain** accuracy under a
+  symmetric noise model, estimated jointly with the answer posteriors by EM.
+
+Per-domain accuracies double as the allocation input: with accuracy ``a`` as
+``p_ij`` the max-quality objective (Eq. 12) applies verbatim.
+"""
+
+from repro.truthdiscovery.categorical.base import (
+    CategoricalEstimate,
+    CategoricalObservations,
+)
+from repro.truthdiscovery.categorical.dawid_skene import DawidSkene
+from repro.truthdiscovery.categorical.expertise_voting import ExpertiseVoting
+from repro.truthdiscovery.categorical.majority import MajorityVote
+
+__all__ = [
+    "CategoricalEstimate",
+    "CategoricalObservations",
+    "DawidSkene",
+    "ExpertiseVoting",
+    "MajorityVote",
+]

@@ -1,0 +1,103 @@
+"""Data structures for categorical truth discovery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["CategoricalObservations", "CategoricalEstimate", "MISSING"]
+
+#: Sentinel for "user did not answer this task".
+MISSING = -1
+
+
+@dataclass(frozen=True)
+class CategoricalObservations:
+    """A sparse user x task matrix of categorical answers.
+
+    ``answers[i, j]`` is user *i*'s chosen candidate index for task *j*
+    (``MISSING`` where unanswered); ``n_choices[j]`` is task *j*'s candidate
+    count (answers must satisfy ``0 <= answer < n_choices[j]``).
+    """
+
+    answers: np.ndarray
+    n_choices: np.ndarray
+
+    def __post_init__(self):
+        answers = np.asarray(self.answers, dtype=int)
+        n_choices = np.asarray(self.n_choices, dtype=int)
+        if answers.ndim != 2:
+            raise ValueError("answers must be a 2-D matrix")
+        if n_choices.shape != (answers.shape[1],):
+            raise ValueError("n_choices must have one entry per task")
+        if np.any(n_choices < 2):
+            raise ValueError("every task needs at least two candidate answers")
+        valid = (answers == MISSING) | ((answers >= 0) & (answers < n_choices[None, :]))
+        if not np.all(valid):
+            raise ValueError("answers contain out-of-range candidate indices")
+        object.__setattr__(self, "answers", answers)
+        object.__setattr__(self, "n_choices", n_choices)
+
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable, n_users: int, n_tasks: int, n_choices
+    ) -> "CategoricalObservations":
+        """Build from ``(user, task, answer)`` triples."""
+        answers = np.full((n_users, n_tasks), MISSING, dtype=int)
+        for user, task, answer in triples:
+            answers[user, task] = int(answer)
+        n_choices = np.broadcast_to(np.asarray(n_choices, dtype=int), (n_tasks,)).copy()
+        return cls(answers=answers, n_choices=n_choices)
+
+    @property
+    def n_users(self) -> int:
+        return self.answers.shape[0]
+
+    @property
+    def n_tasks(self) -> int:
+        return self.answers.shape[1]
+
+    @property
+    def mask(self) -> np.ndarray:
+        return self.answers != MISSING
+
+    @property
+    def answer_count(self) -> int:
+        return int(np.sum(self.answers != MISSING))
+
+    def answers_for_task(self, task: int) -> "tuple[np.ndarray, np.ndarray]":
+        """``(user_indices, answers)`` for one task."""
+        users = np.flatnonzero(self.answers[:, task] != MISSING)
+        return users, self.answers[users, task]
+
+    def vote_counts(self, task: int) -> np.ndarray:
+        """Unweighted candidate vote counts for one task."""
+        _, answers = self.answers_for_task(task)
+        return np.bincount(answers, minlength=int(self.n_choices[task]))
+
+
+@dataclass(frozen=True)
+class CategoricalEstimate:
+    """Output of a categorical truth-discovery method."""
+
+    labels: np.ndarray
+    #: ``posteriors[j]`` is a length-``n_choices[j]`` probability vector.
+    posteriors: tuple
+    #: Scalar per-user reliability/accuracy summary (model-specific).
+    reliabilities: np.ndarray
+    iterations: int = 0
+    converged: bool = True
+    extras: dict = field(default_factory=dict)
+
+    def accuracy_against(self, true_labels: np.ndarray) -> float:
+        """Fraction of tasks whose label matches ``true_labels``.
+
+        Tasks with no estimate (label ``MISSING``) count as wrong — a system
+        that answers nothing should not score well.
+        """
+        true_labels = np.asarray(true_labels, dtype=int)
+        if true_labels.shape != self.labels.shape:
+            raise ValueError("true_labels must match the label vector shape")
+        return float(np.mean(self.labels == true_labels))

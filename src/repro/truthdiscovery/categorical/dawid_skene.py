@@ -1,0 +1,120 @@
+"""Dawid-Skene-style EM with per-user accuracy (the one-coin model).
+
+The classic Dawid & Skene estimator learns a full per-user confusion matrix
+over a shared label space.  Crowdsourcing tasks here have *per-task*
+candidate sets (different questions have different answer options), so the
+appropriate reduction is the standard "one-coin" variant: user *i* answers
+correctly with probability ``a_i`` and otherwise picks uniformly among the
+task's remaining candidates.  EM alternates:
+
+- **E-step**: posterior over each task's true answer from the users'
+  accuracies,
+- **M-step**: each user's accuracy from the posterior mass it placed on its
+  own answers.
+
+This is the categorical analog of the paper's *reliability-based* baselines:
+one scalar per user, no domain awareness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.truthdiscovery.categorical.base import (
+    MISSING,
+    CategoricalEstimate,
+    CategoricalObservations,
+)
+
+__all__ = ["DawidSkene", "posterior_for_task"]
+
+#: Accuracies are kept inside (eps, 1 - eps) so likelihoods stay positive.
+_ACCURACY_EPS = 1e-3
+
+
+def posterior_for_task(
+    users: np.ndarray,
+    answers: np.ndarray,
+    accuracies: np.ndarray,
+    n_choices: int,
+) -> np.ndarray:
+    """Posterior over one task's candidates given user answers/accuracies.
+
+    Uniform prior; computed in log space for numerical stability.
+    """
+    log_post = np.zeros(n_choices, dtype=float)
+    for user, answer in zip(users, answers):
+        accuracy = accuracies[user]
+        wrong = (1.0 - accuracy) / (n_choices - 1)
+        contribution = np.full(n_choices, np.log(wrong))
+        contribution[answer] = np.log(accuracy)
+        log_post += contribution
+    log_post -= log_post.max()
+    post = np.exp(log_post)
+    return post / post.sum()
+
+
+class DawidSkene:
+    """One-coin Dawid-Skene EM."""
+
+    name = "dawid-skene"
+
+    def __init__(self, max_iterations: int = 100, tolerance: float = 1e-4, initial_accuracy: float = 0.7):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if not 0.0 < initial_accuracy < 1.0:
+            raise ValueError("initial_accuracy must lie in (0, 1)")
+        self._max_iterations = int(max_iterations)
+        self._tolerance = float(tolerance)
+        self._initial_accuracy = float(initial_accuracy)
+
+    def estimate(self, observations: CategoricalObservations) -> CategoricalEstimate:
+        if observations.answer_count == 0:
+            raise ValueError("observations are empty")
+        n_users, n_tasks = observations.n_users, observations.n_tasks
+        accuracies = np.full(n_users, self._initial_accuracy, dtype=float)
+        counts = (observations.answers != MISSING).sum(axis=1).astype(float)
+
+        per_task = [observations.answers_for_task(j) for j in range(n_tasks)]
+        posteriors: list = [None] * n_tasks
+        converged = False
+        iterations = 0
+        for iterations in range(1, self._max_iterations + 1):
+            # E-step.
+            for task in range(n_tasks):
+                users, answers = per_task[task]
+                k = int(observations.n_choices[task])
+                if users.size == 0:
+                    posteriors[task] = np.full(k, 1.0 / k)
+                else:
+                    posteriors[task] = posterior_for_task(users, answers, accuracies, k)
+            # M-step.
+            correct_mass = np.zeros(n_users, dtype=float)
+            for task in range(n_tasks):
+                users, answers = per_task[task]
+                if users.size:
+                    correct_mass[users] += posteriors[task][answers]
+            new_accuracies = np.where(counts > 0, correct_mass / np.maximum(counts, 1.0), self._initial_accuracy)
+            new_accuracies = np.clip(new_accuracies, _ACCURACY_EPS, 1.0 - _ACCURACY_EPS)
+            change = float(np.max(np.abs(new_accuracies - accuracies)))
+            accuracies = new_accuracies
+            if change < self._tolerance:
+                converged = True
+                break
+
+        labels = np.array(
+            [
+                int(np.argmax(posteriors[task])) if per_task[task][0].size else MISSING
+                for task in range(n_tasks)
+            ],
+            dtype=int,
+        )
+        return CategoricalEstimate(
+            labels=labels,
+            posteriors=tuple(posteriors),
+            reliabilities=accuracies,
+            iterations=iterations,
+            converged=converged,
+        )

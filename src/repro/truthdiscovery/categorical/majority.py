@@ -1,0 +1,43 @@
+"""Majority voting: the categorical lower-bound baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.truthdiscovery.categorical.base import (
+    MISSING,
+    CategoricalEstimate,
+    CategoricalObservations,
+)
+
+__all__ = ["MajorityVote"]
+
+
+class MajorityVote:
+    """Each task's answer is the most-voted candidate (ties -> lowest index).
+
+    The categorical analog of the paper's "Baseline" mean estimator.
+    """
+
+    name = "majority-vote"
+
+    def estimate(self, observations: CategoricalObservations) -> CategoricalEstimate:
+        if observations.answer_count == 0:
+            raise ValueError("observations are empty")
+        labels = np.full(observations.n_tasks, MISSING, dtype=int)
+        posteriors = []
+        for task in range(observations.n_tasks):
+            counts = observations.vote_counts(task)
+            total = counts.sum()
+            if total == 0:
+                posteriors.append(np.full(counts.shape, 1.0 / counts.size))
+                continue
+            labels[task] = int(np.argmax(counts))
+            posteriors.append(counts / total)
+        return CategoricalEstimate(
+            labels=labels,
+            posteriors=tuple(posteriors),
+            reliabilities=np.ones(observations.n_users, dtype=float),
+            iterations=1,
+            converged=True,
+        )

@@ -1,0 +1,24 @@
+"""The paper's lower-bound baseline: truth = mean of the observations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.truthdiscovery.base import ObservationMatrix, TruthDiscovery, TruthEstimate
+
+__all__ = ["MeanBaseline"]
+
+
+class MeanBaseline(TruthDiscovery):
+    """Per-task unweighted mean; all users equally reliable."""
+
+    name = "baseline-mean"
+
+    def estimate(self, observations: ObservationMatrix) -> TruthEstimate:
+        self._require_observations(observations)
+        return TruthEstimate(
+            truths=observations.task_means(),
+            reliabilities=np.ones(observations.n_users, dtype=float),
+            iterations=1,
+            converged=True,
+        )

@@ -1,0 +1,91 @@
+"""TruthFinder (Yin, Han & Yu, per the paper).
+
+"The credibility of an observed data item is the probability that it is
+accurate and the reliability of the source is the probability that it
+provides accurate data."  TruthFinder works in log-odds space: each source
+contributes trustworthiness score ``tau_i = -ln(1 - t_i)`` to the items it
+(softly) supports, item confidence is a damped logistic of the accumulated
+score, and a source's trustworthiness is the average confidence of its items.
+The numeric adaptation uses the shared Gaussian agreement kernel as the
+implication weight between co-observations of a task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.truthdiscovery._numeric import pairwise_support, relative_change, weighted_truths
+from repro.truthdiscovery.base import ObservationMatrix, TruthDiscovery, TruthEstimate
+
+__all__ = ["TruthFinder"]
+
+
+class TruthFinder(TruthDiscovery):
+    """Iterative TruthFinder confidence propagation.
+
+    Initial trustworthiness follows the original paper (0.9), and a cap keeps
+    trust strictly below 1 so that ``-ln(1 - t)`` stays finite.  The original
+    dampening factor ``gamma = 0.3`` was tuned for implication *sums*; with
+    the normalised (mean) support of the numeric adaptation, ``gamma = 1.0``
+    restores comparable dynamics and is the default here.
+    """
+
+    name = "truthfinder"
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        tolerance: float = 1e-4,
+        initial_trust: float = 0.9,
+        dampening: float = 1.0,
+        trust_cap: float = 0.999999,
+    ):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if not 0.0 < initial_trust < 1.0:
+            raise ValueError("initial_trust must lie in (0, 1)")
+        if dampening <= 0:
+            raise ValueError("dampening must be positive")
+        if not 0.0 < trust_cap < 1.0:
+            raise ValueError("trust_cap must lie in (0, 1)")
+        self._max_iterations = int(max_iterations)
+        self._tolerance = float(tolerance)
+        self._initial_trust = float(initial_trust)
+        self._dampening = float(dampening)
+        self._trust_cap = float(trust_cap)
+
+    def estimate(self, observations: ObservationMatrix) -> TruthEstimate:
+        self._require_observations(observations)
+        spreads = observations.task_spreads()
+        trust = np.full(observations.n_users, self._initial_trust, dtype=float)
+        counts = observations.mask.sum(axis=1).astype(float)
+        confidence = np.where(observations.mask, self._initial_trust, 0.0)
+        converged = False
+        iterations = 0
+        for iterations in range(1, self._max_iterations + 1):
+            tau = -np.log1p(-np.minimum(trust, self._trust_cap))
+            score = pairwise_support(observations, tau, spreads, normalize=True)
+            confidence = np.where(
+                observations.mask,
+                1.0 / (1.0 + np.exp(-self._dampening * score)),
+                0.0,
+            )
+            with np.errstate(invalid="ignore", divide="ignore"):
+                new_trust = np.where(
+                    counts > 0, confidence.sum(axis=1) / np.maximum(counts, 1.0), 0.0
+                )
+            new_trust = np.minimum(new_trust, self._trust_cap)
+            change = relative_change(new_trust, trust)
+            trust = new_trust
+            if change < self._tolerance:
+                converged = True
+                break
+        truths = weighted_truths(observations, confidence)
+        return TruthEstimate(
+            truths=truths,
+            reliabilities=trust,
+            iterations=iterations,
+            converged=converged,
+        )

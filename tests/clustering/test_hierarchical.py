@@ -1,0 +1,82 @@
+"""Tests for static hierarchical clustering (Section 3.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import hierarchical_clustering
+
+
+def _blobs(rng, centers, per_blob, spread=0.05):
+    points = np.vstack([rng.normal(c, spread, size=(per_blob, 2)) for c in centers])
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(-1))
+
+
+def test_recovers_well_separated_blobs():
+    rng = np.random.default_rng(0)
+    distances = _blobs(rng, [(0, 0), (5, 5), (-5, 5)], per_blob=8)
+    result = hierarchical_clustering(distances, gamma=0.3)
+    assert result.cluster_count == 3
+    labels = result.labels
+    for blob in range(3):
+        block = labels[blob * 8 : (blob + 1) * 8]
+        assert len(set(block.tolist())) == 1
+
+
+def test_gamma_zero_keeps_singletons():
+    rng = np.random.default_rng(1)
+    distances = _blobs(rng, [(0, 0)], per_blob=5)
+    result = hierarchical_clustering(distances, gamma=0.0)
+    assert result.cluster_count == 5
+
+
+def test_gamma_one_merges_everything():
+    rng = np.random.default_rng(2)
+    distances = _blobs(rng, [(0, 0), (5, 5)], per_blob=4)
+    result = hierarchical_clustering(distances, gamma=1.0)
+    # Threshold equals the largest distance: merging continues until the
+    # closest pair is at least d_star apart, i.e. one cluster remains.
+    assert result.cluster_count == 1
+
+
+def test_threshold_property_holds_at_termination():
+    """After clustering, all inter-cluster average distances >= threshold."""
+    rng = np.random.default_rng(3)
+    distances = _blobs(rng, [(0, 0), (3, 0), (0, 3)], per_blob=5, spread=0.3)
+    result = hierarchical_clustering(distances, gamma=0.4)
+    clusters = result.clusters
+    for a in range(len(clusters)):
+        for b in range(a + 1, len(clusters)):
+            avg = np.mean([[distances[i, j] for j in clusters[b]] for i in clusters[a]])
+            assert avg >= result.threshold - 1e-9
+
+
+def test_custom_d_star_overrides_matrix_max():
+    distances = np.array([[0.0, 1.0], [1.0, 0.0]])
+    merged = hierarchical_clustering(distances, gamma=0.5, d_star=4.0)
+    assert merged.cluster_count == 1  # threshold 2.0 > distance 1.0
+    kept = hierarchical_clustering(distances, gamma=0.5, d_star=1.0)
+    assert kept.cluster_count == 2  # threshold 0.5 < distance 1.0
+
+
+def test_labels_cover_all_points():
+    rng = np.random.default_rng(4)
+    distances = _blobs(rng, [(0, 0), (9, 9)], per_blob=6)
+    result = hierarchical_clustering(distances, gamma=0.2)
+    assert sorted(np.concatenate(result.clusters).tolist()) == list(range(12))
+    assert result.labels.shape == (12,)
+    assert np.all(result.labels >= 0)
+
+
+def test_empty_input():
+    result = hierarchical_clustering(np.zeros((0, 0)), gamma=0.5)
+    assert result.cluster_count == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        hierarchical_clustering(np.zeros((2, 3)), gamma=0.5)
+    with pytest.raises(ValueError):
+        hierarchical_clustering(np.zeros((2, 2)), gamma=1.5)
+    with pytest.raises(ValueError):
+        hierarchical_clustering(np.zeros((2, 2)), gamma=0.5, d_star=-1.0)

@@ -1,0 +1,88 @@
+"""Tests for the random and reliability-greedy baseline allocators."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    AllocationProblem,
+    RandomAllocator,
+    ReliabilityGreedyAllocator,
+)
+
+
+def _problem(seed=0, n_users=8, n_tasks=20):
+    rng = np.random.default_rng(seed)
+    return AllocationProblem(
+        expertise=np.ones((n_users, n_tasks)),
+        processing_times=rng.uniform(0.5, 1.5, n_tasks),
+        capacities=rng.uniform(3.0, 6.0, n_users),
+    )
+
+
+class TestRandomAllocator:
+    def test_respects_capacities(self):
+        problem = _problem()
+        assignment = RandomAllocator(seed=1).allocate(problem)
+        assert assignment.respects_capacities(problem)
+
+    def test_fills_capacity(self):
+        problem = _problem()
+        assignment = RandomAllocator(seed=2).allocate(problem)
+        remaining = problem.capacities - assignment.workloads(problem.processing_times)
+        assert np.all(remaining < problem.processing_times.max())
+
+    def test_seeded_reproducibility(self):
+        problem = _problem()
+        a = RandomAllocator(seed=3).allocate(problem)
+        b = RandomAllocator(seed=3).allocate(problem)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_different_seeds_differ(self):
+        problem = _problem()
+        a = RandomAllocator(seed=4).allocate(problem)
+        b = RandomAllocator(seed=5).allocate(problem)
+        assert not np.array_equal(a.matrix, b.matrix)
+
+
+class TestReliabilityGreedy:
+    def test_respects_capacities(self):
+        problem = _problem()
+        reliabilities = np.linspace(1.0, 0.1, problem.n_users)
+        assignment = ReliabilityGreedyAllocator(reliabilities).allocate(problem)
+        assert assignment.respects_capacities(problem)
+
+    def test_covers_all_tasks_when_capacity_allows(self):
+        problem = _problem()
+        reliabilities = np.linspace(1.0, 0.1, problem.n_users)
+        assignment = ReliabilityGreedyAllocator(reliabilities).allocate(problem)
+        covered = assignment.matrix.any(axis=0)
+        assert covered.all()
+
+    def test_reliable_users_get_more_tasks(self):
+        rng = np.random.default_rng(7)
+        problem = AllocationProblem(
+            expertise=np.ones((6, 30)),
+            processing_times=rng.uniform(0.5, 2.0, 30),
+            # Identical capacity so workload differences come from priority.
+            capacities=np.full(6, 6.0),
+        )
+        reliabilities = np.array([1.0, 0.9, 0.8, 0.3, 0.2, 0.1])
+        assignment = ReliabilityGreedyAllocator(reliabilities).allocate(problem)
+        counts = assignment.matrix.sum(axis=1)
+        # The most reliable users pick first (shortest tasks), so they fit
+        # at least as many tasks as the least reliable.
+        assert counts[0] >= counts[-1]
+
+    def test_reliability_length_checked(self):
+        problem = _problem()
+        with pytest.raises(ValueError):
+            ReliabilityGreedyAllocator(np.ones(3)).allocate(problem)
+        with pytest.raises(ValueError):
+            ReliabilityGreedyAllocator(np.ones((2, 2)))
+
+    def test_deterministic(self):
+        problem = _problem()
+        reliabilities = np.linspace(1.0, 0.1, problem.n_users)
+        a = ReliabilityGreedyAllocator(reliabilities).allocate(problem)
+        b = ReliabilityGreedyAllocator(reliabilities).allocate(problem)
+        assert np.array_equal(a.matrix, b.matrix)

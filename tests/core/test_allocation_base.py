@@ -1,0 +1,164 @@
+"""Tests for allocation problems, assignments and the Eq. 12 objective."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import (
+    AllocationProblem,
+    Assignment,
+    accuracy_probabilities,
+    allocation_objective,
+)
+from repro.stats.normal import standard_normal_cdf
+
+
+def _problem(n_users=3, n_tasks=4, seed=0, epsilon=0.5):
+    rng = np.random.default_rng(seed)
+    return AllocationProblem(
+        expertise=rng.uniform(0.1, 3.0, (n_users, n_tasks)),
+        processing_times=rng.uniform(0.5, 2.0, n_tasks),
+        capacities=rng.uniform(2.0, 5.0, n_users),
+        epsilon=epsilon,
+    )
+
+
+class TestAccuracyProbabilities:
+    def test_matches_eq11(self):
+        u = np.array([[0.5, 2.0]])
+        p = accuracy_probabilities(u, epsilon=0.1)
+        expected = standard_normal_cdf(0.1 * u) - standard_normal_cdf(-0.1 * u)
+        assert np.allclose(p, expected)
+
+    def test_zero_expertise_gives_zero(self):
+        assert accuracy_probabilities(np.array([[0.0]]), epsilon=0.1)[0, 0] == 0.0
+
+    def test_monotone_in_expertise(self):
+        p = accuracy_probabilities(np.array([[0.5, 1.0, 2.0]]), epsilon=0.2)[0]
+        assert p[0] < p[1] < p[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_probabilities(np.array([[1.0]]), epsilon=0.0)
+        with pytest.raises(ValueError):
+            accuracy_probabilities(np.array([[-1.0]]), epsilon=0.1)
+
+
+class TestAllocationProblem:
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            AllocationProblem(
+                expertise=np.ones((2, 3)),
+                processing_times=np.ones(2),
+                capacities=np.ones(2),
+            )
+        with pytest.raises(ValueError):
+            AllocationProblem(
+                expertise=np.ones((2, 3)),
+                processing_times=np.ones(3),
+                capacities=np.ones(3),
+            )
+
+    def test_value_checks(self):
+        with pytest.raises(ValueError):
+            AllocationProblem(
+                expertise=np.ones((1, 1)),
+                processing_times=np.array([0.0]),
+                capacities=np.array([1.0]),
+            )
+        with pytest.raises(ValueError):
+            AllocationProblem(
+                expertise=np.ones((1, 1)),
+                processing_times=np.array([1.0]),
+                capacities=np.array([1.0]),
+                costs=np.array([-1.0]),
+            )
+
+    def test_default_costs_are_unit(self):
+        problem = _problem()
+        assert np.all(problem.costs == 1.0)
+
+
+class TestAssignment:
+    def test_empty(self):
+        assignment = Assignment.empty(2, 3)
+        assert assignment.pair_count == 0
+        assert assignment.pairs() == []
+
+    def test_pairs_and_lookups(self):
+        matrix = np.zeros((2, 3), dtype=bool)
+        matrix[0, 1] = True
+        matrix[1, 1] = True
+        assignment = Assignment(matrix=matrix)
+        assert assignment.pairs() == [(0, 1), (1, 1)]
+        assert assignment.users_of_task(1).tolist() == [0, 1]
+        assert assignment.tasks_of_user(0).tolist() == [1]
+
+    def test_workloads_and_capacity_check(self):
+        problem = _problem()
+        matrix = np.zeros((3, 4), dtype=bool)
+        matrix[0, :] = True  # likely over capacity
+        over = Assignment(matrix=matrix)
+        loads = over.workloads(problem.processing_times)
+        assert loads[0] == pytest.approx(problem.processing_times.sum())
+
+    def test_total_cost(self):
+        matrix = np.zeros((2, 2), dtype=bool)
+        matrix[0, 0] = True
+        matrix[1, 0] = True
+        matrix[0, 1] = True
+        assignment = Assignment(matrix=matrix)
+        assert assignment.total_cost(np.array([2.0, 5.0])) == 9.0
+
+    def test_union(self):
+        a = Assignment.empty(2, 2)
+        b = Assignment.empty(2, 2)
+        a.matrix[0, 0] = True
+        b.matrix[1, 1] = True
+        union = a.union(b)
+        assert union.pair_count == 2
+        with pytest.raises(ValueError):
+            a.union(Assignment.empty(3, 2))
+
+
+class TestObjective:
+    def test_empty_assignment_scores_zero(self):
+        problem = _problem()
+        assert allocation_objective(problem, Assignment.empty(3, 4)) == 0.0
+
+    def test_single_pair_equals_p(self):
+        problem = _problem()
+        p = problem.accuracy_matrix()
+        assignment = Assignment.empty(3, 4)
+        assignment.matrix[1, 2] = True
+        assert allocation_objective(problem, assignment) == pytest.approx(p[1, 2])
+
+    def test_coverage_formula_two_users(self):
+        problem = _problem()
+        p = problem.accuracy_matrix()
+        assignment = Assignment.empty(3, 4)
+        assignment.matrix[0, 0] = True
+        assignment.matrix[1, 0] = True
+        expected = 1.0 - (1.0 - p[0, 0]) * (1.0 - p[1, 0])
+        assert allocation_objective(problem, assignment) == pytest.approx(expected)
+
+    def test_shape_mismatch_rejected(self):
+        problem = _problem()
+        with pytest.raises(ValueError):
+            allocation_objective(problem, Assignment.empty(2, 4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_objective_monotone_under_added_pairs(self, seed):
+        """Adding an assignment never lowers the objective (monotonicity)."""
+        rng = np.random.default_rng(seed)
+        problem = _problem(seed=seed)
+        matrix = rng.random((3, 4)) < 0.4
+        base = Assignment(matrix=matrix.copy())
+        free = np.argwhere(~matrix)
+        if free.size == 0:
+            return
+        user, task = free[rng.integers(len(free))]
+        matrix[user, task] = True
+        extended = Assignment(matrix=matrix)
+        assert allocation_objective(problem, extended) >= allocation_objective(problem, base) - 1e-12

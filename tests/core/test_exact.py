@@ -1,0 +1,87 @@
+"""Tests for the exact reference solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    AllocationProblem,
+    allocation_objective,
+    exhaustive_max_quality,
+    single_user_knapsack,
+)
+
+
+def test_exhaustive_finds_feasible_optimum():
+    problem = AllocationProblem(
+        expertise=np.array([[1.0, 2.0], [2.0, 1.0]]),
+        processing_times=np.array([1.0, 1.0]),
+        capacities=np.array([1.0, 1.0]),
+        epsilon=0.5,
+    )
+    assignment, value = exhaustive_max_quality(problem)
+    assert assignment.respects_capacities(problem)
+    assert value == pytest.approx(allocation_objective(problem, assignment))
+    # Each user can take one task; optimum pairs each user with its
+    # high-expertise task.
+    assert assignment.matrix[0, 1]
+    assert assignment.matrix[1, 0]
+
+
+def test_exhaustive_size_guard():
+    problem = AllocationProblem(
+        expertise=np.ones((5, 5)),
+        processing_times=np.ones(5),
+        capacities=np.ones(5),
+    )
+    with pytest.raises(ValueError):
+        exhaustive_max_quality(problem)
+
+
+def test_knapsack_known_instance():
+    values = np.array([60.0, 100.0, 120.0])
+    weights = np.array([10.0, 20.0, 30.0])
+    selected, total = single_user_knapsack(values, weights, capacity=50.0, resolution=50)
+    assert total == 220.0
+    assert selected.tolist() == [False, True, True]
+
+
+def test_knapsack_zero_capacity():
+    selected, total = single_user_knapsack(np.array([5.0]), np.array([1.0]), capacity=0.0)
+    assert total == 0.0
+    assert not selected[0]
+
+
+def test_knapsack_all_fit():
+    values = np.array([1.0, 2.0])
+    weights = np.array([1.0, 1.0])
+    selected, total = single_user_knapsack(values, weights, capacity=3.0, resolution=30)
+    assert total == 3.0
+    assert selected.all()
+
+
+def test_knapsack_validation():
+    with pytest.raises(ValueError):
+        single_user_knapsack(np.array([1.0]), np.array([0.0]), capacity=1.0)
+    with pytest.raises(ValueError):
+        single_user_knapsack(np.array([1.0]), np.array([1.0, 2.0]), capacity=1.0)
+    with pytest.raises(ValueError):
+        single_user_knapsack(np.array([1.0]), np.array([1.0]), capacity=-1.0)
+    with pytest.raises(ValueError):
+        single_user_knapsack(np.array([1.0]), np.array([1.0]), capacity=1.0, resolution=0)
+
+
+def test_knapsack_matches_exhaustive_reduction():
+    """Single-user max-quality == knapsack with p_ij item values (Eq. 15)."""
+    rng = np.random.default_rng(3)
+    problem = AllocationProblem(
+        expertise=rng.uniform(0.1, 3.0, (1, 8)),
+        processing_times=np.round(rng.uniform(0.1, 1.0, 8), 1),
+        capacities=np.array([2.0]),
+        epsilon=0.5,
+    )
+    p = problem.accuracy_matrix()[0]
+    selected, total = single_user_knapsack(
+        p, problem.processing_times, float(problem.capacities[0]), resolution=2000
+    )
+    assignment, optimal = exhaustive_max_quality(problem)
+    assert total == pytest.approx(optimal, abs=1e-9)

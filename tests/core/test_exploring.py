@@ -1,0 +1,85 @@
+"""Tests for the epsilon-greedy exploring allocator."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import AllocationProblem, MaxQualityAllocator, allocation_objective
+from repro.core.allocation.exploring import ExploringMaxQualityAllocator
+
+
+def _problem(seed=0, n_users=10, n_tasks=30):
+    rng = np.random.default_rng(seed)
+    return AllocationProblem(
+        expertise=rng.uniform(0.1, 3.0, (n_users, n_tasks)),
+        processing_times=rng.uniform(0.5, 1.5, n_tasks),
+        capacities=rng.uniform(6.0, 10.0, n_users),
+        epsilon=0.5,
+    )
+
+
+def test_zero_rate_matches_plain_greedy():
+    problem = _problem(0)
+    exploring = ExploringMaxQualityAllocator(exploration_rate=0.0, seed=1).allocate(problem)
+    plain = MaxQualityAllocator().allocate(problem)
+    assert np.array_equal(exploring.matrix, plain.matrix)
+
+
+def test_respects_capacities_at_any_rate():
+    for rate in (0.1, 0.5, 1.0):
+        problem = _problem(1)
+        assignment = ExploringMaxQualityAllocator(exploration_rate=rate, seed=2).allocate(problem)
+        assert assignment.respects_capacities(problem)
+
+
+def test_exploration_spreads_assignments_across_users():
+    # A problem where one user dominates every task: pure greedy gives the
+    # weak users the leftovers only after the star fills up; exploration
+    # forces some random pairs onto everyone early.
+    rng = np.random.default_rng(3)
+    expertise = np.full((6, 40), 0.1)
+    expertise[0, :] = 3.0
+    problem = AllocationProblem(
+        expertise=expertise,
+        processing_times=rng.uniform(0.5, 1.5, 40),
+        capacities=np.full(6, 8.0),
+        epsilon=0.5,
+    )
+    greedy = ExploringMaxQualityAllocator(exploration_rate=0.0, seed=4).allocate(problem)
+    explored = ExploringMaxQualityAllocator(exploration_rate=0.5, seed=4).allocate(problem)
+    # Both fill roughly the same volume...
+    assert abs(greedy.pair_count - explored.pair_count) <= 10
+    # ...but exploration's choices differ from pure exploitation's.
+    assert not np.array_equal(greedy.matrix, explored.matrix)
+
+
+def test_objective_close_to_greedy():
+    # Exploration costs some objective but not much at a modest rate.
+    problem = _problem(5)
+    greedy_value = allocation_objective(problem, MaxQualityAllocator().allocate(problem))
+    explored_value = allocation_objective(
+        problem, ExploringMaxQualityAllocator(exploration_rate=0.2, seed=6).allocate(problem)
+    )
+    assert explored_value >= 0.8 * greedy_value
+
+
+def test_seeded_reproducibility():
+    problem = _problem(7)
+    a = ExploringMaxQualityAllocator(exploration_rate=0.3, seed=8).allocate(problem)
+    b = ExploringMaxQualityAllocator(exploration_rate=0.3, seed=8).allocate(problem)
+    assert np.array_equal(a.matrix, b.matrix)
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        ExploringMaxQualityAllocator(exploration_rate=-0.1)
+    with pytest.raises(ValueError):
+        ExploringMaxQualityAllocator(exploration_rate=1.1)
+
+
+def test_pipeline_accepts_exploration_rate():
+    from repro.core.pipeline import ETA2System
+
+    system = ETA2System(n_users=3, capacities=[5.0, 5.0, 5.0], exploration_rate=0.2, seed=9)
+    assert isinstance(system._max_quality, ExploringMaxQualityAllocator)
+    with pytest.raises(ValueError):
+        ETA2System(n_users=3, capacities=[5.0, 5.0, 5.0], exploration_rate=2.0)

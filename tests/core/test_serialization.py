@@ -1,0 +1,143 @@
+"""Tests for ETA2 state persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.clustering.dynamic import DynamicHierarchicalClustering
+from repro.core.pipeline import ETA2System, IncomingTask
+from repro.core.serialization import (
+    clustering_from_dict,
+    clustering_to_dict,
+    load_system_state,
+    save_system_state,
+    updater_from_dict,
+    updater_to_dict,
+)
+from repro.core.update import ExpertiseUpdater
+from repro.truthdiscovery.base import ObservationMatrix
+
+
+def _trained_updater(seed=0):
+    rng = np.random.default_rng(seed)
+    updater = ExpertiseUpdater(n_users=10, alpha=0.5)
+    domains = rng.integers(0, 3, 30)
+    mask = rng.random((10, 30)) < 0.5
+    values = np.where(mask, rng.normal(5.0, 2.0, (10, 30)), 0.0)
+    updater.incorporate(ObservationMatrix(values=values, mask=mask), domains)
+    return updater
+
+
+class TestUpdaterRoundTrip:
+    def test_round_trip_preserves_expertise(self):
+        updater = _trained_updater()
+        restored = updater_from_dict(json.loads(json.dumps(updater_to_dict(updater))))
+        assert restored.domain_ids == updater.domain_ids
+        for domain_id in updater.domain_ids:
+            assert np.allclose(
+                restored.expertise_column(domain_id), updater.expertise_column(domain_id)
+            )
+
+    def test_restored_updater_keeps_learning(self):
+        updater = _trained_updater(seed=1)
+        restored = updater_from_dict(updater_to_dict(updater))
+        rng = np.random.default_rng(2)
+        domains = rng.integers(0, 3, 10)
+        mask = rng.random((10, 10)) < 0.5
+        values = np.where(mask, rng.normal(5.0, 2.0, (10, 10)), 0.0)
+        obs = ObservationMatrix(values=values, mask=mask)
+        a = updater.incorporate(obs, domains)
+        b = restored.incorporate(obs, domains)
+        assert np.allclose(a.truths, b.truths, equal_nan=True)
+
+    def test_bad_length_rejected(self):
+        data = updater_to_dict(_trained_updater())
+        data["numerators"]["0"] = [1.0]  # wrong length
+        with pytest.raises(ValueError):
+            updater_from_dict(data)
+
+
+class TestClusteringRoundTrip:
+    def test_unfitted_round_trip(self):
+        clustering = DynamicHierarchicalClustering(gamma=0.4)
+        restored = clustering_from_dict(clustering_to_dict(clustering))
+        assert not restored.is_fitted
+        assert restored.gamma == 0.4
+
+    def test_fitted_round_trip_continues_identically(self):
+        rng = np.random.default_rng(3)
+        clustering = DynamicHierarchicalClustering(gamma=0.25)
+        points = np.vstack(
+            [rng.normal(0.0, 0.1, (6, 4)), rng.normal(4.0, 0.1, (6, 4))]
+        )
+        clustering.fit(points)
+        restored = clustering_from_dict(json.loads(json.dumps(clustering_to_dict(clustering))))
+        assert np.array_equal(restored.labels(), clustering.labels())
+        assert restored.d_star == clustering.d_star
+        new_points = rng.normal(0.0, 0.1, (3, 4))
+        a = clustering.add(new_points)
+        b = restored.add(new_points)
+        assert np.array_equal(a.added_labels, b.added_labels)
+
+    def test_corrupt_membership_rejected(self):
+        rng = np.random.default_rng(4)
+        clustering = DynamicHierarchicalClustering(gamma=0.3)
+        clustering.fit(rng.normal(size=(4, 2)))
+        data = clustering_to_dict(clustering)
+        first_domain = next(iter(data["domains"]))
+        data["domains"][first_domain] = data["domains"][first_domain][:-1]
+        with pytest.raises(ValueError):
+            clustering_from_dict(data)
+
+
+class TestSystemStateFile:
+    def _run_system(self, seed=5):
+        rng = np.random.default_rng(seed)
+        system = ETA2System(n_users=12, capacities=rng.uniform(6, 10, 12), alpha=0.5, seed=seed)
+        true_u = rng.uniform(0.3, 3.0, (12, 3))
+        tasks = [
+            IncomingTask(processing_time=float(rng.uniform(0.5, 1.5)), domain=int(rng.integers(3)))
+            for _ in range(15)
+        ]
+        domains = np.array([t.domain for t in tasks])
+        truths = rng.uniform(0, 20, 15)
+
+        def observe(pairs):
+            return [
+                truths[task] + rng.standard_normal() / true_u[user, domains[task]]
+                for user, task in pairs
+            ]
+
+        system.warmup(tasks, observe)
+        return system, rng, true_u
+
+    def test_save_load_round_trip(self, tmp_path):
+        system, rng, _ = self._run_system()
+        path = tmp_path / "state.json"
+        save_system_state(system, path)
+
+        fresh = ETA2System(n_users=12, capacities=np.full(12, 8.0), seed=0)
+        load_system_state(fresh, path)
+        assert fresh.is_warmed_up
+        assert fresh.iteration_log == system.iteration_log
+        original = system.expertise_matrix()
+        restored = fresh.expertise_matrix()
+        assert original.domain_ids == restored.domain_ids
+        for domain_id in original.domain_ids:
+            assert np.allclose(original.column(domain_id), restored.column(domain_id))
+
+    def test_user_count_mismatch_rejected(self, tmp_path):
+        system, _, _ = self._run_system(seed=6)
+        path = tmp_path / "state.json"
+        save_system_state(system, path)
+        fresh = ETA2System(n_users=5, capacities=np.full(5, 8.0))
+        with pytest.raises(ValueError):
+            load_system_state(fresh, path)
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps({"format_version": 999}))
+        fresh = ETA2System(n_users=3, capacities=np.full(3, 8.0))
+        with pytest.raises(ValueError):
+            load_system_state(fresh, path)

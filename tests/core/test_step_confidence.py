@@ -1,0 +1,108 @@
+"""Tests for StepResult.confidence_intervals (the Eq. 24 API surface)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ETA2System, IncomingTask, StepResult
+from repro.core.allocation.base import Assignment
+from repro.truthdiscovery.base import ObservationMatrix
+
+
+def _run_one_day(seed=0):
+    rng = np.random.default_rng(seed)
+    system = ETA2System(n_users=20, capacities=rng.uniform(8, 12, 20), seed=seed)
+    true_u = rng.uniform(0.5, 3.0, (20, 3))
+    tasks = [
+        IncomingTask(processing_time=1.0, domain=int(rng.integers(3))) for _ in range(15)
+    ]
+    domains = np.array([t.domain for t in tasks])
+    truths = rng.uniform(0, 20, 15)
+    sigmas = rng.uniform(0.5, 2.0, 15)
+
+    def observe(pairs):
+        return [
+            truths[task] + rng.standard_normal() * sigmas[task] / true_u[user, domains[task]]
+            for user, task in pairs
+        ]
+
+    warm = system.warmup(tasks, observe)
+    step = system.step(tasks=[
+        IncomingTask(processing_time=1.0, domain=int(rng.integers(3))) for _ in range(15)
+    ], observe=observe)
+    return warm, step, truths
+
+
+def test_intervals_available_from_warmup_and_step():
+    warm, step, _ = _run_one_day()
+    for result in (warm, step):
+        intervals = result.confidence_intervals()
+        assert len(intervals) == 15
+        observed = result.observations.mask.any(axis=0)
+        for task, interval in enumerate(intervals):
+            if observed[task]:
+                assert np.isfinite(interval.half_width)
+                assert interval.contains(result.truths[task])
+            else:
+                assert np.isinf(interval.half_width)
+
+
+def test_higher_confidence_widens_every_interval():
+    warm, _, _ = _run_one_day(seed=1)
+    narrow = warm.confidence_intervals(confidence=0.9)
+    wide = warm.confidence_intervals(confidence=0.99)
+    for a, b in zip(narrow, wide):
+        if np.isfinite(a.half_width):
+            assert b.half_width > a.half_width
+
+
+def test_intervals_cover_truth_at_plugin_rate():
+    # The Eq. 24 interval is a *plug-in* CI: the Fisher information uses
+    # expertise estimated from the same warm-up data that produced mu_hat,
+    # which overstates the information and makes the intervals
+    # anti-conservative (empirical coverage ~50-70% at nominal 95% on one
+    # warm-up day).  This is a property of the paper's construction, not a
+    # bug; coverage improves as expertise estimates converge over days.
+    # The assertion separates "working but optimistic" from "garbage".
+    rng = np.random.default_rng(2)
+    covered = 0
+    total = 0
+    warm, step, _ = _run_one_day(seed=2)
+    # Re-derive ground truth via a fresh controlled run for coverage check.
+    system = ETA2System(n_users=25, capacities=rng.uniform(10, 14, 25), seed=3)
+    true_u = rng.uniform(0.5, 3.0, (25, 2))
+    truths = rng.uniform(0, 20, 20)
+    sigmas = rng.uniform(0.5, 2.0, 20)
+    tasks = [IncomingTask(processing_time=1.0, domain=int(rng.integers(2))) for _ in range(20)]
+    domains = np.array([t.domain for t in tasks])
+
+    def observe(pairs):
+        return [
+            truths[task] + rng.standard_normal() * sigmas[task] / true_u[user, domains[task]]
+            for user, task in pairs
+        ]
+
+    result = system.warmup(tasks, observe)
+    for task, interval in enumerate(result.confidence_intervals(confidence=0.95)):
+        if np.isfinite(interval.half_width):
+            total += 1
+            if interval.contains(truths[task]):
+                covered += 1
+    assert total > 10
+    assert covered / total >= 0.45
+
+
+def test_missing_expertise_rejected():
+    result = StepResult(
+        assignment=Assignment.empty(1, 1),
+        observations=ObservationMatrix(values=np.zeros((1, 1)), mask=np.zeros((1, 1), bool)),
+        truths=np.array([np.nan]),
+        sigmas=np.array([1.0]),
+        task_domains=np.array([0]),
+        merges=(),
+        new_domains=(),
+        mle_iterations=1,
+        allocation_cost=0.0,
+        task_expertise=None,
+    )
+    with pytest.raises(ValueError):
+        result.confidence_intervals()

@@ -1,0 +1,114 @@
+"""Tests for the batch MLE truth analysis (Eqs. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.truth import estimate_truth, update_truths_for_expertise
+from repro.truthdiscovery.base import ObservationMatrix
+
+
+def _synthetic_batch(seed=0, n_users=40, n_tasks=80, n_domains=4, density=0.4):
+    rng = np.random.default_rng(seed)
+    expertise = rng.uniform(0.3, 3.0, (n_users, n_domains))
+    domains = rng.integers(0, n_domains, n_tasks)
+    truths = rng.uniform(0.0, 20.0, n_tasks)
+    sigmas = rng.uniform(0.5, 5.0, n_tasks)
+    mask = rng.random((n_users, n_tasks)) < density
+    noise = rng.standard_normal((n_users, n_tasks))
+    values = truths[None, :] + noise * sigmas[None, :] / expertise[:, domains]
+    obs = ObservationMatrix(values=np.where(mask, values, 0.0), mask=mask)
+    return obs, domains, truths, sigmas, expertise
+
+
+class TestEq5:
+    def test_weighted_mean_formula(self):
+        obs = ObservationMatrix.from_triples(
+            [(0, 0, 2.0), (1, 0, 6.0)], n_users=2, n_tasks=1
+        )
+        expertise = np.array([[2.0], [1.0]])  # weights 4 : 1
+        truths, sigmas = update_truths_for_expertise(obs, expertise)
+        assert truths[0] == pytest.approx((4 * 2.0 + 1 * 6.0) / 5.0)
+        assert sigmas[0] > 0
+
+    def test_unobserved_task_is_nan(self):
+        obs = ObservationMatrix.from_triples([(0, 0, 1.0)], n_users=1, n_tasks=2)
+        truths, sigmas = update_truths_for_expertise(obs, np.ones((1, 2)))
+        assert np.isnan(truths[1])
+        assert sigmas[1] > 0  # floored, not NaN
+
+    def test_sigma_formula_single_task(self):
+        # sigma^2 = sum w u^2 (x - mu)^2 / count
+        obs = ObservationMatrix.from_triples(
+            [(0, 0, 0.0), (1, 0, 2.0)], n_users=2, n_tasks=1
+        )
+        expertise = np.ones((2, 1))
+        truths, sigmas = update_truths_for_expertise(obs, expertise)
+        assert truths[0] == 1.0
+        assert sigmas[0] == pytest.approx(np.sqrt((1.0 + 1.0) / 2.0))
+
+
+class TestEstimateTruth:
+    def test_beats_plain_mean_on_heterogeneous_data(self):
+        obs, domains, truths, sigmas, _ = _synthetic_batch()
+        result = estimate_truth(obs, domains)
+        mle_error = np.nanmean(np.abs(result.truths - truths) / sigmas)
+        mean_error = np.nanmean(np.abs(obs.task_means() - truths) / sigmas)
+        assert mle_error < mean_error
+
+    def test_recovers_expertise_ordering(self):
+        obs, domains, _, _, expertise = _synthetic_batch(seed=1, density=0.6)
+        result = estimate_truth(obs, domains)
+        correlation = np.corrcoef(result.expertise.ravel(), expertise.ravel())[0, 1]
+        assert correlation > 0.4
+
+    def test_convergence_flag_and_iterations(self):
+        obs, domains, _, _, _ = _synthetic_batch(seed=2)
+        result = estimate_truth(obs, domains)
+        assert result.converged
+        assert 2 <= result.iterations <= 100
+
+    def test_warm_start_converges_faster_or_equal(self):
+        obs, domains, _, _, _ = _synthetic_batch(seed=3)
+        cold = estimate_truth(obs, domains)
+        warm = estimate_truth(
+            obs, domains, initial_expertise=cold.expertise, domain_ids=cold.domain_ids
+        )
+        assert warm.iterations <= cold.iterations + 1
+
+    def test_domain_ids_default_to_sorted_labels(self):
+        obs, domains, _, _, _ = _synthetic_batch(seed=4)
+        result = estimate_truth(obs, domains)
+        assert result.domain_ids == tuple(sorted(set(domains.tolist())))
+
+    def test_expertise_for_tasks_lookup(self):
+        obs, domains, _, _, _ = _synthetic_batch(seed=5)
+        result = estimate_truth(obs, domains)
+        task_expertise = result.expertise_for_tasks(domains)
+        assert task_expertise.shape == (obs.n_users, obs.n_tasks)
+        column = list(result.domain_ids).index(domains[0])
+        assert task_expertise[0, 0] == result.expertise[0, column]
+
+    def test_validation(self):
+        obs, domains, _, _, _ = _synthetic_batch(seed=6)
+        with pytest.raises(ValueError):
+            estimate_truth(obs, domains[:-1])
+        with pytest.raises(ValueError):
+            estimate_truth(obs, domains, domain_ids=(999,))
+        empty = ObservationMatrix(
+            values=np.zeros_like(obs.values), mask=np.zeros_like(obs.mask)
+        )
+        with pytest.raises(ValueError):
+            estimate_truth(empty, domains)
+
+    def test_initial_expertise_shape_checked(self):
+        obs, domains, _, _, _ = _synthetic_batch(seed=7)
+        with pytest.raises(ValueError):
+            estimate_truth(obs, domains, initial_expertise=np.ones((2, 2)))
+
+    def test_single_observer_task_does_not_blow_up(self):
+        obs = ObservationMatrix.from_triples(
+            [(0, 0, 5.0), (0, 1, 3.0), (1, 1, 4.0)], n_users=2, n_tasks=2
+        )
+        result = estimate_truth(obs, np.zeros(2, dtype=int))
+        assert np.all(np.isfinite(result.truths))
+        assert np.all(result.expertise <= 10.0)

@@ -1,0 +1,49 @@
+"""Tests for the question templates."""
+
+import pytest
+
+from repro.datasets.templates import QUALIFIERS, QUESTION_TEMPLATES, generate_question
+from repro.rng import ensure_rng
+from repro.semantics.pairword import extract_pair_word
+from repro.semantics.vocab import DOMAIN_VOCABULARIES
+
+
+def test_question_uses_domain_terms():
+    rng = ensure_rng(0)
+    domain = DOMAIN_VOCABULARIES[0]
+    question, query, target = generate_question(domain, rng)
+    assert query in domain.query_terms
+    assert target in domain.target_terms
+    assert query in question
+    assert target in question
+
+
+def test_qualifier_appended_before_question_mark():
+    rng = ensure_rng(1)
+    domain = DOMAIN_VOCABULARIES[1]
+    question, _, _ = generate_question(domain, rng, qualifier_probability=1.0)
+    assert question.endswith("?")
+    assert any(qualifier in question for qualifier in QUALIFIERS)
+
+
+def test_generated_questions_are_extractable():
+    """Every template must survive the pair-word extractor."""
+    rng = ensure_rng(2)
+    for domain in DOMAIN_VOCABULARIES:
+        for _ in range(10):
+            question, query, target = generate_question(domain, rng, qualifier_probability=0.5)
+            pair = extract_pair_word(question)
+            # The extracted query overlaps the generating query term.
+            assert set(pair.query) & set(query.split()), question
+            assert set(pair.target) & set(target.split()), question
+
+
+def test_probability_validation():
+    with pytest.raises(ValueError):
+        generate_question(DOMAIN_VOCABULARIES[0], ensure_rng(0), qualifier_probability=1.5)
+
+
+def test_templates_all_have_placeholders():
+    for template in QUESTION_TEMPLATES:
+        assert "{query}" in template
+        assert "{target}" in template

@@ -1,0 +1,119 @@
+"""Tests for the experiment harness (config, runner, reporting, figures).
+
+Figure functions get full runs in the benchmark suite; here they are
+exercised at minimal scale for correctness of plumbing and output shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    average_day_errors,
+    dataset_factory,
+    fig2_error_distribution,
+    format_table,
+    replicate,
+    table1_normality,
+)
+from repro.experiments.config import BEST_PARAMETERS, DATASET_NAMES
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import mean_and_sem
+from repro.simulation.approaches import ETA2Approach, MeanApproach
+
+TINY = ExperimentConfig(
+    replications=2,
+    n_days=2,
+    survey_tasks=40,
+    sfv_tasks=40,
+    synthetic_tasks=60,
+    synthetic_users=20,
+    seed=123,
+)
+
+
+class TestConfig:
+    def test_dataset_factory_builds_all(self):
+        for name in DATASET_NAMES:
+            dataset = dataset_factory(name, TINY, seed=0)
+            assert dataset.name == name
+            assert dataset.n_tasks in (40, 60)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_factory("nope", TINY, seed=0)
+
+    def test_best_parameters_copied(self):
+        params = TINY.best_parameters("survey")
+        params["alpha"] = 999
+        assert BEST_PARAMETERS["survey"]["alpha"] != 999
+
+    def test_paper_scale_sizes(self):
+        paper = ExperimentConfig.paper_scale()
+        assert paper.replications == 100
+        assert paper.sfv_tasks == 2000
+        assert paper.synthetic_tasks == 1000
+
+    def test_with_tau(self):
+        assert TINY.with_tau(5.0).tau == 5.0
+        assert TINY.tau == 12.0  # frozen original untouched
+
+    def test_replications_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(replications=0)
+
+
+class TestRunner:
+    def test_replicate_returns_fresh_runs(self):
+        results = replicate("synthetic", lambda: MeanApproach(), TINY)
+        assert len(results) == 2
+        assert all(len(r.days) == TINY.n_days for r in results)
+        # Replications use different seeds -> different outcomes.
+        assert not np.array_equal(results[0].errors_by_day(), results[1].errors_by_day())
+
+    def test_replicate_is_reproducible(self):
+        a = replicate("synthetic", lambda: MeanApproach(), TINY)
+        b = replicate("synthetic", lambda: MeanApproach(), TINY)
+        assert np.array_equal(a[0].errors_by_day(), b[0].errors_by_day())
+
+    def test_average_day_errors(self):
+        results = replicate("synthetic", lambda: ETA2Approach(), TINY)
+        averaged = average_day_errors(results)
+        assert averaged.shape == (TINY.n_days,)
+        with pytest.raises(ValueError):
+            average_day_errors([])
+
+    def test_mean_and_sem(self):
+        mean, sem = mean_and_sem([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert sem == pytest.approx(np.std([1, 2, 3], ddof=1) / np.sqrt(3))
+        mean, sem = mean_and_sem([5.0])
+        assert (mean, sem) == (5.0, 0.0)
+        mean, sem = mean_and_sem([float("nan")])
+        assert np.isnan(mean)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1.0, 2.5], [3.25, 4.0]], precision=2, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.00" in text
+        assert "4.00" in text
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"s": [0.1, 0.2]}, precision=1)
+        assert "0.1" in text
+        assert "x" in text.splitlines()[0]
+
+
+class TestFigureSmoke:
+    def test_fig2_returns_both_datasets(self):
+        result = fig2_error_distribution(TINY, bins=10)
+        assert set(result.dataset_names) == {"survey", "sfv"}
+        assert "Fig. 2" in result.render()
+
+    def test_table1_renders(self):
+        result = table1_normality(TINY, alphas=(0.1, 0.05))
+        assert len(result.pass_rates) == 2
+        assert "Table 1" in result.render()

@@ -1,0 +1,102 @@
+"""Tiny-scale smoke tests for every figure function.
+
+The benchmarks exercise these at evaluation scale with shape assertions;
+these smoke tests run in the plain test suite so a refactor that breaks a
+figure's plumbing fails `pytest tests/` immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig4_parameter_sweep,
+    fig5_error_over_days,
+    fig6_capability_sweep,
+    fig7_expertise_vs_error,
+    fig8_bias_robustness,
+    fig9_fig10_mincost_comparison,
+    fig11_expertise_accuracy,
+    fig12_convergence_cdf,
+    table2_allocation_audit,
+)
+
+TINY = ExperimentConfig(
+    replications=1,
+    n_days=2,
+    survey_tasks=40,
+    sfv_tasks=40,
+    synthetic_tasks=60,
+    synthetic_users=20,
+    seed=99,
+)
+
+
+def test_fig4_smoke():
+    result = fig4_parameter_sweep("synthetic", TINY, alphas=(0.5,), gammas=(0.3,))
+    assert result.errors.shape == (1, 1)
+    assert np.isfinite(result.errors[0, 0])
+    assert "Fig. 4" in result.render()
+
+
+def test_fig5_smoke():
+    result = fig5_error_over_days("synthetic", TINY)
+    assert set(result.series) == {
+        "ETA2",
+        "hubs-authorities",
+        "average-log",
+        "truthfinder",
+        "baseline-mean",
+    }
+    assert len(result.days) == 2
+    assert "Fig. 5" in result.render()
+
+
+def test_fig6_smoke():
+    result = fig6_capability_sweep("synthetic", TINY, taus=(12.0,))
+    assert all(len(series) == 1 for series in result.series.values())
+    assert "Fig. 6" in result.render()
+
+
+def test_fig7_smoke():
+    result = fig7_expertise_vs_error(TINY, dataset_name="sfv")
+    assert len(result.boxplots) == len(result.bin_edges) - 1
+    assert "Fig. 7" in result.render()
+
+
+def test_fig8_smoke():
+    result = fig8_bias_robustness(TINY, bias_fractions=(0.0, 0.5))
+    assert len(result.errors) == 2
+    assert "Fig. 8" in result.render()
+
+
+def test_fig9_fig10_smoke():
+    result = fig9_fig10_mincost_comparison(
+        "synthetic", TINY, taus=(12.0,), round_budgets=(40.0,)
+    )
+    assert set(result.error_series) == {"ETA2", "ETA2-mc(c0=40)"}
+    assert len(result.cost_series["ETA2"]) == 1
+    rendered = result.render()
+    assert "Fig. 9" in rendered
+    assert "Fig. 10" in rendered
+
+
+def test_fig11_smoke():
+    result = fig11_expertise_accuracy(TINY, taus=(12.0,))
+    assert len(result.expertise_errors) == 1
+    assert np.isfinite(result.expertise_errors[0])
+    assert "Fig. 11" in result.render()
+
+
+def test_fig12_smoke():
+    result = fig12_convergence_cdf(TINY, dataset_names=("synthetic",))
+    values, probs = result.cdfs["synthetic"]
+    assert probs[-1] == 1.0
+    assert result.quantile("synthetic", 0.5) >= 1.0
+    assert "Fig. 12" in result.render()
+
+
+def test_table2_smoke():
+    result = table2_allocation_audit(TINY)
+    assert len(result.task_fractions) == len(result.buckets)
+    assert "Table 2" in result.render()

@@ -1,0 +1,45 @@
+"""Tests for the report generator."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import REPORT_SECTIONS, generate_report
+
+TINY = ExperimentConfig(
+    replications=1,
+    n_days=2,
+    survey_tasks=40,
+    sfv_tasks=40,
+    synthetic_tasks=60,
+    synthetic_users=20,
+    seed=7,
+)
+
+
+def test_selected_sections_render():
+    text = generate_report(TINY, sections=["table1"])
+    assert "# ETA2 reproduction report" in text
+    assert "## table1" in text
+    assert "non-rejection rate" in text
+
+
+def test_unknown_section_rejected():
+    with pytest.raises(ValueError):
+        generate_report(TINY, sections=["nope"])
+
+
+def test_report_written_to_file(tmp_path):
+    out = tmp_path / "report.md"
+    text = generate_report(TINY, sections=["fig7"], out=out)
+    assert out.read_text() == text
+
+
+def test_all_sections_registered():
+    # Every paper artefact plus the two extensions.
+    expected = {
+        "fig2", "table1", "fig4-survey", "fig4-synthetic", "fig5-survey",
+        "fig5-sfv", "fig5-synthetic", "fig6-survey", "fig6-synthetic",
+        "fig7", "fig8", "fig9-10-synthetic", "fig11", "fig12", "table2",
+        "ext-categorical", "ext-adversarial",
+    }
+    assert expected <= set(REPORT_SECTIONS)

@@ -1,0 +1,115 @@
+"""Tests for payment schemes and effort-responsive users."""
+
+import numpy as np
+import pytest
+
+from repro.incentives import (
+    AccuracyBonusPayment,
+    EffortResponsiveUser,
+    FlatPayment,
+)
+
+
+class TestPayments:
+    def test_flat_pay_is_accuracy_blind(self):
+        scheme = FlatPayment(rate=1.5)
+        assert scheme.payout(accurate=True) == 1.5
+        assert scheme.payout(accurate=False) == 1.5
+        assert scheme.expected_pay(0.1) == scheme.expected_pay(0.9) == 1.5
+
+    def test_bonus_pay_rewards_accuracy(self):
+        scheme = AccuracyBonusPayment(base=0.2, bonus=1.0)
+        assert scheme.payout(accurate=True) == pytest.approx(1.2)
+        assert scheme.payout(accurate=False) == pytest.approx(0.2)
+        assert scheme.expected_pay(0.5) == pytest.approx(0.7)
+
+    def test_expected_pay_monotone_in_accuracy(self):
+        scheme = AccuracyBonusPayment()
+        assert scheme.expected_pay(0.9) > scheme.expected_pay(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlatPayment(rate=-1.0)
+        with pytest.raises(ValueError):
+            AccuracyBonusPayment(bonus=-0.1)
+        with pytest.raises(ValueError):
+            AccuracyBonusPayment(eps_bar=0.0)
+        with pytest.raises(ValueError):
+            AccuracyBonusPayment().expected_pay(1.5)
+
+
+class TestEffortChoice:
+    def _user(self, skill=3.0):
+        return EffortResponsiveUser(
+            user_id=0,
+            full_expertise=(skill, 0.3),
+            low_effort_factor=0.25,
+            cost_low=0.05,
+            cost_high=0.6,
+        )
+
+    def test_effective_expertise_scaling(self):
+        user = self._user()
+        assert user.effective_expertise(0, "high") == 3.0
+        assert user.effective_expertise(0, "low") == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            user.effective_expertise(0, "heroic")
+
+    def test_flat_pay_makes_slacking_rational(self):
+        user = self._user()
+        choice = user.choose_effort(0, FlatPayment(rate=1.0), eps_bar=0.5)
+        assert choice.effort == "low"
+
+    def test_bonus_makes_high_effort_rational_for_experts(self):
+        user = self._user(skill=3.0)
+        choice = user.choose_effort(0, AccuracyBonusPayment(), eps_bar=0.5)
+        assert choice.effort == "high"
+
+    def test_bonus_cannot_motivate_the_unskilled(self):
+        # In domain 1 the user's full expertise is 0.3: even at high effort
+        # the accuracy band is nearly unreachable, so slacking stays optimal.
+        user = self._user()
+        choice = user.choose_effort(1, AccuracyBonusPayment(), eps_bar=0.5)
+        assert choice.effort == "low"
+
+    def test_accuracy_probability_uses_eq11(self):
+        from repro.stats.normal import symmetric_tail_probability
+
+        user = self._user()
+        expected = float(symmetric_tail_probability(0.5 * 3.0))
+        assert user.accuracy_probability(0, "high", eps_bar=0.5) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EffortResponsiveUser(user_id=0, full_expertise=(1.0,), low_effort_factor=2.0)
+        with pytest.raises(ValueError):
+            EffortResponsiveUser(user_id=0, full_expertise=(1.0,), cost_low=0.5, cost_high=0.1)
+
+
+class TestIncentiveLoop:
+    def test_flat_pay_collapses_effort(self):
+        from repro.experiments.incentives import run_incentive_loop
+
+        errors, payouts, efforts = run_incentive_loop(
+            FlatPayment(rate=1.0), n_days=3, seed=5
+        )
+        assert np.all(efforts == 0.0)
+        assert np.all(payouts > 0)
+
+    def test_bonus_raises_effort_and_lowers_error(self):
+        from repro.experiments.incentives import run_incentive_loop
+
+        flat_errors, _, _ = run_incentive_loop(FlatPayment(rate=1.0), n_days=4, seed=6)
+        bonus_errors, _, bonus_efforts = run_incentive_loop(
+            AccuracyBonusPayment(), n_days=4, seed=6
+        )
+        assert bonus_efforts[-1] > 0.5
+        assert np.nanmean(bonus_errors) < 0.5 * np.nanmean(flat_errors)
+
+    def test_comparison_structure(self):
+        from repro.experiments.incentives import incentive_comparison
+
+        result = incentive_comparison(n_days=2, replications=1, seed=7)
+        assert set(result.error_series) == {"flat", "accuracy-bonus"}
+        assert len(result.days) == 2
+        assert "Incentive extension" in result.render()

@@ -1,0 +1,54 @@
+"""Tests for the synthetic topical corpus generator."""
+
+import pytest
+
+from repro.semantics.embeddings.corpus import GLUE_WORDS, generate_topical_corpus
+from repro.semantics.vocab import DOMAIN_VOCABULARIES
+
+
+def test_corpus_size_and_labels():
+    corpus = generate_topical_corpus(sentences_per_domain=10, seed=0)
+    assert len(corpus) == 10 * len(DOMAIN_VOCABULARIES)
+    assert set(corpus.domains) == {domain.name for domain in DOMAIN_VOCABULARIES}
+
+
+def test_sentence_lengths_in_range():
+    corpus = generate_topical_corpus(sentences_per_domain=5, words_per_sentence=(4, 6), seed=1)
+    for sentence in corpus.sentences:
+        assert 4 <= len(sentence) <= 6
+
+
+def test_sentences_draw_from_their_domain():
+    corpus = generate_topical_corpus(sentences_per_domain=20, glue_probability=0.0, seed=2)
+    by_name = {domain.name: set(domain.all_words()) for domain in DOMAIN_VOCABULARIES}
+    for sentence, label in zip(corpus.sentences, corpus.domains):
+        assert set(sentence) <= by_name[label]
+
+
+def test_glue_words_mixed_in():
+    corpus = generate_topical_corpus(sentences_per_domain=50, glue_probability=0.5, seed=3)
+    glue = set(GLUE_WORDS)
+    used = {word for sentence in corpus.sentences for word in sentence}
+    assert used & glue
+
+
+def test_seeded_generation_reproducible():
+    a = generate_topical_corpus(sentences_per_domain=5, seed=7)
+    b = generate_topical_corpus(sentences_per_domain=5, seed=7)
+    assert a.sentences == b.sentences
+
+
+def test_vocabulary_order_stable():
+    corpus = generate_topical_corpus(sentences_per_domain=5, seed=7)
+    vocab = corpus.vocabulary()
+    assert len(vocab) == len(set(vocab))
+    assert vocab[0] == corpus.sentences[0][0]
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        generate_topical_corpus(sentences_per_domain=0)
+    with pytest.raises(ValueError):
+        generate_topical_corpus(words_per_sentence=(5, 3))
+    with pytest.raises(ValueError):
+        generate_topical_corpus(glue_probability=1.0)

@@ -1,0 +1,83 @@
+"""Tests for the Eq. 2 task distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.semantics.distance import (
+    pair_distance,
+    pairwise_distance_matrix,
+    semantics_for_descriptions,
+)
+from repro.semantics.embeddings import HashingEmbedding
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HashingEmbedding(dim=12)
+
+
+@pytest.fixture(scope="module")
+def items(model):
+    descriptions = [
+        "What is the noise level around the municipal building?",
+        "What is the noise level around the riverside park?",
+        "What is the grocery price at the corner supermarket?",
+    ]
+    return semantics_for_descriptions(descriptions, model)
+
+
+def test_distance_is_zero_for_identical_tasks(items):
+    assert pair_distance(items[0], items[0]) == pytest.approx(0.0)
+
+
+def test_distance_matches_eq2_definition(items):
+    a, b = items[0], items[1]
+    expected = 0.5 * (
+        np.sum((a.query_vector - b.query_vector) ** 2)
+        + np.sum((a.target_vector - b.target_vector) ** 2)
+    )
+    assert pair_distance(a, b) == pytest.approx(expected)
+
+
+def test_shared_query_term_reduces_distance(items):
+    # Tasks 0 and 1 share the query "noise level"; task 2 differs in both.
+    assert pair_distance(items[0], items[1]) < pair_distance(items[0], items[2])
+
+
+def test_matrix_matches_pairwise_calls(items):
+    matrix = pairwise_distance_matrix(items)
+    assert matrix.shape == (3, 3)
+    for i in range(3):
+        for j in range(3):
+            assert matrix[i, j] == pytest.approx(pair_distance(items[i], items[j]), abs=1e-9)
+
+
+def test_matrix_symmetric_zero_diagonal(items):
+    matrix = pairwise_distance_matrix(items)
+    assert np.allclose(matrix, matrix.T)
+    assert np.allclose(np.diag(matrix), 0.0)
+
+
+def test_empty_matrix():
+    assert pairwise_distance_matrix([]).shape == (0, 0)
+
+
+def test_concatenated_vector(items):
+    item = items[0]
+    assert item.concatenated.shape == (24,)
+    assert np.allclose(item.concatenated[:12], item.query_vector)
+    assert np.allclose(item.concatenated[12:], item.target_vector)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from([
+    "What is the commute time to the city bridge?",
+    "What is the pollen count near the botanical garden?",
+    "What is the ticket price at the soccer stadium?",
+    "How much is the membership fee at the department store?",
+]), min_size=2, max_size=6))
+def test_matrix_nonnegative_for_any_description_batch(descriptions):
+    model = HashingEmbedding(dim=8)
+    matrix = pairwise_distance_matrix(semantics_for_descriptions(descriptions, model))
+    assert np.all(matrix >= 0.0)

@@ -1,0 +1,60 @@
+"""Tests for the Query/Target pair-word extractor."""
+
+import pytest
+
+from repro.semantics.pairword import PairWord, extract_pair_word
+
+
+def test_paper_example_task1():
+    pair = extract_pair_word("What is the noise level around the municipal building?")
+    assert pair.query == ("noise", "level")
+    assert pair.target == ("municipal", "building")
+
+
+def test_paper_example_task2_falls_back_gracefully():
+    # "How many students have attended the seminar today?" has no linking
+    # preposition between content clauses; the extractor must still return
+    # a total split.
+    pair = extract_pair_word("How many students have attended the seminar today?")
+    assert pair.query
+    assert pair.target
+    assert "seminar" in pair.query + pair.target
+
+
+def test_first_preposition_wins_so_qualifiers_stay_in_target():
+    pair = extract_pair_word(
+        "What is the noise level around the municipal building during the weekend?"
+    )
+    assert pair.query == ("noise", "level")
+    assert pair.target[:2] == ("municipal", "building")
+    assert "weekend" in pair.target
+
+
+def test_single_content_word_serves_both_roles():
+    pair = extract_pair_word("What about parking?")
+    assert pair.query == ("parking",)
+    assert pair.target == ("parking",)
+
+
+def test_no_content_words_rejected():
+    with pytest.raises(ValueError):
+        extract_pair_word("What is the?")
+
+
+def test_middle_split_fallback():
+    pair = extract_pair_word("Report downtown restaurant lunch prices")
+    # No usable preposition: content words split down the middle.
+    assert len(pair.query) + len(pair.target) == 4
+    assert pair.query == ("downtown", "restaurant")
+    assert pair.target == ("lunch", "prices")
+
+
+def test_pairword_text_properties():
+    pair = PairWord(query=("noise", "level"), target=("city", "park"))
+    assert pair.query_text == "noise level"
+    assert pair.target_text == "city park"
+
+
+def test_extractor_is_deterministic():
+    text = "What is the average salary for an entry level engineer in the city?"
+    assert extract_pair_word(text) == extract_pair_word(text)

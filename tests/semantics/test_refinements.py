@@ -1,0 +1,150 @@
+"""Tests for collocation detection, IDF weighting and the cosine metric."""
+
+import numpy as np
+import pytest
+
+from repro.semantics.collocations import PhraseDetector
+from repro.semantics.distance import pair_distance, pairwise_distance_matrix, semantics_for_descriptions
+from repro.semantics.embeddings import HashingEmbedding, generate_topical_corpus
+from repro.semantics.weighting import IdfWeights, WeightedEmbedding
+
+
+class TestPhraseDetector:
+    def _corpus(self):
+        # "noise level" always adjacent; "city" floats around freely.
+        return [
+            ("noise", "level", "city"),
+            ("city", "noise", "level"),
+            ("noise", "level", "report"),
+            ("city", "report"),
+            ("noise", "level", "city", "report"),
+        ] * 3
+
+    def test_learns_frequent_adjacent_pair(self):
+        detector = PhraseDetector(min_count=5, threshold=1e-4).fit(self._corpus())
+        assert ("noise", "level") in detector.phrases
+
+    def test_transform_merges_learned_pairs(self):
+        detector = PhraseDetector(min_count=5, threshold=1e-4).fit(self._corpus())
+        merged = detector.transform_sentence(["city", "noise", "level", "report"])
+        assert merged == ["city", "noise_level", "report"]
+
+    def test_unlearned_pairs_untouched(self):
+        detector = PhraseDetector(min_count=5, threshold=1e-4).fit(self._corpus())
+        assert detector.transform_sentence(["report", "city"]) == ["report", "city"]
+
+    def test_min_count_filters_rare_pairs(self):
+        detector = PhraseDetector(min_count=100).fit(self._corpus())
+        assert detector.phrases == set()
+
+    def test_fit_transform_round_trip(self):
+        corpus = self._corpus()
+        transformed = PhraseDetector(min_count=5, threshold=1e-4).fit_transform(corpus)
+        assert len(transformed) == len(corpus)
+        assert any("noise_level" in sentence for sentence in transformed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhraseDetector(min_count=0)
+        with pytest.raises(ValueError):
+            PhraseDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            PhraseDetector(discount=-1.0)
+
+
+class TestIdfWeights:
+    def test_rare_words_weigh_more(self):
+        idf = IdfWeights([("the", "noise"), ("the", "level"), ("the", "city")])
+        assert idf.weight("the") < idf.weight("noise")
+
+    def test_unseen_words_get_max_weight(self):
+        idf = IdfWeights([("a", "b"), ("a", "c")])
+        assert idf.weight("zzz") >= idf.weight("b")
+
+    def test_weights_vector(self):
+        idf = IdfWeights([("a", "b")])
+        weights = idf.weights(["a", "b", "zzz"])
+        assert weights.shape == (3,)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            IdfWeights([])
+
+
+class TestWeightedEmbedding:
+    def test_weighted_composition_formula(self):
+        base = HashingEmbedding(dim=8)
+        idf = IdfWeights([("the", "noise"), ("the", "level")])
+        weighted = WeightedEmbedding(base, idf)
+        expected = idf.weight("the") * base.vector("the") + idf.weight("noise") * base.vector("noise")
+        assert np.allclose(weighted.phrase_vector(["the", "noise"]), expected)
+
+    def test_word_vectors_delegated(self):
+        base = HashingEmbedding(dim=8)
+        weighted = WeightedEmbedding(base, IdfWeights([("a",)]))
+        assert np.array_equal(weighted.vector("noise"), base.vector("noise"))
+
+    def test_empty_phrase_rejected(self):
+        weighted = WeightedEmbedding(HashingEmbedding(dim=4), IdfWeights([("a",)]))
+        with pytest.raises(ValueError):
+            weighted.phrase_vector([])
+
+
+class TestCosineMetric:
+    @pytest.fixture(scope="class")
+    def items(self):
+        corpus = generate_topical_corpus(sentences_per_domain=60, seed=3)
+        from repro.semantics.embeddings import PPMISVDEmbedding
+
+        model = PPMISVDEmbedding(corpus.sentences, dim=16)
+        descriptions = [
+            "What is the noise level around the municipal building?",
+            "What is the pollen count near the riverside park?",
+            "What is the grocery price at the corner supermarket?",
+        ]
+        return semantics_for_descriptions(descriptions, model)
+
+    def test_cosine_matrix_matches_pairwise(self, items):
+        matrix = pairwise_distance_matrix(items, metric="cosine")
+        for i in range(3):
+            for j in range(3):
+                assert matrix[i, j] == pytest.approx(
+                    pair_distance(items[i], items[j], metric="cosine"), abs=1e-9
+                )
+
+    def test_cosine_bounded(self, items):
+        matrix = pairwise_distance_matrix(items, metric="cosine")
+        assert np.all(matrix >= 0.0)
+        assert np.all(matrix <= 2.0)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_cosine_separates_domains(self, items):
+        matrix = pairwise_distance_matrix(items, metric="cosine")
+        # environment tasks (0, 1) closer than environment-retail (0, 2).
+        assert matrix[0, 1] < matrix[0, 2]
+
+    def test_cosine_is_scale_invariant(self, items):
+        a, b = items[0], items[1]
+        from repro.semantics.distance import TaskSemantics
+
+        scaled = TaskSemantics(
+            pair=a.pair, query_vector=3.0 * a.query_vector, target_vector=3.0 * a.target_vector
+        )
+        assert pair_distance(scaled, b, metric="cosine") == pytest.approx(
+            pair_distance(a, b, metric="cosine")
+        )
+
+    def test_unknown_metric_rejected(self, items):
+        with pytest.raises(ValueError):
+            pair_distance(items[0], items[1], metric="manhattan")
+        with pytest.raises(ValueError):
+            pairwise_distance_matrix(items, metric="manhattan")
+
+    def test_zero_vector_maximal_distance(self):
+        from repro.semantics.distance import TaskSemantics
+        from repro.semantics.pairword import PairWord
+
+        pair = PairWord(query=("a",), target=("b",))
+        zero = TaskSemantics(pair=pair, query_vector=np.zeros(4), target_vector=np.zeros(4))
+        other = TaskSemantics(pair=pair, query_vector=np.ones(4), target_vector=np.ones(4))
+        assert pair_distance(zero, other, metric="cosine") == pytest.approx(1.0)

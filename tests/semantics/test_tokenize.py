@@ -1,0 +1,34 @@
+"""Tests for the tokenizer and stopword handling."""
+
+from repro.semantics.tokenize import QUESTION_WORDS, STOPWORDS, content_words, tokenize
+
+
+def test_tokenize_lowercases_and_strips_punctuation():
+    assert tokenize("What is the Noise Level?") == ["what", "is", "the", "noise", "level"]
+
+
+def test_tokenize_keeps_numbers_and_contractions():
+    assert tokenize("It's 42 miles") == ["it's", "42", "miles"]
+
+
+def test_tokenize_empty_string():
+    assert tokenize("") == []
+    assert tokenize("?!...") == []
+
+
+def test_content_words_removes_stopwords_in_order():
+    # "around" is a stopword here (it carries no topical signal); the
+    # pair-word extractor handles it separately as a linking preposition.
+    words = content_words("What is the noise level around the municipal building?")
+    assert words == ["noise", "level", "municipal", "building"]
+
+
+def test_question_words_are_not_all_stopwords_overlap():
+    # Question words are tracked separately for the pair-word extractor.
+    assert "what" in QUESTION_WORDS
+    assert "how" in QUESTION_WORDS
+
+
+def test_stopwords_cover_interrogative_scaffolding():
+    for word in ("what", "is", "the", "how", "many"):
+        assert word in STOPWORDS

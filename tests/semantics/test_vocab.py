@@ -1,0 +1,49 @@
+"""Tests for the domain vocabularies."""
+
+import pytest
+
+from repro.semantics.vocab import DOMAIN_VOCABULARIES, domain_names, get_domain
+
+
+def test_at_least_eight_domains():
+    # The paper's synthetic dataset uses 8 expertise domains; the text
+    # datasets draw from the same pool.
+    assert len(DOMAIN_VOCABULARIES) >= 8
+
+
+def test_domain_names_unique():
+    names = domain_names()
+    assert len(names) == len(set(names))
+
+
+def test_every_domain_has_terms():
+    for domain in DOMAIN_VOCABULARIES:
+        assert len(domain.query_terms) >= 3
+        assert len(domain.target_terms) >= 3
+        assert len(domain.topic_words) >= 5
+
+
+def test_all_words_deduplicates_but_keeps_order():
+    domain = DOMAIN_VOCABULARIES[0]
+    words = domain.all_words()
+    assert len(words) == len(set(words))
+    # First word of the first query term appears first.
+    assert words[0] == domain.query_terms[0].split()[0]
+
+
+def test_get_domain_lookup():
+    name = domain_names()[0]
+    assert get_domain(name).name == name
+    with pytest.raises(KeyError):
+        get_domain("no-such-domain")
+
+
+def test_domains_have_mostly_disjoint_vocabulary():
+    # Embeddings can only separate domains whose words differ; require the
+    # pairwise overlap to stay small.
+    vocabularies = [set(domain.all_words()) for domain in DOMAIN_VOCABULARIES]
+    for i in range(len(vocabularies)):
+        for j in range(i + 1, len(vocabularies)):
+            overlap = vocabularies[i] & vocabularies[j]
+            smaller = min(len(vocabularies[i]), len(vocabularies[j]))
+            assert len(overlap) <= 0.2 * smaller

@@ -1,0 +1,135 @@
+"""Tests for adversarial user behaviours and their world integration."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_dataset
+from repro.simulation import SimulationConfig, run_simulation
+from repro.simulation.adversaries import (
+    ADVERSARY_KINDS,
+    BiasedAdversary,
+    ColludingAdversary,
+    ConstantAdversary,
+    RandomAdversary,
+    make_adversary_map,
+)
+from repro.simulation.approaches import ETA2Approach
+from repro.simulation.entities import TaskSpec
+
+
+@pytest.fixture
+def task():
+    return TaskSpec(task_id=4, true_value=10.0, base_number=2.0, processing_time=1.0)
+
+
+class TestBehaviours:
+    def test_constant(self, task):
+        adversary = ConstantAdversary(value=7.0)
+        rng = np.random.default_rng(0)
+        assert adversary(task, 1.0, rng) == 7.0
+        assert adversary(task, 99.0, rng) == 7.0
+
+    def test_random_within_range(self, task):
+        adversary = RandomAdversary(value_range=(0.0, 20.0))
+        rng = np.random.default_rng(1)
+        values = [adversary(task, 1.0, rng) for _ in range(200)]
+        assert min(values) >= 0.0
+        assert max(values) <= 20.0
+        assert np.std(values) > 1.0  # actually random
+
+    def test_random_range_validated(self):
+        with pytest.raises(ValueError):
+            RandomAdversary(value_range=(5.0, 5.0))
+
+    def test_biased_offset(self, task):
+        adversary = BiasedAdversary(bias_sigmas=2.0)
+        rng = np.random.default_rng(2)
+        values = [adversary(task, 0.5, rng) for _ in range(2000)]
+        # Mean sits near truth + 2 * base_number = 14.
+        assert np.mean(values) == pytest.approx(14.0, abs=0.1)
+
+    def test_colluding_is_deterministic_per_task(self, task):
+        adversary = ColludingAdversary(offset_sigmas=3.0)
+        rng = np.random.default_rng(3)
+        a = adversary(task, 1.0, rng)
+        b = adversary(task, 1.0, rng)
+        assert a == b
+        assert a == pytest.approx(10.0 + 3.0 * 2.0)  # even task id -> +
+
+    def test_colluding_sign_flips_with_task_parity(self):
+        adversary = ColludingAdversary(offset_sigmas=1.0)
+        even = TaskSpec(task_id=0, true_value=0.0, base_number=1.0, processing_time=1.0)
+        odd = TaskSpec(task_id=1, true_value=0.0, base_number=1.0, processing_time=1.0)
+        rng = np.random.default_rng(4)
+        assert adversary(even, 1.0, rng) == 1.0
+        assert adversary(odd, 1.0, rng) == -1.0
+
+
+class TestAdversaryMap:
+    def test_fraction_and_kind(self):
+        mapping = make_adversary_map(20, 0.25, "constant", seed=0)
+        assert len(mapping) == 5
+        assert all(isinstance(b, ConstantAdversary) for b in mapping.values())
+
+    def test_zero_fraction_empty(self):
+        assert make_adversary_map(10, 0.0, "random", seed=0) == {}
+
+    def test_reproducible(self):
+        a = make_adversary_map(30, 0.3, "biased", seed=5)
+        b = make_adversary_map(30, 0.3, "biased", seed=5)
+        assert set(a) == set(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_adversary_map(10, 1.5, "random")
+        with pytest.raises(ValueError):
+            make_adversary_map(10, 0.5, "nope")
+
+    def test_all_kinds_constructible(self):
+        for kind in ADVERSARY_KINDS:
+            mapping = make_adversary_map(10, 0.2, kind, seed=1)
+            assert len(mapping) == 2
+
+
+class TestWorldIntegration:
+    def test_adversary_overrides_honest_model(self):
+        dataset = synthetic_dataset(n_users=5, n_tasks=10, seed=0)
+        world = dataset.world(adversaries={2: ConstantAdversary(value=-5.0)}, seed=1)
+        assert world.observe(2, 0) == -5.0
+        assert world.observe(1, 0) != -5.0
+        assert world.adversary_users == [2]
+
+    def test_out_of_range_adversary_rejected(self):
+        dataset = synthetic_dataset(n_users=3, n_tasks=5, seed=0)
+        with pytest.raises(ValueError):
+            dataset.world(adversaries={7: ConstantAdversary()})
+
+    def test_engine_injects_adversaries(self):
+        dataset = synthetic_dataset(n_users=30, n_tasks=90, n_domains=3, seed=2)
+        config = SimulationConfig(
+            n_days=3, seed=3, adversary_fraction=0.2, adversary_kind="random"
+        )
+        result = run_simulation(dataset, ETA2Approach(), config)
+        assert len(result.adversary_users) == 6
+
+    def test_eta2_downranks_adversaries(self):
+        from repro.experiments.adversarial import adversary_detection_gap
+
+        dataset = synthetic_dataset(n_users=40, n_tasks=200, n_domains=3, seed=4)
+        config = SimulationConfig(
+            n_days=5, seed=5, adversary_fraction=0.25, adversary_kind="random"
+        )
+        result = run_simulation(dataset, ETA2Approach(alpha=0.5), config)
+        gap = adversary_detection_gap(result)
+        assert gap > 0.2  # honest users rated clearly higher
+
+    def test_detection_gap_nan_without_adversaries(self):
+        from repro.experiments.adversarial import adversary_detection_gap
+
+        dataset = synthetic_dataset(n_users=10, n_tasks=30, seed=6)
+        result = run_simulation(dataset, ETA2Approach(), SimulationConfig(n_days=2, seed=7))
+        assert np.isnan(adversary_detection_gap(result))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(adversary_fraction=-0.1)

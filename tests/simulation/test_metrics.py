@@ -1,0 +1,84 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import (
+    expertise_estimation_error,
+    match_domains,
+    normalized_estimation_error,
+)
+
+
+class TestNormalizedError:
+    def test_known_values(self):
+        error = normalized_estimation_error(
+            np.array([1.0, 4.0]), np.array([2.0, 2.0]), np.array([1.0, 2.0])
+        )
+        assert error == pytest.approx((1.0 + 1.0) / 2.0)
+
+    def test_nan_estimates_skipped(self):
+        error = normalized_estimation_error(
+            np.array([np.nan, 3.0]), np.array([0.0, 2.0]), np.array([1.0, 1.0])
+        )
+        assert error == pytest.approx(1.0)
+
+    def test_all_nan_gives_nan(self):
+        assert np.isnan(
+            normalized_estimation_error(np.array([np.nan]), np.array([1.0]), np.array([1.0]))
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_estimation_error(np.zeros(2), np.zeros(3), np.zeros(2))
+
+
+class TestMatchDomains:
+    def test_perfect_relabeling(self):
+        estimated = np.array([5, 5, 7, 7, 9])
+        true = np.array([0, 0, 1, 1, 2])
+        assert match_domains(estimated, true) == {5: 0, 7: 1, 9: 2}
+
+    def test_majority_overlap_wins(self):
+        estimated = np.array([1, 1, 1, 2])
+        true = np.array([0, 0, 1, 1])
+        mapping = match_domains(estimated, true)
+        assert mapping[1] == 0
+        assert mapping[2] == 1
+
+    def test_each_true_domain_used_once(self):
+        estimated = np.array([1, 2])
+        true = np.array([0, 0])
+        mapping = match_domains(estimated, true)
+        assert list(mapping.values()).count(0) == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            match_domains(np.zeros(2), np.zeros(3))
+
+
+class TestExpertiseError:
+    def test_exact_match_scores_zero(self):
+        true = np.array([[1.0, 2.0], [0.5, 1.5]])
+        estimated = {10: true[:, 0].copy(), 11: true[:, 1].copy()}
+        error = expertise_estimation_error(estimated, true, {10: 0, 11: 1})
+        assert error == 0.0
+
+    def test_mean_absolute_error(self):
+        true = np.array([[1.0], [2.0]])
+        estimated = {0: np.array([2.0, 2.0])}
+        error = expertise_estimation_error(estimated, true, {0: 0})
+        assert error == pytest.approx(0.5)
+
+    def test_unmatched_domains_skipped(self):
+        true = np.array([[1.0]])
+        estimated = {0: np.array([5.0]), 1: np.array([1.0])}
+        error = expertise_estimation_error(estimated, true, {1: 0})
+        assert error == 0.0
+
+    def test_nothing_matched_gives_nan(self):
+        assert np.isnan(expertise_estimation_error({}, np.ones((2, 2)), {}))
+
+    def test_wrong_column_length_rejected(self):
+        with pytest.raises(ValueError):
+            expertise_estimation_error({0: np.ones(3)}, np.ones((2, 1)), {0: 0})

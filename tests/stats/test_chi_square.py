@@ -1,0 +1,101 @@
+"""Tests for the chi-square goodness-of-fit machinery."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.chi_square import (
+    ChiSquareResult,
+    chi_square_gof,
+    chi_square_normality_test,
+    chi_square_sf,
+    normality_pass_rate,
+)
+
+
+def test_sf_matches_scipy():
+    for stat, dof in [(0.5, 1), (3.84, 1), (10.0, 5), (25.0, 20)]:
+        assert chi_square_sf(stat, dof) == pytest.approx(scipy_stats.chi2.sf(stat, dof), abs=1e-12)
+
+
+def test_sf_input_validation():
+    with pytest.raises(ValueError):
+        chi_square_sf(-1.0, 3)
+    with pytest.raises(ValueError):
+        chi_square_sf(1.0, 0)
+
+
+def test_gof_zero_statistic_for_perfect_fit():
+    result = chi_square_gof([10, 10, 10, 10], [10, 10, 10, 10])
+    assert result.statistic == 0.0
+    assert result.p_value == pytest.approx(1.0)
+    assert result.dof == 3
+
+
+def test_gof_shape_and_positivity_checks():
+    with pytest.raises(ValueError):
+        chi_square_gof([1, 2], [1, 2, 3])
+    with pytest.raises(ValueError):
+        chi_square_gof([1, 2, 3], [1, 0, 3])
+    with pytest.raises(ValueError):
+        chi_square_gof([5], [5])
+    with pytest.raises(ValueError):
+        chi_square_gof([1, 2], [1, 2], fitted_params=1)
+
+
+def test_rejects_at_bounds():
+    result = ChiSquareResult(statistic=1.0, p_value=0.04, dof=3)
+    assert result.rejects_at(0.05)
+    assert not result.rejects_at(0.01)
+    with pytest.raises(ValueError):
+        result.rejects_at(0.0)
+
+
+def test_normality_test_accepts_normal_sample():
+    rng = np.random.default_rng(1)
+    rejections = 0
+    for _ in range(60):
+        sample = rng.normal(3.0, 2.0, size=80)
+        if chi_square_normality_test(sample).rejects_at(0.05):
+            rejections += 1
+    # At alpha = 0.05 roughly 5% of truly normal samples get rejected.
+    assert rejections <= 10
+
+
+def test_normality_test_rejects_uniform_sample():
+    rng = np.random.default_rng(2)
+    rejections = 0
+    for _ in range(40):
+        sample = rng.uniform(0, 1, size=200)
+        if chi_square_normality_test(sample).rejects_at(0.05):
+            rejections += 1
+    assert rejections >= 25
+
+
+def test_normality_test_rejects_degenerate_samples():
+    with pytest.raises(ValueError):
+        chi_square_normality_test([1.0, 2.0, 3.0])  # too small
+    with pytest.raises(ValueError):
+        chi_square_normality_test([5.0] * 30)  # zero variance
+
+
+def test_normality_test_dof_conventions():
+    rng = np.random.default_rng(3)
+    sample = rng.normal(size=100)
+    strict = chi_square_normality_test(sample, subtract_fitted=True)
+    loose = chi_square_normality_test(sample, subtract_fitted=False)
+    assert strict.statistic == pytest.approx(loose.statistic)
+    assert loose.dof == strict.dof + 2
+    assert loose.p_value >= strict.p_value
+
+
+def test_pass_rate_counts_only_testable_samples():
+    rng = np.random.default_rng(4)
+    samples = [rng.normal(size=60) for _ in range(10)]
+    samples.append([1.0, 1.0])  # untestable, skipped
+    rate = normality_pass_rate(samples, alpha=0.05)
+    assert 0.0 <= rate <= 1.0
+
+
+def test_pass_rate_nan_when_nothing_testable():
+    assert np.isnan(normality_pass_rate([[1.0, 2.0]], alpha=0.05))

@@ -1,0 +1,79 @@
+"""Tests for the Fisher-information confidence intervals (Eqs. 22-24)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.confidence import (
+    ConfidenceInterval,
+    mle_truth_confidence_interval,
+    truth_fisher_information,
+)
+
+
+def test_fisher_information_formula():
+    # I(mu) = sum u^2 / sigma^2
+    assert truth_fisher_information([1.0, 2.0], sigma=2.0) == pytest.approx((1 + 4) / 4)
+
+
+def test_fisher_information_validation():
+    with pytest.raises(ValueError):
+        truth_fisher_information([1.0], sigma=0.0)
+    with pytest.raises(ValueError):
+        truth_fisher_information([-1.0], sigma=1.0)
+
+
+def test_interval_matches_eq24():
+    # Eq. 24: mu_hat +- Z_{alpha/2} * sigma / sqrt(sum u^2)
+    interval = mle_truth_confidence_interval(5.0, [1.0, 1.0, 1.0, 1.0], sigma=2.0, confidence=0.95)
+    z = 1.959963985
+    expected_half = z * 2.0 / np.sqrt(4.0)
+    assert interval.half_width == pytest.approx(expected_half, abs=1e-6)
+    assert interval.lower == pytest.approx(5.0 - expected_half, abs=1e-6)
+    assert interval.upper == pytest.approx(5.0 + expected_half, abs=1e-6)
+
+
+def test_interval_infinite_without_information():
+    interval = mle_truth_confidence_interval(5.0, [], sigma=1.0)
+    assert np.isinf(interval.half_width)
+    assert not interval.satisfies_quality(sigma=1.0, error_limit=0.5)
+
+
+def test_interval_confidence_validation():
+    with pytest.raises(ValueError):
+        mle_truth_confidence_interval(0.0, [1.0], sigma=1.0, confidence=1.0)
+
+
+def test_satisfies_quality_threshold():
+    # Width <= 2 * eps_bar * sigma passes (Algorithm 2 line 13).
+    interval = ConfidenceInterval(center=0.0, half_width=0.4, confidence=0.95)
+    assert interval.satisfies_quality(sigma=1.0, error_limit=0.5)
+    assert not interval.satisfies_quality(sigma=1.0, error_limit=0.3)
+    with pytest.raises(ValueError):
+        interval.satisfies_quality(sigma=0.0, error_limit=0.5)
+    with pytest.raises(ValueError):
+        interval.satisfies_quality(sigma=1.0, error_limit=0.0)
+
+
+def test_contains_and_width():
+    interval = ConfidenceInterval(center=2.0, half_width=1.0, confidence=0.9)
+    assert interval.contains(2.9)
+    assert not interval.contains(3.1)
+    assert interval.width == 2.0
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=10),
+    st.floats(min_value=0.1, max_value=5.0),
+)
+def test_more_experts_never_widen_interval(expertise, sigma):
+    base = mle_truth_confidence_interval(0.0, expertise, sigma=sigma)
+    extended = mle_truth_confidence_interval(0.0, expertise + [1.0], sigma=sigma)
+    assert extended.half_width <= base.half_width + 1e-12
+
+
+@given(st.floats(min_value=0.5, max_value=0.999))
+def test_higher_confidence_widens_interval(confidence):
+    tight = mle_truth_confidence_interval(0.0, [1.0, 2.0], sigma=1.0, confidence=confidence)
+    wide = mle_truth_confidence_interval(0.0, [1.0, 2.0], sigma=1.0, confidence=(1 + confidence) / 2)
+    assert wide.half_width >= tight.half_width

@@ -1,0 +1,76 @@
+"""Tests for histograms, boxplot stats and empirical CDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.descriptive import boxplot_stats, empirical_cdf, histogram
+
+
+def test_histogram_is_a_density():
+    rng = np.random.default_rng(0)
+    hist = histogram(rng.normal(size=5000), bins=40)
+    assert hist.total_mass() == pytest.approx(1.0)
+    assert hist.centers.shape == (40,)
+    assert np.all(hist.widths > 0)
+
+
+def test_histogram_clips_into_fixed_range():
+    values = [-100.0, 0.0, 100.0]
+    hist = histogram(values, bins=4, value_range=(-2.0, 2.0))
+    assert hist.edges[0] == -2.0
+    assert hist.edges[-1] == 2.0
+    assert hist.total_mass() == pytest.approx(1.0)
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        histogram([], bins=4)
+    with pytest.raises(ValueError):
+        histogram([1.0], bins=0)
+    with pytest.raises(ValueError):
+        histogram([1.0], bins=3, value_range=(2.0, 1.0))
+
+
+def test_boxplot_stats_on_known_sample():
+    stats = boxplot_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert stats.minimum == 1.0
+    assert stats.median == 3.0
+    assert stats.maximum == 5.0
+    assert stats.mean == 3.0
+    assert stats.q1 == 2.0
+    assert stats.q3 == 4.0
+    assert stats.iqr == 2.0
+    assert stats.count == 5
+
+
+def test_boxplot_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        boxplot_stats([])
+
+
+def test_empirical_cdf_properties():
+    values, probs = empirical_cdf([3.0, 1.0, 2.0, 2.0])
+    assert np.array_equal(values, [1.0, 2.0, 2.0, 3.0])
+    assert probs[-1] == 1.0
+    assert np.all(np.diff(probs) > 0)
+
+
+def test_empirical_cdf_empty_rejected():
+    with pytest.raises(ValueError):
+        empirical_cdf([])
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50))
+def test_boxplot_stats_ordering_invariant(values):
+    stats = boxplot_stats(values)
+    assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+    eps = 1e-9 * max(1.0, abs(stats.maximum), abs(stats.minimum))
+    assert stats.minimum - eps <= stats.mean <= stats.maximum + eps
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_empirical_cdf_monotone(values):
+    xs, probs = empirical_cdf(values)
+    assert np.all(np.diff(xs) >= 0)
+    assert np.all((probs > 0) & (probs <= 1.0))

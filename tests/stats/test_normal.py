@@ -1,0 +1,74 @@
+"""Tests for the normal-distribution primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.normal import (
+    normal_cdf,
+    normal_pdf,
+    normal_quantile,
+    standard_normal_cdf,
+    standard_normal_pdf,
+    standard_normal_quantile,
+    symmetric_tail_probability,
+)
+
+
+def test_standard_cdf_known_values():
+    assert standard_normal_cdf(0.0) == pytest.approx(0.5)
+    assert standard_normal_cdf(1.959963985) == pytest.approx(0.975, abs=1e-6)
+    assert standard_normal_cdf(-1.959963985) == pytest.approx(0.025, abs=1e-6)
+
+
+def test_standard_pdf_peak_and_symmetry():
+    assert standard_normal_pdf(0.0) == pytest.approx(1.0 / np.sqrt(2 * np.pi))
+    assert standard_normal_pdf(1.3) == pytest.approx(standard_normal_pdf(-1.3))
+
+
+def test_quantile_inverts_cdf():
+    for p in (0.01, 0.25, 0.5, 0.9, 0.999):
+        assert standard_normal_cdf(standard_normal_quantile(p)) == pytest.approx(p, abs=1e-9)
+
+
+def test_quantile_rejects_out_of_range():
+    for p in (0.0, 1.0, -0.1, 1.1):
+        with pytest.raises(ValueError):
+            standard_normal_quantile(p)
+
+
+def test_general_normal_relations():
+    assert normal_cdf(7.0, mean=7.0, std=2.0) == pytest.approx(0.5)
+    assert normal_pdf(7.0, mean=7.0, std=2.0) == pytest.approx(standard_normal_pdf(0.0) / 2.0)
+    assert normal_quantile(0.975, mean=1.0, std=3.0) == pytest.approx(1.0 + 3.0 * 1.959963985, abs=1e-6)
+
+
+def test_general_normal_rejects_bad_std():
+    with pytest.raises(ValueError):
+        normal_pdf(0.0, 0.0, 0.0)
+    with pytest.raises(ValueError):
+        normal_cdf(0.0, 0.0, -1.0)
+    with pytest.raises(ValueError):
+        normal_quantile(0.5, 0.0, 0.0)
+
+
+def test_symmetric_tail_probability_matches_cdf_difference():
+    w = np.array([0.0, 0.1, 1.0, 3.0])
+    expected = standard_normal_cdf(w) - standard_normal_cdf(-w)
+    assert np.allclose(symmetric_tail_probability(w), expected)
+
+
+def test_symmetric_tail_probability_rejects_negative():
+    with pytest.raises(ValueError):
+        symmetric_tail_probability(-0.5)
+
+
+@given(st.floats(min_value=0.0, max_value=50.0))
+def test_symmetric_tail_probability_in_unit_interval(width):
+    p = float(symmetric_tail_probability(width))
+    assert 0.0 <= p <= 1.0
+
+
+@given(st.floats(min_value=0.0, max_value=10.0), st.floats(min_value=0.001, max_value=10.0))
+def test_symmetric_tail_probability_monotone(width, delta):
+    assert symmetric_tail_probability(width + delta) >= symmetric_tail_probability(width)

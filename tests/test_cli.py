@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for figure_id in FIGURES:
+        assert figure_id in out
+
+
+def test_figure_requires_valid_id():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])
+
+
+def test_figure_table1_runs(capsys):
+    assert main(["figure", "table1", "--replications", "1", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+
+
+def test_figure_fig5_with_dataset(capsys):
+    assert main(["figure", "fig5", "--dataset", "synthetic", "--replications", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 5 (synthetic)" in out
+    assert "ETA2" in out
+
+
+def test_simulate_default(capsys):
+    assert main(["simulate", "--days", "2", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "ETA2 on synthetic" in out
+    assert "mean error" in out
+
+
+def test_simulate_min_cost(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--approach",
+                "eta2-mc",
+                "--days",
+                "2",
+                "--round-budget",
+                "30",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "ETA2-mc" in out
+
+
+def test_simulate_baseline_approach(capsys):
+    assert main(["simulate", "--approach", "mean", "--days", "2"]) == 0
+    assert "baseline-mean" in capsys.readouterr().out
+
+
+def test_simulate_with_drift_and_bias(capsys):
+    assert main(["simulate", "--days", "2", "--drift", "0.3", "--bias", "0.2"]) == 0
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_report_sections_to_stdout(capsys):
+    assert main(["report", "--sections", "table1", "--replications", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "# ETA2 reproduction report" in out
+    assert "## table1" in out
+
+
+def test_report_written_to_file(tmp_path, capsys):
+    out_path = tmp_path / "r.md"
+    assert (
+        main(["report", "--sections", "table1", "--replications", "1", "--out", str(out_path)])
+        == 0
+    )
+    assert "report written" in capsys.readouterr().out
+    assert "## table1" in out_path.read_text()

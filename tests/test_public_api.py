@@ -1,0 +1,66 @@
+"""API-stability tests: the documented public surface exists and works."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_headline_quickstart_flow():
+    """The README quickstart, verbatim in spirit."""
+    rng = np.random.default_rng(0)
+    system = repro.ETA2System(n_users=10, capacities=rng.uniform(4, 8, 10), alpha=0.5, seed=0)
+    tasks = [
+        repro.IncomingTask(processing_time=1.0, domain=int(rng.integers(2))) for _ in range(8)
+    ]
+    result = system.warmup(tasks, observe=lambda pairs: [5.0 + rng.normal() for _ in pairs])
+    assert isinstance(result, repro.StepResult)
+    result = system.step(tasks, observe=lambda pairs: [5.0 + rng.normal() for _ in pairs])
+    assert result.truths.shape == (8,)
+    profile = system.expertise_matrix().profile(3)
+    assert set(profile) <= {0, 1}
+
+
+def test_dataset_generators_exported():
+    assert repro.synthetic_dataset(n_users=3, n_tasks=5, seed=0).n_tasks == 5
+    assert repro.survey_dataset(n_users=3, n_tasks=5, seed=0).n_users == 3
+    assert repro.sfv_dataset(n_tasks=5, seed=0).n_tasks == 5
+
+
+def test_simulation_entry_point_exported():
+    dataset = repro.synthetic_dataset(n_users=10, n_tasks=20, seed=1)
+    result = repro.run_simulation(
+        dataset,
+        __import__("repro.simulation.approaches", fromlist=["MeanApproach"]).MeanApproach(),
+        repro.SimulationConfig(n_days=2, seed=2),
+    )
+    assert len(result.days) == 2
+
+
+def test_estimate_truth_exported():
+    obs = repro.ObservationMatrix.from_triples(
+        [(0, 0, 1.0), (1, 0, 3.0)], n_users=2, n_tasks=1
+    )
+    result = repro.estimate_truth(obs, np.zeros(1, dtype=int))
+    assert isinstance(result, repro.TruthAnalysisResult)
+
+
+def test_allocators_exported():
+    assert repro.MaxQualityAllocator().extra_pass
+    with pytest.raises(ValueError):
+        repro.MinCostAllocator(round_budget=0.0)
+
+
+def test_default_embedding_exported():
+    model = repro.default_embedding(dim=8, seed=0)
+    assert model.vector("decibel").shape == (8,)

@@ -1,0 +1,37 @@
+"""Tests for the shared RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng import ensure_rng, spawn_rngs
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(42).random(5)
+    b = ensure_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_passes_generator_through():
+    rng = np.random.default_rng(0)
+    assert ensure_rng(rng) is rng
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_are_independent_and_reproducible():
+    first = [rng.random() for rng in spawn_rngs(7, 4)]
+    second = [rng.random() for rng in spawn_rngs(7, 4)]
+    assert first == second
+    assert len(set(first)) == 4  # distinct streams
+
+
+def test_spawn_rngs_count_zero():
+    assert spawn_rngs(1, 0) == []
+
+
+def test_spawn_rngs_negative_count_rejected():
+    with pytest.raises(ValueError):
+        spawn_rngs(1, -1)

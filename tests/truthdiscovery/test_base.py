@@ -1,0 +1,77 @@
+"""Tests for the observation matrix and truth-discovery interface."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery import MeanBaseline, ObservationMatrix
+
+
+def _small_matrix():
+    return ObservationMatrix.from_triples(
+        [(0, 0, 1.0), (1, 0, 3.0), (0, 1, 5.0)], n_users=3, n_tasks=2
+    )
+
+
+def test_from_triples_populates_mask_and_values():
+    obs = _small_matrix()
+    assert obs.n_users == 3
+    assert obs.n_tasks == 2
+    assert obs.observation_count == 3
+    assert obs.values[0, 0] == 1.0
+    assert obs.mask[1, 0]
+    assert not obs.mask[2, 0]
+
+
+def test_observations_for_task():
+    obs = _small_matrix()
+    users, values = obs.observations_for_task(0)
+    assert users.tolist() == [0, 1]
+    assert values.tolist() == [1.0, 3.0]
+
+
+def test_tasks_of_user():
+    obs = _small_matrix()
+    assert obs.tasks_of_user(0).tolist() == [0, 1]
+    assert obs.tasks_of_user(2).tolist() == []
+
+
+def test_task_means_with_unobserved_task():
+    obs = ObservationMatrix.from_triples([(0, 0, 2.0), (1, 0, 4.0)], n_users=2, n_tasks=2)
+    means = obs.task_means()
+    assert means[0] == 3.0
+    assert np.isnan(means[1])
+
+
+def test_task_spreads_floored():
+    obs = ObservationMatrix.from_triples([(0, 0, 2.0)], n_users=1, n_tasks=1)
+    spreads = obs.task_spreads(floor=1e-6)
+    assert spreads[0] == 1e-6
+
+
+def test_restricted_to_tasks():
+    obs = _small_matrix()
+    sub = obs.restricted_to_tasks(np.array([1]))
+    assert sub.n_tasks == 1
+    assert sub.values[0, 0] == 5.0
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        ObservationMatrix(values=np.zeros((2, 2)), mask=np.zeros((2, 3), dtype=bool))
+    with pytest.raises(ValueError):
+        ObservationMatrix(values=np.zeros(3), mask=np.zeros(3, dtype=bool))
+
+
+def test_methods_reject_empty_matrix():
+    empty = ObservationMatrix(values=np.zeros((2, 2)), mask=np.zeros((2, 2), dtype=bool))
+    with pytest.raises(ValueError):
+        MeanBaseline().estimate(empty)
+
+
+def test_mean_baseline_estimate():
+    obs = _small_matrix()
+    estimate = MeanBaseline().estimate(obs)
+    assert estimate.truths[0] == 2.0
+    assert estimate.truths[1] == 5.0
+    assert np.all(estimate.reliabilities == 1.0)
+    assert estimate.converged

@@ -1,0 +1,94 @@
+"""Property-based tests for the categorical EM machinery."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.categorical import categorical_sfv_dataset
+from repro.truthdiscovery.categorical import DawidSkene, ExpertiseVoting, MajorityVote
+from repro.truthdiscovery.categorical.dawid_skene import posterior_for_task
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _observations(seed, density=0.4):
+    dataset = categorical_sfv_dataset(n_users=12, n_tasks=40, n_domains=4, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    mask = rng.random((12, 40)) < density
+    for task in range(40):
+        if not mask[:, task].any():
+            mask[rng.integers(12), task] = True
+    return dataset, dataset.observe(mask, rng)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=6))
+def test_posterior_is_a_distribution(seed, n_choices, n_voters):
+    rng = np.random.default_rng(seed)
+    users = np.arange(n_voters)
+    answers = rng.integers(0, n_choices, n_voters)
+    accuracies = rng.uniform(0.05, 0.95, n_voters)
+    post = posterior_for_task(users, answers, accuracies, n_choices)
+    assert post.shape == (n_choices,)
+    assert np.all(post >= 0)
+    assert post.sum() == 1.0 or abs(post.sum() - 1.0) < 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_estimates_are_valid_labels(seed):
+    dataset, observations = _observations(seed)
+    for method in (MajorityVote(), DawidSkene()):
+        estimate = method.estimate(observations)
+        answered = observations.mask.any(axis=0)
+        assert np.all(estimate.labels[answered] >= 0)
+        assert np.all(estimate.labels[answered] < observations.n_choices[answered])
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_posteriors_are_distributions_for_every_method(seed):
+    dataset, observations = _observations(seed)
+    for estimate in (
+        MajorityVote().estimate(observations),
+        DawidSkene().estimate(observations),
+        ExpertiseVoting().estimate(observations, dataset.task_domains),
+    ):
+        for post in estimate.posteriors:
+            assert abs(float(np.sum(post)) - 1.0) < 1e-8
+            assert np.all(np.asarray(post) >= -1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_accuracies_stay_in_open_interval(seed):
+    dataset, observations = _observations(seed)
+    ds = DawidSkene().estimate(observations)
+    assert np.all((ds.reliabilities > 0.0) & (ds.reliabilities < 1.0))
+    ev = ExpertiseVoting().estimate(observations, dataset.task_domains)
+    for column in ev.extras["domain_accuracies"].values():
+        assert np.all((column > 0.0) & (column < 1.0))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_label_permutation_equivariance(seed):
+    """Relabelling a task's candidates permutes its posterior accordingly."""
+    dataset, observations = _observations(seed)
+    estimate = DawidSkene().estimate(observations)
+
+    # Build a permuted copy of task 0's answers.
+    rng = np.random.default_rng(seed + 2)
+    k = int(observations.n_choices[0])
+    perm = rng.permutation(k)
+    answers = observations.answers.copy()
+    answered = answers[:, 0] >= 0
+    answers[answered, 0] = perm[answers[answered, 0]]
+    from repro.truthdiscovery.categorical.base import CategoricalObservations
+
+    permuted = CategoricalObservations(answers=answers, n_choices=observations.n_choices)
+    permuted_estimate = DawidSkene().estimate(permuted)
+    base_post = estimate.posteriors[0]
+    permuted_post = permuted_estimate.posteriors[0]
+    reconstructed = np.empty_like(base_post)
+    reconstructed[perm] = base_post
+    assert np.allclose(permuted_post, reconstructed, atol=1e-6)

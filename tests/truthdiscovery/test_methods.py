@@ -1,0 +1,107 @@
+"""Behavioural tests for the three reliability-based baselines."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery import (
+    AverageLog,
+    HubsAuthorities,
+    MeanBaseline,
+    ObservationMatrix,
+    TruthFinder,
+)
+
+METHODS = [HubsAuthorities, AverageLog, TruthFinder]
+
+
+def _heterogeneous_observations(seed=0, n_users=24, n_tasks=50, good=8):
+    """Good users (small noise) vs bad users (large noise)."""
+    rng = np.random.default_rng(seed)
+    truths = rng.uniform(0.0, 20.0, n_tasks)
+    stds = np.where(np.arange(n_users) < good, 0.3, 3.0)
+    mask = rng.random((n_users, n_tasks)) < 0.5
+    values = truths[None, :] + rng.standard_normal((n_users, n_tasks)) * stds[:, None]
+    return ObservationMatrix(values=np.where(mask, values, 0.0), mask=mask), truths, good
+
+
+@pytest.mark.parametrize("method_cls", METHODS)
+def test_beats_or_matches_plain_mean(method_cls):
+    obs, truths, _ = _heterogeneous_observations()
+    mean_error = np.nanmean(np.abs(MeanBaseline().estimate(obs).truths - truths))
+    error = np.nanmean(np.abs(method_cls().estimate(obs).truths - truths))
+    assert error <= mean_error * 1.05
+
+
+@pytest.mark.parametrize("method_cls", METHODS)
+def test_ranks_good_users_above_bad(method_cls):
+    obs, _, good = _heterogeneous_observations()
+    estimate = method_cls().estimate(obs)
+    good_mean = float(np.mean(estimate.reliabilities[:good]))
+    bad_mean = float(np.mean(estimate.reliabilities[good:]))
+    assert good_mean > bad_mean
+
+
+@pytest.mark.parametrize("method_cls", METHODS)
+def test_converges_and_reports_iterations(method_cls):
+    obs, _, _ = _heterogeneous_observations(seed=1)
+    estimate = method_cls().estimate(obs)
+    assert estimate.converged
+    assert 1 <= estimate.iterations <= 100
+
+
+@pytest.mark.parametrize("method_cls", METHODS)
+def test_deterministic(method_cls):
+    obs, _, _ = _heterogeneous_observations(seed=2)
+    a = method_cls().estimate(obs)
+    b = method_cls().estimate(obs)
+    assert np.array_equal(a.truths, b.truths)
+    assert np.array_equal(a.reliabilities, b.reliabilities)
+
+
+@pytest.mark.parametrize("method_cls", METHODS)
+def test_single_observation_task_estimated(method_cls):
+    obs = ObservationMatrix.from_triples(
+        [(0, 0, 4.0), (1, 0, 6.0), (0, 1, 9.0)], n_users=2, n_tasks=2
+    )
+    estimate = method_cls().estimate(obs)
+    assert np.isfinite(estimate.truths[1])
+    assert estimate.truths[1] == pytest.approx(9.0, abs=1e-6)
+
+
+@pytest.mark.parametrize("method_cls", METHODS)
+def test_parameter_validation(method_cls):
+    with pytest.raises(ValueError):
+        method_cls(max_iterations=0)
+    with pytest.raises(ValueError):
+        method_cls(tolerance=0.0)
+
+
+def test_truthfinder_specific_validation():
+    with pytest.raises(ValueError):
+        TruthFinder(initial_trust=1.0)
+    with pytest.raises(ValueError):
+        TruthFinder(dampening=0.0)
+    with pytest.raises(ValueError):
+        TruthFinder(trust_cap=1.0)
+
+
+def test_truthfinder_trust_stays_below_one():
+    obs, _, _ = _heterogeneous_observations(seed=3)
+    estimate = TruthFinder().estimate(obs)
+    assert np.all(estimate.reliabilities < 1.0)
+
+
+def test_average_log_rewards_volume():
+    # Two equally-accurate users; one answers many more tasks.
+    rng = np.random.default_rng(4)
+    truths = rng.uniform(0, 10, 40)
+    triples = []
+    for j in range(40):
+        triples.append((0, j, truths[j] + rng.normal(0, 0.2)))
+        if j < 5:
+            triples.append((1, j, truths[j] + rng.normal(0, 0.2)))
+        # A third noisy user keeps spreads defined.
+        triples.append((2, j, truths[j] + rng.normal(0, 2.0)))
+    obs = ObservationMatrix.from_triples(triples, n_users=3, n_tasks=40)
+    estimate = AverageLog().estimate(obs)
+    assert estimate.reliabilities[0] > estimate.reliabilities[1]
