@@ -1,0 +1,141 @@
+"""Reliability-layer overhead: the fault-free fast path must be near-free.
+
+The issue's acceptance bar: wrapping ``observe()`` in a
+:class:`ResilientObserver` must cost <5% on the fault-free path.  The
+wrapper's happy path is two clock reads plus bookkeeping increments, so
+against any realistic observe callback (network, sensor, or here: a numpy
+model of one) the overhead should be far below that bar.
+
+``test_fault_free_overhead_under_5_percent`` asserts the bar directly with
+min-of-rounds timing (min is robust to scheduler noise); the ``benchmark``
+entries record absolute numbers alongside the other microbenchmarks.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.reliability.observer import CircuitBreaker, ResilientObserver, RetryPolicy
+
+N_PAIRS = 1000
+ROUNDS = 9
+CALLS_PER_ROUND = 40
+
+
+def _make_observe(seed=0):
+    """A realistic observe callback: per-pair lookups into a noise model.
+
+    Deliberately *cheaper* than the repo's real callbacks (the simulation
+    world observes with a per-pair Python loop), so the measured relative
+    overhead here is an upper bound on what the closed loop actually pays.
+    """
+    rng = np.random.default_rng(seed)
+    truths = rng.uniform(0.0, 20.0, 600)
+    expertise = rng.uniform(0.3, 3.0, (80, 600))
+    noise = rng.standard_normal(20_000)
+    state = {"cursor": 0}
+
+    def observe(pairs):
+        users = np.fromiter((p[0] for p in pairs), dtype=int, count=len(pairs))
+        tasks = np.fromiter((p[1] for p in pairs), dtype=int, count=len(pairs))
+        start = state["cursor"]
+        state["cursor"] = (start + len(pairs)) % (noise.size - len(pairs))
+        draw = noise[start : start + len(pairs)]
+        return truths[tasks] + draw / expertise[users, tasks]
+
+    return observe
+
+
+def _pairs(seed=1):
+    rng = np.random.default_rng(seed)
+    return [(int(rng.integers(80)), int(rng.integers(600))) for _ in range(N_PAIRS)]
+
+
+def _wrapped(observe):
+    return ResilientObserver(
+        observe,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.05),
+        breaker=CircuitBreaker(failure_threshold=5),
+        call_timeout=5.0,
+    )
+
+
+def _paired_round_ratios(raw_fn, wrapped_fn, pairs):
+    """Per-round wrapped/raw time ratios, with the two timed back to back.
+
+    Pairing adjacent measurements cancels slow drift (frequency scaling,
+    background load), and the *min* ratio across rounds is the cleanest
+    observation of the true relative overhead — one round where both sides
+    dodge the scheduler is enough.
+    """
+    ratios = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for _ in range(CALLS_PER_ROUND):
+            raw_fn(pairs)
+        raw = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(CALLS_PER_ROUND):
+            wrapped_fn(pairs)
+        wrapped = time.perf_counter() - start
+        ratios.append(wrapped / raw)
+    return ratios
+
+
+def test_fault_free_overhead_under_5_percent():
+    observe = _make_observe()
+    pairs = _pairs()
+    wrapped = _wrapped(observe)
+    # Warm-up pass so neither side pays first-call costs.
+    observe(pairs)
+    wrapped(pairs)
+
+    ratios = _paired_round_ratios(observe, wrapped, pairs)
+    overhead = min(ratios) - 1.0
+    assert overhead < 0.05, (
+        f"fault-free ResilientObserver overhead {overhead:.2%} exceeds the 5% budget "
+        f"(per-round wrapped/raw ratios: {[f'{r:.3f}' for r in ratios]})"
+    )
+    assert wrapped.report.fault_count == 0  # the fast path really was fault-free
+
+
+def test_wrapped_results_identical_on_fault_free_path():
+    observe = _make_observe(seed=3)
+    pairs = _pairs(seed=4)
+    expected = np.asarray(_make_observe(seed=3)(pairs), dtype=float)
+    assert np.allclose(_wrapped(observe)(pairs), expected)
+
+
+def test_observe_raw(benchmark):
+    observe = _make_observe()
+    pairs = _pairs()
+    benchmark(lambda: observe(pairs))
+
+
+def test_observe_resilient(benchmark):
+    wrapped = _wrapped(_make_observe())
+    pairs = _pairs()
+    values = benchmark(lambda: wrapped(pairs))
+    assert np.all(np.isfinite(values))
+
+
+def test_checkpoint_save(benchmark, tmp_path):
+    """Checkpoint cost per step (atomic write + checksum + rotation)."""
+    from repro.core.pipeline import ETA2System, IncomingTask
+    from repro.reliability.checkpoint import CheckpointManager
+
+    rng = np.random.default_rng(5)
+    system = ETA2System(n_users=40, capacities=np.full(40, 10.0), seed=5)
+    tasks = [
+        IncomingTask(processing_time=1.0, domain=int(rng.integers(4))) for _ in range(60)
+    ]
+    system.warmup(tasks, lambda pairs: [10.0 + rng.standard_normal() for _ in pairs])
+    manager = CheckpointManager(tmp_path, keep=3)
+    counter = {"step": 0}
+
+    def save():
+        counter["step"] += 1
+        manager.save(system, counter["step"])
+
+    benchmark(save)

@@ -1,10 +1,12 @@
-"""Persistence: an ETA2 server that survives restarts.
+"""Crash recovery: an ETA2 server that survives restarts automatically.
 
 A real crowdsourcing server runs for weeks; losing the learned expertise on
-every restart would put it back in the warm-up regime.  This example runs
-three days, saves the system state to JSON, "restarts" (a brand-new
-ETA2System object), restores, and continues — showing the restored system
-performs like the original rather than like a cold start.
+every restart would put it back in the warm-up regime.  With
+``enable_checkpointing`` the system persists itself after *every* completed
+day — atomic writes, checksums, rotation — so recovery needs no manual
+save call at all: the example runs three days, "crashes" (even mid-write,
+courtesy of the fault injector), then rebuilds with ``ETA2System.resume``
+and continues where it left off.  A cold restart is shown for contrast.
 
 Run with::
 
@@ -17,7 +19,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.pipeline import ETA2System, IncomingTask
-from repro.core.serialization import load_system_state, save_system_state
+from repro.reliability.faults import SimulatedCrash, crashing_writer
 
 N_USERS = 40
 N_DOMAINS = 4
@@ -59,18 +61,31 @@ def run_day(system, label):
 
 
 def main():
-    state_path = Path(tempfile.gettempdir()) / "eta2_state.json"
+    checkpoint_dir = Path(tempfile.mkdtemp(prefix="eta2_checkpoints_"))
 
-    print("before restart:")
+    print("before the crash (checkpointing after every day):")
     system = ETA2System(n_users=N_USERS, capacities=capacities, alpha=0.5, seed=1)
+    system.enable_checkpointing(checkpoint_dir, keep=3)
     for day in range(3):
         run_day(system, f"day {day + 1}")
-    save_system_state(system, state_path)
-    print(f"  state saved to {state_path} ({state_path.stat().st_size} bytes)")
+    retained = [path.name for path in system.checkpoint_manager.checkpoints()]
+    print(f"  checkpoints retained: {', '.join(retained)}")
 
-    print("after restart (state restored):")
-    restored = ETA2System(n_users=N_USERS, capacities=capacities, alpha=0.5, seed=2)
-    load_system_state(restored, state_path)
+    # The "crash": the process dies while writing yet another checkpoint.
+    # The atomic write guarantees the interrupted file never becomes
+    # visible — the last completed checkpoint stays intact.
+    try:
+        system.checkpoint_manager.save(
+            system, system.completed_steps + 1, _writer=crashing_writer(0.5)
+        )
+    except SimulatedCrash as crash:
+        print(f"  simulated power loss: {crash}")
+
+    print("after restart (ETA2System.resume recovers the newest valid checkpoint):")
+    restored = ETA2System.resume(
+        checkpoint_dir, n_users=N_USERS, capacities=capacities, alpha=0.5, seed=2
+    )
+    assert restored.is_warmed_up
     warm_error = run_day(restored, "day 4")
 
     print("after restart (cold start, for contrast):")
@@ -81,7 +96,9 @@ def main():
         f"\nrestored system error {warm_error:.4f} vs cold restart {cold_error:.4f} "
         "(the cold start is back in the random-allocation warm-up regime)"
     )
-    state_path.unlink(missing_ok=True)
+    for path in checkpoint_dir.iterdir():
+        path.unlink()
+    checkpoint_dir.rmdir()
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 from repro.experiments import (
@@ -56,13 +57,21 @@ FIGURES = {
 
 APPROACHES = {
     "eta2": lambda args: ETA2Approach(
-        gamma=args.gamma, alpha=args.alpha, exploration_rate=args.exploration
+        gamma=args.gamma,
+        alpha=args.alpha,
+        exploration_rate=args.exploration,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_keep=args.checkpoint_keep,
+        resume=args.resume,
     ),
     "eta2-mc": lambda args: ETA2Approach(
         gamma=args.gamma,
         alpha=args.alpha,
         allocator="min-cost",
         min_cost_round_budget=args.round_budget,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_keep=args.checkpoint_keep,
+        resume=args.resume,
     ),
     "hubs-authorities": lambda args: ReliabilityApproach(HubsAuthorities()),
     "average-log": lambda args: ReliabilityApproach(AverageLog()),
@@ -98,6 +107,42 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--round-budget", type=float, default=100.0, dest="round_budget")
     simulate.add_argument("--drift", type=float, default=0.0, help="per-day expertise drift std")
     simulate.add_argument("--bias", type=float, default=0.0, help="non-normal observation fraction")
+    reliability = simulate.add_argument_group(
+        "reliability", "crash-safe checkpointing and deterministic fault injection"
+    )
+    reliability.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        dest="checkpoint_dir",
+        help="checkpoint the ETA2 system state here after every day (eta2/eta2-mc only)",
+    )
+    reliability.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=3,
+        dest="checkpoint_keep",
+        help="number of rotated checkpoints to retain (default 3)",
+    )
+    reliability.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the newest valid checkpoint from --checkpoint-dir before running",
+    )
+    reliability.add_argument(
+        "--fault-exceptions", type=float, default=0.0, help="injected per-call transport exception rate"
+    )
+    reliability.add_argument(
+        "--fault-timeouts", type=float, default=0.0, help="injected per-call transport timeout rate"
+    )
+    reliability.add_argument(
+        "--fault-drops", type=float, default=0.0, help="injected per-pair dropped-response rate"
+    )
+    reliability.add_argument(
+        "--fault-nan", type=float, default=0.0, help="injected per-pair NaN-payload rate"
+    )
+    reliability.add_argument(
+        "--fault-outliers", type=float, default=0.0, help="injected per-pair gross-outlier rate"
+    )
 
     report = sub.add_parser("report", help="run every experiment and write a Markdown report")
     report.add_argument("--out", default=None, help="output path (default: stdout)")
@@ -129,13 +174,44 @@ def _run_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_fault_profile(args: argparse.Namespace):
+    rates = (
+        args.fault_exceptions,
+        args.fault_timeouts,
+        args.fault_drops,
+        args.fault_nan,
+        args.fault_outliers,
+    )
+    if not any(rate > 0.0 for rate in rates):
+        return None
+    from repro.reliability.faults import FaultProfile
+
+    return FaultProfile(
+        exception_rate=args.fault_exceptions,
+        timeout_rate=args.fault_timeouts,
+        drop_rate=args.fault_drops,
+        nan_rate=args.fault_nan,
+        outlier_rate=args.fault_outliers,
+    )
+
+
 def _run_simulate(args: argparse.Namespace) -> int:
+    if args.checkpoint_dir is not None and args.approach not in ("eta2", "eta2-mc"):
+        print(f"note: --checkpoint-dir is ignored for approach {args.approach!r}")
     config = ExperimentConfig(replications=1, n_days=args.days, tau=args.tau, seed=args.seed)
     dataset = dataset_factory(args.dataset, config, seed=args.seed)
-    approach = APPROACHES[args.approach](args)
-    sim_config = SimulationConfig(
-        n_days=args.days, seed=args.seed, drift_rate=args.drift, bias_fraction=args.bias
-    )
+    try:
+        approach = APPROACHES[args.approach](args)
+        sim_config = SimulationConfig(
+            n_days=args.days,
+            seed=args.seed,
+            drift_rate=args.drift,
+            bias_fraction=args.bias,
+            faults=_build_fault_profile(args),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     result = run_simulation(dataset, approach, sim_config)
     print(f"{result.approach_name} on {result.dataset_name} "
           f"({dataset.n_users} users, {dataset.n_tasks} tasks, tau={args.tau:g})")
@@ -146,6 +222,14 @@ def _run_simulate(args: argparse.Namespace) -> int:
             f"  {day.pair_count:6d}  {day.observed_task_fraction:8.2f}"
         )
     print(f"mean error {result.mean_estimation_error:.4f}   total cost {result.total_cost:.1f}")
+    if result.fault_counts is not None:
+        injected = ", ".join(f"{kind}={count}" for kind, count in result.fault_counts.items() if count)
+        print(f"injected faults: {injected or 'none'}")
+        print(f"collection: {result.observer_report.summary()}")
+        print(f"quarantine: {result.sanitize_report.summary()}")
+    if args.checkpoint_dir is not None and args.approach in ("eta2", "eta2-mc"):
+        manager = approach._system.checkpoint_manager
+        print(f"checkpoints: {len(manager.checkpoints())} retained in {manager.directory}")
     return 0
 
 

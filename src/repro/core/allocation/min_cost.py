@@ -149,11 +149,11 @@ class MinCostAllocator:
             if observed.shape != (len(outcome.added_pairs),):
                 raise ValueError("observe() must return one value per new pair")
             for (user, task), value in zip(outcome.added_pairs, observed):
-                if np.isnan(value):
-                    # Dropout: the recruiting cost is spent and the capacity
-                    # consumed, but no observation arrives — the quality
-                    # check simply stays unsatisfied and later rounds
-                    # recruit replacements.
+                if not np.isfinite(value):
+                    # Dropout or corrupt (non-finite) payload: the recruiting
+                    # cost is spent and the capacity consumed, but no usable
+                    # observation arrives — the quality check simply stays
+                    # unsatisfied and later rounds recruit replacements.
                     continue
                 values[user, task] = value
                 mask[user, task] = True

@@ -19,6 +19,7 @@ Two allocation modes mirror the paper's two problem formulations:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -39,6 +40,8 @@ from repro.semantics.embeddings.corpus import generate_topical_corpus
 from repro.truthdiscovery.base import ObservationMatrix
 
 __all__ = ["IncomingTask", "StepResult", "ETA2System", "default_embedding"]
+
+_LOG = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -80,6 +83,15 @@ class StepResult:
     #: Per-task expertise ``u_{i, d_j}`` used for this step's allocation and
     #: confidence intervals (post-update values).
     task_expertise: "np.ndarray | None" = None
+    #: Whether this step's truth analysis converged within its iteration
+    #: budget.  False marks a degraded day: the estimates are the last
+    #: iterate, not a fixed point (also logged as a warning).
+    converged: bool = True
+
+    @property
+    def degraded(self) -> bool:
+        """True when this step's estimates should be treated with suspicion."""
+        return not self.converged
 
     @property
     def pair_count(self) -> int:
@@ -182,6 +194,14 @@ class ETA2System:
         self._warmed_up = False
         #: Per-step MLE iteration counts (consumed by the Fig. 12 experiment).
         self.iteration_log: list = []
+        # Reliability layer (both optional; see configure_resilience /
+        # enable_checkpointing).
+        self._resilience: "dict | None" = None
+        self.observer_report = None
+        self.sanitizer = None
+        self._checkpoint = None
+        #: Completed warm-up/daily steps (drives checkpoint numbering).
+        self.completed_steps = 0
 
     @property
     def n_users(self) -> int:
@@ -194,6 +214,132 @@ class ETA2System:
     def expertise_matrix(self) -> ExpertiseMatrix:
         """Current per-user per-domain expertise estimates."""
         return self._updater.expertise_matrix()
+
+    # ------------------------------------------------------------------ #
+    # Reliability layer (resilient collection + crash-safe checkpointing)
+    # ------------------------------------------------------------------ #
+
+    def configure_resilience(
+        self,
+        retry=None,
+        breaker=None,
+        call_timeout: "float | None" = None,
+        sanitizer=None,
+        salvage: bool = True,
+        clock=None,
+        sleep=None,
+    ) -> None:
+        """Harden data collection: wrap every ``observe()`` callback.
+
+        From now on, warm-up and daily steps route collection through a
+        :class:`~repro.reliability.observer.ResilientObserver` (retries with
+        backoff, circuit breaking, per-call timeouts, per-pair salvage) and
+        optionally an
+        :class:`~repro.reliability.sanitize.ObservationSanitizer`.  The
+        breaker, the report, and the sanitizer's counters persist across
+        steps: inspect ``system.observer_report`` / ``system.sanitizer``.
+        """
+        import time
+
+        from repro.reliability.observer import CircuitBreaker, ObserverReport
+
+        clock = clock if clock is not None else time.monotonic
+        self._resilience = {
+            "retry": retry,
+            "breaker": breaker if breaker is not None else CircuitBreaker(clock=clock),
+            "call_timeout": call_timeout,
+            "salvage": salvage,
+            "clock": clock,
+            "sleep": sleep if sleep is not None else time.sleep,
+        }
+        self.observer_report = ObserverReport()
+        self.sanitizer = sanitizer
+
+    def _wrap_observe(self, observe: Callable) -> Callable:
+        if self._resilience is None:
+            return observe
+        from repro.reliability.observer import ResilientObserver
+
+        return ResilientObserver(
+            observe,
+            retry=self._resilience["retry"],
+            breaker=self._resilience["breaker"],
+            call_timeout=self._resilience["call_timeout"],
+            sanitizer=self.sanitizer,
+            salvage=self._resilience["salvage"],
+            clock=self._resilience["clock"],
+            sleep=self._resilience["sleep"],
+            report=self.observer_report,
+        )
+
+    def enable_checkpointing(self, directory, keep: int = 3):
+        """Checkpoint automatically after every completed warm-up/step.
+
+        Returns the :class:`~repro.reliability.checkpoint.CheckpointManager`
+        (also kept on the system) so callers can inspect or restore.
+        """
+        from repro.reliability.checkpoint import CheckpointManager
+
+        self._checkpoint = CheckpointManager(directory, keep=keep)
+        return self._checkpoint
+
+    @property
+    def checkpoint_manager(self):
+        return self._checkpoint
+
+    def restore_latest(self) -> "int | None":
+        """Restore the newest valid checkpoint (requires checkpointing).
+
+        Returns the restored step number, or None when no valid checkpoint
+        exists; in that case the system keeps its current (cold) state.
+        """
+        if self._checkpoint is None:
+            raise RuntimeError("call enable_checkpointing() first")
+        step = self._checkpoint.restore(self)
+        if step is None:
+            _LOG.warning(
+                "no valid checkpoint found in %s; starting cold", self._checkpoint.directory
+            )
+        else:
+            self.completed_steps = step
+        return step
+
+    @classmethod
+    def resume(cls, directory, keep: int = 3, **system_kwargs) -> "ETA2System":
+        """Build a system and recover it from the newest valid checkpoint.
+
+        ``system_kwargs`` are the normal constructor arguments (state files
+        deliberately exclude construction-time configuration).  Corrupt
+        checkpoints are skipped newest-to-oldest; with no valid checkpoint
+        at all the system starts cold (with a warning).
+        """
+        system = cls(**system_kwargs)
+        system.enable_checkpointing(directory, keep=keep)
+        system.restore_latest()
+        return system
+
+    def _after_step(self, result: StepResult, kind: str) -> StepResult:
+        """End-of-step bookkeeping: convergence surfacing + checkpointing."""
+        if not result.converged:
+            _LOG.warning(
+                "%s step %d produced non-converged truth estimates after %d iterations",
+                kind,
+                self.completed_steps + 1,
+                result.mle_iterations,
+            )
+        self.completed_steps += 1
+        if self._checkpoint is not None:
+            self._checkpoint.save(
+                self,
+                self.completed_steps,
+                metadata={
+                    "kind": kind,
+                    "converged": bool(result.converged),
+                    "mle_iterations": int(result.mle_iterations),
+                    "pair_count": int(result.pair_count),
+                },
+            )
+        return result
 
     # ------------------------------------------------------------------ #
     # Domain identification (Module 1)
@@ -242,27 +388,39 @@ class ETA2System:
             raise RuntimeError("warm-up already done; use step()")
         if not tasks:
             raise ValueError("warm-up needs at least one task")
+        observe = self._wrap_observe(observe)
         domains, merges, new_domains = self._identify_domains(tasks)
 
         problem = self._problem(tasks, self._default_expertise_for(domains))
         assignment = self._random.allocate(problem)
         observations = self._collect(assignment, observe)
+        if observations.observation_count == 0:
+            # Total collection outage: nothing to learn from.  Stay in the
+            # warm-up regime (the next day retries warm-up) instead of
+            # seeding expertise from nothing.
+            return self._degraded_result(
+                assignment, observations, domains, merges, new_domains, problem, "warm-up"
+            )
 
         result = estimate_truth(observations, domains)
         self._updater.seed_from_batch(observations, domains, result)
         self.iteration_log.append(result.iterations)
         self._warmed_up = True
-        return StepResult(
-            assignment=assignment,
-            observations=observations,
-            truths=result.truths,
-            sigmas=result.sigmas,
-            task_domains=domains,
-            merges=merges,
-            new_domains=new_domains,
-            mle_iterations=result.iterations,
-            allocation_cost=assignment.total_cost(problem.costs),
-            task_expertise=result.expertise_for_tasks(domains),
+        return self._after_step(
+            StepResult(
+                assignment=assignment,
+                observations=observations,
+                truths=result.truths,
+                sigmas=result.sigmas,
+                task_domains=domains,
+                merges=merges,
+                new_domains=new_domains,
+                mle_iterations=result.iterations,
+                allocation_cost=assignment.total_cost(problem.costs),
+                task_expertise=result.expertise_for_tasks(domains),
+                converged=result.converged,
+            ),
+            "warm-up",
         )
 
     # ------------------------------------------------------------------ #
@@ -275,6 +433,7 @@ class ETA2System:
             raise RuntimeError("run warmup() first")
         if not tasks:
             raise ValueError("step needs at least one task")
+        observe = self._wrap_observe(observe)
         domains, merges, new_domains = self._identify_domains(tasks)
         expertise = self._expertise_for(domains)
         problem = self._problem(tasks, expertise)
@@ -282,7 +441,6 @@ class ETA2System:
         if self._allocator_kind == "max-quality":
             assignment = self._max_quality.allocate(problem)
             observations = self._collect(assignment, observe)
-            incorporate = self._updater.incorporate(observations, domains)
         else:
             outcome = self._min_cost.run(
                 problem,
@@ -291,28 +449,69 @@ class ETA2System:
             )
             assignment = outcome.assignment
             observations = outcome.observations
-            incorporate = self._updater.incorporate(observations, domains)
+        if observations.observation_count == 0:
+            # Total collection outage: skip the expertise update entirely —
+            # applying the decay with no fresh data would erode the learned
+            # state the outage already made harder to rebuild.
+            return self._degraded_result(
+                assignment, observations, domains, merges, new_domains, problem, "daily"
+            )
+        incorporate = self._updater.incorporate(observations, domains)
 
         self.iteration_log.append(incorporate.iterations)
         task_expertise = np.vstack(
             [incorporate.expertise[d] for d in domains.tolist()]
         ).T
-        return StepResult(
-            assignment=assignment,
-            observations=observations,
-            truths=incorporate.truths,
-            sigmas=incorporate.sigmas,
-            task_domains=domains,
-            merges=merges,
-            new_domains=new_domains,
-            mle_iterations=incorporate.iterations,
-            allocation_cost=assignment.total_cost(problem.costs),
-            task_expertise=task_expertise,
+        return self._after_step(
+            StepResult(
+                assignment=assignment,
+                observations=observations,
+                truths=incorporate.truths,
+                sigmas=incorporate.sigmas,
+                task_domains=domains,
+                merges=merges,
+                new_domains=new_domains,
+                mle_iterations=incorporate.iterations,
+                allocation_cost=assignment.total_cost(problem.costs),
+                task_expertise=task_expertise,
+                converged=incorporate.converged,
+            ),
+            "daily",
         )
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _degraded_result(
+        self, assignment, observations, domains, merges, new_domains, problem, kind: str
+    ) -> StepResult:
+        """The all-NaN outcome of a step whose collection failed entirely.
+
+        No state is updated and no checkpoint is written (nothing was
+        learned); the day is surfaced as non-converged so operators and the
+        engine's metrics see a degraded day rather than a silent one.
+        """
+        from repro.core.truth import SIGMA_FLOOR
+
+        _LOG.warning(
+            "%s step collected zero observations for %d tasks; "
+            "returning a degraded (all-NaN) result", kind, observations.n_tasks
+        )
+        self.iteration_log.append(0)
+        return StepResult(
+            assignment=assignment,
+            observations=observations,
+            truths=np.full(observations.n_tasks, np.nan),
+            sigmas=np.full(observations.n_tasks, SIGMA_FLOOR),
+            task_domains=domains,
+            merges=merges,
+            new_domains=new_domains,
+            mle_iterations=0,
+            allocation_cost=assignment.total_cost(problem.costs),
+            task_expertise=self._expertise_for(domains),
+            converged=False,
+        )
 
     def _problem(self, tasks: Sequence[IncomingTask], expertise: np.ndarray) -> AllocationProblem:
         return AllocationProblem(
@@ -339,6 +538,9 @@ class ETA2System:
         assigned user that never delivered.  Dropped pairs are excluded from
         the observation mask (the capacity they consumed is already spent;
         mobile users that accept and abandon tasks still block their slot).
+        Non-finite payloads (inf as well as NaN) are likewise coerced to
+        missing: one corrupt value must never reach the truth analysis,
+        whose expertise weighting would amplify it.
         """
         pairs = assignment.pairs()
         values = np.zeros(assignment.matrix.shape, dtype=float)
@@ -348,10 +550,10 @@ class ETA2System:
             if observed.shape != (len(pairs),):
                 raise ValueError("observe() must return one value per pair")
             for (user, task), value in zip(pairs, observed):
-                if np.isnan(value):
-                    mask[user, task] = False
-                else:
+                if np.isfinite(value):
                     values[user, task] = value
+                else:
+                    mask[user, task] = False
         return ObservationMatrix(values=values, mask=mask)
 
     def _min_cost_estimator(self, domains: np.ndarray) -> Callable:

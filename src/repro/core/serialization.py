@@ -14,7 +14,9 @@ hash-backed models carry no state at all.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -27,11 +29,35 @@ __all__ = [
     "updater_from_dict",
     "clustering_to_dict",
     "clustering_from_dict",
+    "system_state_to_dict",
+    "apply_system_state",
     "save_system_state",
     "load_system_state",
+    "atomic_write_text",
 ]
 
 _FORMAT_VERSION = 1
+
+
+def atomic_write_text(path: "str | Path", text: str, writer: "Callable | None" = None) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A crash at any point leaves either the old file or the new file at
+    ``path`` — never a half-written mixture.  A stray ``<name>.tmp`` may
+    survive an interrupted write; it is ignored by all readers and
+    overwritten by the next save.
+
+    ``writer`` is a fault-injection hook taking ``(path, text)`` (see
+    :func:`repro.reliability.faults.crashing_writer`); the default writes
+    with :meth:`Path.write_text`.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    if writer is None:
+        tmp.write_text(text)
+    else:
+        writer(tmp, text)
+    os.replace(tmp, path)
 
 
 def updater_to_dict(updater: ExpertiseUpdater) -> dict:
@@ -102,41 +128,72 @@ def clustering_from_dict(data: dict) -> DynamicHierarchicalClustering:
     return clustering
 
 
-def save_system_state(system: ETA2System, path: "str | Path") -> None:
-    """Write an :class:`ETA2System`'s learned state to ``path`` (JSON).
+def system_state_to_dict(system: ETA2System) -> dict:
+    """Snapshot an :class:`ETA2System`'s learned state as JSON-compatible data.
 
     Captures the expertise history, the clustering state, the warm-up flag
     and the iteration log.  Allocator settings and the embedding model are
     construction-time configuration and must be supplied again on restore.
     """
-    state = {
+    return {
         "format_version": _FORMAT_VERSION,
         "warmed_up": system.is_warmed_up,
         "iteration_log": list(system.iteration_log),
         "updater": updater_to_dict(system._updater),
         "clustering": clustering_to_dict(system._clustering),
     }
-    Path(path).write_text(json.dumps(state))
 
 
-def load_system_state(system: ETA2System, path: "str | Path") -> ETA2System:
-    """Restore state saved by :func:`save_system_state` into ``system``.
+def apply_system_state(system: ETA2System, state: dict) -> ETA2System:
+    """Restore a :func:`system_state_to_dict` snapshot into ``system``.
 
     ``system`` must be freshly constructed with the same ``n_users``; its
     gamma/alpha construction parameters are overridden by the stored values.
     Returns ``system`` for chaining.
     """
-    state = json.loads(Path(path).read_text())
+    if not isinstance(state, dict):
+        raise ValueError("system state must be a JSON object")
     version = state.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported state format version: {version!r}")
-    updater = updater_from_dict(state["updater"])
+    try:
+        updater = updater_from_dict(state["updater"])
+        clustering = clustering_from_dict(state["clustering"])
+        warmed_up = bool(state["warmed_up"])
+        iteration_log = [int(i) for i in state["iteration_log"]]
+    except KeyError as missing:
+        raise ValueError(f"system state is missing the {missing} field") from None
     if updater.n_users != system.n_users:
         raise ValueError(
             f"state has {updater.n_users} users but the system was built for {system.n_users}"
         )
     system._updater = updater
-    system._clustering = clustering_from_dict(state["clustering"])
-    system._warmed_up = bool(state["warmed_up"])
-    system.iteration_log = [int(i) for i in state["iteration_log"]]
+    system._clustering = clustering
+    system._warmed_up = warmed_up
+    system.iteration_log = iteration_log
     return system
+
+
+def save_system_state(system: ETA2System, path: "str | Path") -> None:
+    """Write an :class:`ETA2System`'s learned state to ``path`` (JSON).
+
+    The write is atomic (:func:`atomic_write_text`): a crash mid-write
+    leaves any previous state file intact instead of a corrupt one.
+    """
+    atomic_write_text(path, json.dumps(system_state_to_dict(system)))
+
+
+def load_system_state(system: ETA2System, path: "str | Path") -> ETA2System:
+    """Restore state saved by :func:`save_system_state` into ``system``.
+
+    Truncated or otherwise corrupt files raise a :class:`ValueError` with a
+    clear message rather than a raw JSON traceback.
+    """
+    path = Path(path)
+    try:
+        state = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"state file {path} is corrupt (truncated or invalid JSON): {error.msg}"
+        ) from None
+    return apply_system_state(system, state)

@@ -17,6 +17,7 @@ recorded — Figure 12 plots its CDF.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,6 +26,8 @@ from repro.core.expertise import DEFAULT_EXPERTISE, clamp_expertise, expertise_f
 from repro.truthdiscovery.base import ObservationMatrix
 
 __all__ = ["TruthAnalysisResult", "estimate_truth", "update_truths_for_expertise", "SIGMA_FLOOR"]
+
+_LOG = logging.getLogger(__name__)
 
 #: Base numbers are floored away from zero: a task whose observations happen
 #: to coincide would otherwise produce a zero variance and infinite weights.
@@ -179,6 +182,15 @@ def estimate_truth(
             break
         truths = new_truths
 
+    if not converged:
+        # Surface degraded estimates instead of silently returning them:
+        # an operator watching the logs can tell a bad day from a good one.
+        _LOG.warning(
+            "truth analysis did not converge within %d iterations (%d tasks, %d observations)",
+            max_iterations,
+            observations.n_tasks,
+            observations.observation_count,
+        )
     task_expertise = expertise[:, domain_columns]
     truths, sigmas = update_truths_for_expertise(observations, task_expertise)
     return TruthAnalysisResult(

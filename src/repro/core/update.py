@@ -22,6 +22,7 @@ step the paper describes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,6 +35,8 @@ from repro.core.truth import (
 from repro.truthdiscovery.base import ObservationMatrix
 
 __all__ = ["ExpertiseUpdater", "IncorporateResult"]
+
+_LOG = logging.getLogger(__name__)
 
 RELATIVE_TOLERANCE = 0.05
 ABSOLUTE_TOLERANCE = 1e-3
@@ -182,6 +185,14 @@ class ExpertiseUpdater:
                 break
             truths = new_truths
 
+        if not converged and commit:
+            _LOG.warning(
+                "expertise update did not converge within %d iterations "
+                "(%d tasks, %d observations); committing the last iterate",
+                max_iterations,
+                observations.n_tasks,
+                observations.observation_count,
+            )
         if commit:
             for domain_id in distinct:
                 self._numerators[domain_id] = new_n[domain_id]

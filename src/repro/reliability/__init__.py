@@ -1,0 +1,64 @@
+"""Reliability layer for the ETA2 closed loop.
+
+The paper's server runs a *daily* loop over live mobile users (Section 2,
+Fig. 1); in any real deployment the data-collection leg of that loop is the
+unreliable one — transports hang, workers time out, payloads arrive as NaN
+or garbage, and the server process itself can die mid-write.  This package
+makes every one of those failures survivable:
+
+- :mod:`repro.reliability.observer` — :class:`ResilientObserver` wraps any
+  ``observe(pairs)`` callback with per-call timeouts, retry with exponential
+  backoff, a circuit breaker, and per-pair salvage so one poison pair cannot
+  sink a whole batch.
+- :mod:`repro.reliability.sanitize` — :class:`ObservationSanitizer`
+  quarantines NaN/inf payloads and gross outliers before they reach
+  ``estimate_truth``, with counters of what was dropped and why.
+- :mod:`repro.reliability.checkpoint` — :class:`CheckpointManager` writes
+  atomic, checksummed, rotated end-of-step checkpoints and restores the
+  newest valid one after a crash.
+- :mod:`repro.reliability.faults` — deterministic fault injection
+  (latency, exceptions, dropped responses, NaN payloads, mid-write
+  crashes) so every recovery path is exercised from a seeded RNG.
+- :mod:`repro.reliability.chaos` — :class:`ChaosWorld`, a fault-injecting
+  wrapper around the simulation world.
+"""
+
+from repro.reliability.chaos import ChaosWorld
+from repro.reliability.checkpoint import CheckpointError, CheckpointManager
+from repro.reliability.faults import (
+    FaultError,
+    FaultInjector,
+    FaultProfile,
+    FaultTimeout,
+    FaultyObserver,
+    SimulatedCrash,
+    VirtualClock,
+    crashing_writer,
+)
+from repro.reliability.observer import (
+    CircuitBreaker,
+    ObserverReport,
+    ResilientObserver,
+    RetryPolicy,
+)
+from repro.reliability.sanitize import ObservationSanitizer, SanitizeReport
+
+__all__ = [
+    "ChaosWorld",
+    "CheckpointError",
+    "CheckpointManager",
+    "CircuitBreaker",
+    "FaultError",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultTimeout",
+    "FaultyObserver",
+    "ObservationSanitizer",
+    "ObserverReport",
+    "ResilientObserver",
+    "RetryPolicy",
+    "SanitizeReport",
+    "SimulatedCrash",
+    "VirtualClock",
+    "crashing_writer",
+]

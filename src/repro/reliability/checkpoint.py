@@ -1,0 +1,185 @@
+"""Crash-safe checkpointing for :class:`~repro.core.pipeline.ETA2System`.
+
+A production server checkpoints after every completed step so a crash costs
+at most one day of learning.  The format hardens the plain state snapshot
+of :mod:`repro.core.serialization` against the ways persistence actually
+fails:
+
+- **atomic writes** — temp file + ``os.replace``, so a crash mid-write
+  leaves the previous checkpoint intact (never a half-written file under
+  the real name);
+- **checksums** — each record embeds the SHA-256 of its canonical state
+  payload; silent corruption (truncation, bit rot, concurrent writers) is
+  detected at load time rather than producing subtly wrong expertise;
+- **rotation** — only the newest ``keep`` checkpoints are retained;
+- **fallback recovery** — :meth:`CheckpointManager.restore` walks
+  checkpoints newest-to-oldest and restores the first *valid* one, logging
+  (not crashing on) every corrupt file it skips.
+
+File layout: ``<directory>/<prefix>-<step:08d>.json``; stray ``*.tmp``
+files from interrupted writes are ignored and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import re
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["CheckpointError", "CheckpointManager", "CHECKPOINT_VERSION"]
+
+_LOG = logging.getLogger(__name__)
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is missing, corrupt, or from an unknown format."""
+
+
+def _canonical(state: dict) -> str:
+    """The canonical JSON text a checkpoint's checksum is computed over."""
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(state: dict) -> str:
+    return hashlib.sha256(_canonical(state).encode("utf-8")).hexdigest()
+
+
+class CheckpointManager:
+    """Write, rotate, validate, and restore system checkpoints."""
+
+    def __init__(self, directory: "str | Path", keep: int = 3, prefix: str = "checkpoint"):
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        if not re.fullmatch(r"[A-Za-z0-9_.-]+", prefix):
+            raise ValueError("prefix must be a simple filename fragment")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = int(keep)
+        self.prefix = prefix
+        self._pattern = re.compile(rf"^{re.escape(prefix)}-(\d{{8}})\.json$")
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def path_for(self, step: int) -> Path:
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        return self.directory / f"{self.prefix}-{step:08d}.json"
+
+    def save(
+        self,
+        system,
+        step: int,
+        metadata: "dict | None" = None,
+        _writer: "Callable | None" = None,
+    ) -> Path:
+        """Checkpoint ``system`` as of completed step ``step`` (atomic).
+
+        ``_writer`` is a fault-injection hook (see
+        :func:`repro.reliability.faults.crashing_writer`); leave it None in
+        production.
+        """
+        from repro.core.serialization import atomic_write_text, system_state_to_dict
+
+        state = system_state_to_dict(system)
+        record = {
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "step": int(step),
+            "metadata": dict(metadata or {}),
+            "checksum": _checksum(state),
+            "state": state,
+        }
+        path = self.path_for(step)
+        atomic_write_text(path, json.dumps(record), writer=_writer)
+        self._rotate()
+        return path
+
+    def _rotate(self) -> None:
+        checkpoints = self.checkpoints()
+        for path in checkpoints[: max(0, len(checkpoints) - self.keep)]:
+            try:
+                path.unlink()
+            except OSError as error:  # pragma: no cover — racing cleanup
+                _LOG.warning("could not remove old checkpoint %s: %s", path, error)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def checkpoints(self) -> list:
+        """All checkpoint paths in this directory, oldest first."""
+        found = []
+        for path in self.directory.iterdir():
+            match = self._pattern.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return [path for _, path in sorted(found)]
+
+    def load_record(self, path: "str | Path") -> dict:
+        """Parse and validate one checkpoint file.
+
+        Raises :class:`CheckpointError` (a ``ValueError``) with a clear
+        message on truncation, corruption, checksum mismatch, or an unknown
+        format version — never a raw JSON traceback.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise CheckpointError(f"cannot read checkpoint {path}: {error}") from None
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"checkpoint {path} is corrupt (truncated or invalid JSON): {error.msg}"
+            ) from None
+        if not isinstance(record, dict):
+            raise CheckpointError(f"checkpoint {path} does not contain a record object")
+        version = record.get("checkpoint_version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(f"checkpoint {path} has unsupported version {version!r}")
+        for key in ("step", "checksum", "state"):
+            if key not in record:
+                raise CheckpointError(f"checkpoint {path} is missing the {key!r} field")
+        actual = _checksum(record["state"])
+        if actual != record["checksum"]:
+            raise CheckpointError(
+                f"checkpoint {path} failed checksum validation "
+                f"(stored {record['checksum'][:12]}…, computed {actual[:12]}…)"
+            )
+        return record
+
+    def latest_valid(self) -> "tuple[Path, dict] | None":
+        """The newest checkpoint that passes validation, or None.
+
+        Corrupt checkpoints are skipped with a warning — a bad newest file
+        must not make older good ones unreachable.
+        """
+        for path in reversed(self.checkpoints()):
+            try:
+                return path, self.load_record(path)
+            except CheckpointError as error:
+                _LOG.warning("skipping invalid checkpoint: %s", error)
+        return None
+
+    def restore(self, system) -> "int | None":
+        """Restore the newest valid checkpoint into ``system``.
+
+        Returns the restored step number, or None when no valid checkpoint
+        exists (the system is left untouched).
+        """
+        from repro.core.serialization import apply_system_state
+
+        found = self.latest_valid()
+        if found is None:
+            return None
+        path, record = found
+        apply_system_state(system, record["state"])
+        _LOG.info("restored checkpoint %s (step %d)", path.name, record["step"])
+        return int(record["step"])

@@ -1,0 +1,231 @@
+"""Deterministic fault injection: the chaos layer of the reliability stack.
+
+Recovery code that is never exercised is broken code waiting for its first
+outage.  This module injects every failure mode the reliability layer
+claims to survive — latency, transport exceptions, timeouts, dropped
+responses, NaN payloads, gross-outlier payloads, and mid-write crashes —
+*deterministically*, from a seeded RNG, so chaos tests are reproducible.
+
+- :class:`FaultProfile` — the knobs (all rates in [0, 1]).
+- :class:`FaultInjector` — draws faults from a seeded stream; shared by the
+  observer wrapper and the simulation's :class:`~repro.reliability.chaos.ChaosWorld`.
+- :class:`FaultyObserver` — wraps an ``observe(pairs)`` callback with
+  injected faults (what a flaky transport looks like from the server).
+- :class:`VirtualClock` — a manually advanced monotonic clock; latency
+  faults advance it, so timeout handling is tested without real sleeping.
+- :func:`crashing_writer` — a file writer that dies partway through, for
+  exercising the checkpointer's atomic-write guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+__all__ = [
+    "FaultError",
+    "FaultTimeout",
+    "SimulatedCrash",
+    "FaultProfile",
+    "VirtualClock",
+    "FaultInjector",
+    "FaultyObserver",
+    "crashing_writer",
+]
+
+
+class FaultError(RuntimeError):
+    """An injected transport failure (the whole call errors out)."""
+
+
+class FaultTimeout(FaultError):
+    """An injected transport-level timeout (deadline exceeded downstream)."""
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected process crash (e.g. power loss mid-write)."""
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Fault rates for one chaos scenario.
+
+    Call-level faults (one draw per ``observe`` call):
+
+    - ``exception_rate`` — the call raises :class:`FaultError`;
+    - ``timeout_rate`` — the call raises :class:`FaultTimeout`;
+    - ``latency_rate`` / ``latency`` — the call "takes" ``latency`` seconds
+      on the injector's :class:`VirtualClock` (tripping elapsed-based
+      timeout checks) but still returns data.
+
+    Pair-level faults (one draw per returned value):
+
+    - ``drop_rate`` — the response never arrives (NaN);
+    - ``nan_rate`` — the response arrives but its payload is NaN;
+    - ``outlier_rate`` / ``outlier_offset`` — the payload is displaced by
+      ``±outlier_offset`` (a gross outlier for the sanitizer to catch).
+    """
+
+    exception_rate: float = 0.0
+    timeout_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency: float = 0.0
+    drop_rate: float = 0.0
+    nan_rate: float = 0.0
+    outlier_rate: float = 0.0
+    outlier_offset: float = 1e6
+
+    def __post_init__(self):
+        for name in ("exception_rate", "timeout_rate", "latency_rate", "drop_rate", "nan_rate", "outlier_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if self.exception_rate + self.timeout_rate > 1.0:
+            raise ValueError("exception_rate + timeout_rate must not exceed 1")
+        if self.drop_rate + self.nan_rate + self.outlier_rate > 1.0:
+            raise ValueError("drop_rate + nan_rate + outlier_rate must not exceed 1")
+        if self.latency < 0.0:
+            raise ValueError("latency must be non-negative")
+        if self.outlier_offset <= 0.0:
+            raise ValueError("outlier_offset must be positive")
+
+    @property
+    def call_fault_rate(self) -> float:
+        return self.exception_rate + self.timeout_rate
+
+    @property
+    def pair_fault_rate(self) -> float:
+        return self.drop_rate + self.nan_rate + self.outlier_rate
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.call_fault_rate > 0.0
+            or self.pair_fault_rate > 0.0
+            or (self.latency_rate > 0.0 and self.latency > 0.0)
+        )
+
+
+class VirtualClock:
+    """A monotonic clock that only moves when told to.
+
+    Passed as ``clock`` to both the fault injector (which advances it on
+    latency faults) and the :class:`ResilientObserver`/:class:`CircuitBreaker`
+    (which read it), so timeout and recovery behaviour is tested in zero
+    wall-clock time.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    __call__ = now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError("time only moves forward")
+        self._now += float(seconds)
+
+
+class FaultInjector:
+    """Draws faults from a seeded stream according to a :class:`FaultProfile`."""
+
+    def __init__(self, profile: FaultProfile, seed=None, clock: "VirtualClock | None" = None):
+        self.profile = profile
+        self._rng = ensure_rng(seed)
+        self._clock = clock
+        #: Injected-fault counters by kind (for assertions and operator logs).
+        self.counts: dict = {
+            "exceptions": 0,
+            "timeouts": 0,
+            "latency": 0,
+            "drops": 0,
+            "nan_payloads": 0,
+            "outliers": 0,
+        }
+
+    def before_call(self) -> None:
+        """Roll the call-level faults; raises or advances the clock."""
+        profile = self.profile
+        if profile.call_fault_rate > 0.0:
+            roll = self._rng.random()
+            if roll < profile.exception_rate:
+                self.counts["exceptions"] += 1
+                raise FaultError("injected transport failure")
+            if roll < profile.exception_rate + profile.timeout_rate:
+                self.counts["timeouts"] += 1
+                raise FaultTimeout("injected transport timeout")
+        if profile.latency_rate > 0.0 and self._rng.random() < profile.latency_rate:
+            self.counts["latency"] += 1
+            if self._clock is not None:
+                self._clock.advance(profile.latency)
+
+    def corrupt(self, values: Sequence) -> np.ndarray:
+        """Apply the pair-level faults to a batch of delivered values."""
+        values = np.array(values, dtype=float)
+        profile = self.profile
+        if profile.pair_fault_rate == 0.0 or values.size == 0:
+            return values
+        rolls = self._rng.random(values.shape[0])
+        dropped = rolls < profile.drop_rate
+        nan_payload = (~dropped) & (rolls < profile.drop_rate + profile.nan_rate)
+        outlier = (~dropped) & (~nan_payload) & (rolls < profile.pair_fault_rate)
+        self.counts["drops"] += int(dropped.sum())
+        self.counts["nan_payloads"] += int(nan_payload.sum())
+        self.counts["outliers"] += int(outlier.sum())
+        values[dropped | nan_payload] = np.nan
+        if np.any(outlier):
+            signs = np.where(self._rng.random(int(outlier.sum())) < 0.5, -1.0, 1.0)
+            values[outlier] = values[outlier] + signs * profile.outlier_offset
+        return values
+
+
+class FaultyObserver:
+    """Wrap an ``observe(pairs)`` callback with injected faults.
+
+    The result is what a flaky field deployment looks like from the server:
+    calls that raise, time out, stall, or deliver corrupt payloads — all
+    deterministic from ``seed``.
+    """
+
+    def __init__(
+        self,
+        observe: Callable,
+        profile: FaultProfile,
+        seed=None,
+        clock: "VirtualClock | None" = None,
+    ):
+        self._observe = observe
+        self.injector = FaultInjector(profile, seed=seed, clock=clock)
+
+    @property
+    def fault_counts(self) -> dict:
+        return dict(self.injector.counts)
+
+    def __call__(self, pairs: Sequence):
+        self.injector.before_call()
+        return self.injector.corrupt(self._observe(pairs))
+
+
+def crashing_writer(crash_after_fraction: float = 0.5) -> Callable:
+    """A ``writer(path, text)`` that writes a prefix then raises
+    :class:`SimulatedCrash` — inject into
+    :func:`repro.core.serialization.atomic_write_text` (or the
+    checkpointer) to simulate power loss mid-write.
+    """
+    if not 0.0 <= crash_after_fraction <= 1.0:
+        raise ValueError("crash_after_fraction must lie in [0, 1]")
+
+    def writer(path: "str | Path", text: str) -> None:
+        cut = int(len(text) * crash_after_fraction)
+        Path(path).write_text(text[:cut])
+        raise SimulatedCrash(f"crashed after writing {cut}/{len(text)} characters")
+
+    return writer

@@ -1,0 +1,137 @@
+"""Observation sanitization: quarantine bad payloads before truth analysis.
+
+Even with a resilient transport, *delivered* values can be garbage: NaN and
+inf payloads from broken sensors, or gross outliers from malfunctioning (or
+malicious) clients.  The Section 4.1 MLE weights observations by estimated
+expertise, so a single ``1e12`` payload from a so-far-reliable user would
+drag a task's truth estimate arbitrarily far.  :class:`ObservationSanitizer`
+is a quarantine pass between collection and estimation:
+
+- non-finite payloads (NaN / ±inf) become missing observations;
+- optional absolute bounds reject physically impossible values;
+- *gross outliers* are detected per task with a robust z-score (median /
+  MAD over that task's batch of observations) — observations of the same
+  task should agree to within a few base numbers, so a value tens of MADs
+  away is quarantined rather than trusted.
+
+Rejected values are replaced by NaN — the pipeline's standard
+missing-observation marker — and counted by reason in a
+:class:`SanitizeReport`, so operators can see *what* was dropped and *why*
+instead of silently losing data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SanitizeReport", "ObservationSanitizer"]
+
+#: MAD-to-standard-deviation consistency factor for normal data.
+_MAD_SCALE = 1.4826
+
+
+@dataclass
+class SanitizeReport:
+    """Counters of quarantined observations, by reason."""
+
+    pairs: int = 0
+    nan_payloads: int = 0
+    inf_payloads: int = 0
+    out_of_bounds: int = 0
+    outliers: int = 0
+    accepted: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return self.nan_payloads + self.inf_payloads + self.out_of_bounds + self.outliers
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        parts = [f"{name}={value}" for name, value in self.as_dict().items() if value]
+        return "SanitizeReport(" + (", ".join(parts) or "empty") + ")"
+
+
+class ObservationSanitizer:
+    """Reject NaN/inf and gross outliers from one batch of observations.
+
+    Parameters
+    ----------
+    outlier_zscore:
+        Robust z-score (``|x - median| / (1.4826 * MAD)``) beyond which a
+        value counts as a gross outlier.  The default of 8 is deliberately
+        loose — honest low-expertise noise per the paper's model stays well
+        inside it, so only wildly corrupt payloads are quarantined.
+    min_task_observations:
+        Outlier detection needs context: tasks with fewer finite
+        observations than this in the batch are left alone (a median over
+        two points cannot identify the bad one).
+    value_bounds:
+        Optional ``(low, high)`` absolute bounds on plausible observations.
+    """
+
+    def __init__(
+        self,
+        outlier_zscore: float = 8.0,
+        min_task_observations: int = 3,
+        value_bounds: "tuple[float, float] | None" = None,
+    ):
+        if outlier_zscore <= 0.0:
+            raise ValueError("outlier_zscore must be positive")
+        if min_task_observations < 3:
+            raise ValueError("min_task_observations must be at least 3")
+        if value_bounds is not None and value_bounds[0] >= value_bounds[1]:
+            raise ValueError("value_bounds must be (low, high) with low < high")
+        self._zscore = float(outlier_zscore)
+        self._min_obs = int(min_task_observations)
+        self._bounds = value_bounds
+        self.report = SanitizeReport()
+
+    def sanitize(self, pairs: Sequence, values) -> np.ndarray:
+        """Return a cleaned copy of ``values``; rejected entries become NaN.
+
+        ``pairs`` are the ``(user, task)`` pairs the values belong to —
+        outlier detection groups by task.  NaN inputs pass through unchanged
+        (they are already the missing-observation marker) but are counted.
+        """
+        values = np.array(values, dtype=float)
+        pairs = list(pairs)
+        if values.shape != (len(pairs),):
+            raise ValueError("values must have one entry per pair")
+        report = self.report
+        report.pairs += len(pairs)
+
+        nan_in = np.isnan(values)
+        report.nan_payloads += int(nan_in.sum())
+
+        inf_in = np.isinf(values)
+        report.inf_payloads += int(inf_in.sum())
+        values[inf_in] = np.nan
+
+        if self._bounds is not None:
+            low, high = self._bounds
+            with np.errstate(invalid="ignore"):
+                bad = (values < low) | (values > high)
+            report.out_of_bounds += int(bad.sum())
+            values[bad] = np.nan
+
+        tasks = np.array([task for _, task in pairs], dtype=int) if pairs else np.zeros(0, int)
+        for task in np.unique(tasks):
+            members = np.flatnonzero(tasks == task)
+            finite = members[np.isfinite(values[members])]
+            if finite.size < self._min_obs:
+                continue
+            sample = values[finite]
+            median = float(np.median(sample))
+            mad = float(np.median(np.abs(sample - median)))
+            scale = max(_MAD_SCALE * mad, 1e-12)
+            bad = finite[np.abs(sample - median) / scale > self._zscore]
+            report.outliers += int(bad.size)
+            values[bad] = np.nan
+
+        report.accepted += int(np.isfinite(values).sum())
+        return values

@@ -83,7 +83,12 @@ class ETA2Approach(Approach):
         exploration_rate: float = 0.0,
         embedding: "EmbeddingModel | None" = None,
         use_clustering: "bool | None" = None,
+        checkpoint_dir=None,
+        checkpoint_keep: int = 3,
+        resume: bool = False,
     ):
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
         self.name = "ETA2" if allocator == "max-quality" else "ETA2-mc"
         self._gamma = gamma
         self._alpha = alpha
@@ -98,6 +103,12 @@ class ETA2Approach(Approach):
         #: None -> decided by the dataset (cluster iff domains are unknown);
         #: True/False forces it (ablations: oracle domains vs clustering).
         self._use_clustering = use_clustering
+        #: Crash-safe persistence: checkpoint after every completed day,
+        #: and (with resume=True) recover the newest valid checkpoint when
+        #: the simulation begins — the server-restart scenario.
+        self._checkpoint_dir = checkpoint_dir
+        self._checkpoint_keep = checkpoint_keep
+        self._resume = resume
         self._system: "ETA2System | None" = None
         self._labels: list = []
 
@@ -122,6 +133,10 @@ class ETA2Approach(Approach):
             exploration_rate=self._exploration_rate,
             seed=seed,
         )
+        if self._checkpoint_dir is not None:
+            self._system.enable_checkpointing(self._checkpoint_dir, keep=self._checkpoint_keep)
+            if self._resume:
+                self._system.restore_latest()
         self._labels = []
 
     def _incoming(self, tasks: Sequence) -> list:

@@ -5,6 +5,17 @@ period — the approaches allocate randomly because no reliability or
 expertise is known yet (each approach handles this internally).  Each day
 the engine hands the approach that day's tasks and an ``observe`` callback
 wired to the ground-truth world, then scores the returned truth estimates.
+
+Two reliability extensions support chaos testing and crash/restore drills:
+
+- ``config.faults`` wraps the world in a
+  :class:`~repro.reliability.chaos.ChaosWorld` and the per-day ``observe``
+  callback in a :class:`~repro.reliability.observer.ResilientObserver`
+  (shared circuit breaker, virtual clock, sanitizer), so injected
+  transport failures degrade days instead of aborting the run;
+- ``config.start_day`` / ``config.end_day`` run a *window* of the same
+  deterministic schedule, so a run can be split at a crash point and
+  resumed (or cold-restarted) over exactly the remaining days.
 """
 
 from __future__ import annotations
@@ -12,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
+from repro.reliability.faults import FaultProfile
 from repro.rng import ensure_rng
 from repro.simulation.approaches import Approach
 from repro.simulation.metrics import normalized_estimation_error
@@ -37,6 +49,20 @@ class SimulationConfig:
     #: (capacity and recruiting cost are still spent).
     dropout_rate: float = 0.0
     seed: "int | None" = None
+    #: Deterministic fault injection on the data-collection path (None =
+    #: the paper's fault-free transport).  When set, collection runs behind
+    #: the resilient-observer wrapper so faults degrade rather than abort.
+    faults: "FaultProfile | None" = None
+    #: Per-call timeout for the resilient observer, measured on the chaos
+    #: layer's virtual clock.  None derives half the injected latency (so
+    #: latency faults actually trip the timeout path).
+    observer_timeout: "float | None" = None
+    #: Day window ``[start_day, end_day)`` of the same deterministic
+    #: schedule; ``end_day=None`` means ``n_days``.  Splitting one schedule
+    #: across two runs is how crash/restore drills replay "the remaining
+    #: days" exactly.
+    start_day: int = 0
+    end_day: "int | None" = None
 
     def __post_init__(self):
         if self.n_days < 1:
@@ -49,6 +75,17 @@ class SimulationConfig:
             raise ValueError("adversary_fraction must lie in [0, 1]")
         if not 0.0 <= self.dropout_rate < 1.0:
             raise ValueError("dropout_rate must lie in [0, 1)")
+        if self.observer_timeout is not None and self.observer_timeout <= 0.0:
+            raise ValueError("observer_timeout must be positive (or None)")
+        if not 0 <= self.start_day < self.n_days:
+            raise ValueError("start_day must lie in [0, n_days)")
+        if self.end_day is not None and not self.start_day < self.end_day <= self.n_days:
+            raise ValueError("end_day must lie in (start_day, n_days]")
+
+    @property
+    def last_day(self) -> int:
+        """The exclusive end of the simulated day window."""
+        return self.n_days if self.end_day is None else self.end_day
 
 
 @dataclass(frozen=True)
@@ -86,6 +123,13 @@ class SimulationResult:
     #: Users that were given adversarial behaviour this run (empty tuple in
     #: the paper's honest setting).
     adversary_users: tuple = ()
+    #: Resilient-collection counters when ``config.faults`` was set
+    #: (retries, timeouts, salvaged pairs, ...); None on fault-free runs.
+    observer_report: "object | None" = None
+    #: Injected-fault counters from the chaos layer; None on fault-free runs.
+    fault_counts: "dict | None" = None
+    #: Sanitizer quarantine counters; None on fault-free runs.
+    sanitize_report: "object | None" = None
 
     @property
     def mean_estimation_error(self) -> float:
@@ -143,6 +187,36 @@ def run_simulation(
         adversaries=adversaries,
         seed=world_rng,
     )
+
+    # Chaos + resilience layer: injected faults must degrade days, never
+    # abort the run, so collection goes through the resilient observer
+    # (shared breaker/report/virtual clock across the whole run).
+    chaos = None
+    resilience: "dict | None" = None
+    if config.faults is not None and config.faults.active:
+        from repro.reliability.chaos import ChaosWorld
+        from repro.reliability.faults import VirtualClock
+        from repro.reliability.observer import CircuitBreaker, ObserverReport, RetryPolicy
+        from repro.reliability.sanitize import ObservationSanitizer
+
+        chaos_rng = rng.spawn(1)[0]
+        clock = VirtualClock()
+        chaos = ChaosWorld(world, config.faults, seed=chaos_rng, clock=clock)
+        world = chaos
+        timeout = config.observer_timeout
+        if timeout is None and config.faults.latency_rate > 0.0 and config.faults.latency > 0.0:
+            timeout = config.faults.latency / 2.0
+        resilience = {
+            # Simulated time: retries are immediate and the breaker
+            # half-opens right away — a static virtual clock must never
+            # leave the circuit permanently open.
+            "retry": RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0),
+            "breaker": CircuitBreaker(failure_threshold=6, recovery_time=0.0, clock=clock),
+            "call_timeout": timeout,
+            "sanitizer": ObservationSanitizer(),
+            "clock": clock,
+            "report": ObserverReport(),
+        }
     approach.begin(dataset, seed=approach_seed)
 
     true_values = world.true_values()
@@ -151,7 +225,7 @@ def run_simulation(
     day_records: list = []
     pair_expertise: list = []
     pair_errors: list = []
-    for day in range(config.n_days):
+    for day in range(config.start_day, config.last_day):
         task_indices = np.flatnonzero(schedule == day)
         if task_indices.size == 0:
             continue
@@ -173,7 +247,21 @@ def run_simulation(
                 pair_errors.append((value - true_values[task]) / base_numbers[task])
             return values
 
-        outcome = approach.run_day(day, day_tasks, observe)
+        collect = observe
+        if resilience is not None:
+            from repro.reliability.observer import ResilientObserver
+
+            collect = ResilientObserver(
+                observe,
+                retry=resilience["retry"],
+                breaker=resilience["breaker"],
+                call_timeout=resilience["call_timeout"],
+                sanitizer=resilience["sanitizer"],
+                clock=resilience["clock"],
+                sleep=lambda _seconds: None,
+                report=resilience["report"],
+            )
+        outcome = approach.run_day(day, day_tasks, collect)
         world.advance_day()
         error = normalized_estimation_error(
             outcome.truths, true_values[task_indices], base_numbers[task_indices]
@@ -200,4 +288,7 @@ def run_simulation(
         observation_expertise=np.asarray(pair_expertise, dtype=float),
         observation_errors=np.asarray(pair_errors, dtype=float),
         adversary_users=tuple(world.adversary_users),
+        observer_report=None if resilience is None else resilience["report"],
+        fault_counts=None if chaos is None else chaos.fault_counts,
+        sanitize_report=None if resilience is None else resilience["sanitizer"].report,
     )

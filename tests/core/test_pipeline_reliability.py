@@ -1,0 +1,160 @@
+"""Reliability behaviour of the ETA2 closed loop itself.
+
+Covers the guards that live in :class:`ETA2System` rather than in the
+``repro.reliability`` package: non-finite payload coercion in ``_collect``,
+convergence surfacing through :class:`StepResult`, degraded (zero-data)
+days, and the ``configure_resilience`` wiring.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ETA2System, IncomingTask, StepResult
+from repro.reliability.observer import RetryPolicy
+
+
+def _system(seed=0, n_users=10):
+    return ETA2System(n_users=n_users, capacities=np.full(n_users, 8.0), alpha=0.5, seed=seed)
+
+
+def _tasks(rng, n=12, n_domains=3):
+    return [
+        IncomingTask(processing_time=float(rng.uniform(0.5, 1.5)), domain=int(rng.integers(n_domains)))
+        for _ in range(n)
+    ]
+
+
+def _good_observe(rng):
+    def observe(pairs):
+        return [10.0 + rng.standard_normal() for _ in pairs]
+
+    return observe
+
+
+class TestCollectCoercion:
+    def test_inf_payload_becomes_missing(self):
+        """inf must be excluded from the mask, not stored as a value."""
+        rng = np.random.default_rng(0)
+        system = _system()
+
+        def observe(pairs):
+            values = [10.0 + rng.standard_normal() for _ in pairs]
+            values[0] = float("inf")
+            values[1] = float("-inf")
+            values[2] = float("nan")
+            return values
+
+        result = system.warmup(_tasks(rng), observe)
+        pair_count = result.assignment.pair_count
+        assert result.observations.observation_count == pair_count - 3
+        assert np.all(np.isfinite(result.observations.values))
+
+    def test_wrong_length_response_rejected(self):
+        rng = np.random.default_rng(1)
+        system = _system()
+        with pytest.raises(ValueError, match="one value per pair"):
+            system.warmup(_tasks(rng), lambda pairs: [1.0])
+
+
+class TestConvergenceSurfacing:
+    def test_converged_flag_true_on_clean_run(self):
+        rng = np.random.default_rng(2)
+        system = _system()
+        result = system.warmup(_tasks(rng), _good_observe(rng))
+        assert isinstance(result, StepResult)
+        assert result.converged
+        assert not result.degraded
+        assert result.mle_iterations >= 1
+
+    def test_degraded_property_mirrors_converged(self):
+        assert StepResult.__dataclass_fields__["converged"].default is True
+
+
+class TestDegradedDays:
+    def test_total_outage_during_warmup(self, caplog):
+        """All-NaN collection: degraded result, system stays un-warmed."""
+        rng = np.random.default_rng(3)
+        system = _system()
+        with caplog.at_level(logging.WARNING, logger="repro.core.pipeline"):
+            result = system.warmup(_tasks(rng), lambda pairs: [float("nan")] * len(pairs))
+        assert not result.converged
+        assert np.all(np.isnan(result.truths))
+        assert result.observations.observation_count == 0
+        assert not system.is_warmed_up  # the next day retries warm-up
+        assert system.iteration_log == [0]
+        assert any("zero observations" in message for message in caplog.messages)
+
+        # Warm-up retries cleanly once collection recovers.
+        retry = system.warmup(_tasks(rng), _good_observe(rng))
+        assert retry.converged
+        assert system.is_warmed_up
+
+    def test_total_outage_during_step_skips_update(self):
+        """A zero-data day must not decay the learned expertise."""
+        rng = np.random.default_rng(4)
+        system = _system()
+        system.warmup(_tasks(rng), _good_observe(rng))
+        before = system.expertise_matrix()
+        before_columns = {d: before.column(d).copy() for d in before.domain_ids}
+
+        result = system.step(_tasks(rng), lambda pairs: [float("nan")] * len(pairs))
+        assert not result.converged
+        assert np.all(np.isnan(result.truths))
+        after = system.expertise_matrix()
+        assert after.domain_ids == before.domain_ids
+        for domain_id, column in before_columns.items():
+            assert np.array_equal(after.column(domain_id), column)
+
+        # And the system keeps working on the next (healthy) day.
+        healthy = system.step(_tasks(rng), _good_observe(rng))
+        assert healthy.converged
+
+    def test_degraded_day_not_checkpointed(self, tmp_path):
+        rng = np.random.default_rng(5)
+        system = _system()
+        system.enable_checkpointing(tmp_path)
+        system.warmup(_tasks(rng), _good_observe(rng))
+        assert len(system.checkpoint_manager.checkpoints()) == 1
+        system.step(_tasks(rng), lambda pairs: [float("nan")] * len(pairs))
+        # Nothing was learned, so nothing new was persisted.
+        assert len(system.checkpoint_manager.checkpoints()) == 1
+        assert system.completed_steps == 1
+
+
+class TestConfigureResilience:
+    def test_flaky_observe_degrades_instead_of_raising(self):
+        rng = np.random.default_rng(6)
+        system = _system()
+        system.configure_resilience(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0), sleep=lambda _s: None
+        )
+        calls = {"n": 0}
+        inner = _good_observe(rng)
+
+        def observe(pairs):
+            calls["n"] += 1
+            if calls["n"] % 3 == 1:
+                raise ConnectionError("flaky")
+            return inner(pairs)
+
+        result = system.warmup(_tasks(rng), observe)
+        assert result.converged
+        assert system.observer_report.exceptions > 0
+        assert system.observer_report.delivered_pairs > 0
+
+    def test_hard_outage_becomes_degraded_day(self):
+        rng = np.random.default_rng(7)
+        system = _system()
+        system.configure_resilience(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0), sleep=lambda _s: None
+        )
+
+        def observe(pairs):
+            raise RuntimeError("collection service down")
+
+        result = system.warmup(_tasks(rng), observe)  # must not raise
+        assert not result.converged
+        assert not system.is_warmed_up
+        assert system.observer_report.failed_pairs > 0

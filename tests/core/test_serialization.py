@@ -8,6 +8,7 @@ import pytest
 from repro.clustering.dynamic import DynamicHierarchicalClustering
 from repro.core.pipeline import ETA2System, IncomingTask
 from repro.core.serialization import (
+    atomic_write_text,
     clustering_from_dict,
     clustering_to_dict,
     load_system_state,
@@ -16,6 +17,7 @@ from repro.core.serialization import (
     updater_to_dict,
 )
 from repro.core.update import ExpertiseUpdater
+from repro.reliability.faults import SimulatedCrash, crashing_writer
 from repro.truthdiscovery.base import ObservationMatrix
 
 
@@ -141,3 +143,124 @@ class TestSystemStateFile:
         fresh = ETA2System(n_users=3, capacities=np.full(3, 8.0))
         with pytest.raises(ValueError):
             load_system_state(fresh, path)
+
+    def test_round_trip_after_domain_merge(self, tmp_path):
+        """State survives the merge path (pipeline merges updater domains
+        when the clustering decides two domains were one)."""
+        system, _, _ = self._run_system(seed=7)
+        merged_from = system._updater.domain_ids
+        assert len(merged_from) >= 2
+        system._updater.merge_domains(merged_from[0], merged_from[1])
+        path = tmp_path / "state.json"
+        save_system_state(system, path)
+
+        fresh = ETA2System(n_users=12, capacities=np.full(12, 8.0), seed=0)
+        load_system_state(fresh, path)
+        original = system.expertise_matrix()
+        restored = fresh.expertise_matrix()
+        assert restored.domain_ids == original.domain_ids
+        assert merged_from[1] not in restored.domain_ids
+        for domain_id in original.domain_ids:
+            assert np.allclose(original.column(domain_id), restored.column(domain_id))
+
+    def test_round_trip_in_min_cost_mode(self, tmp_path):
+        """ETA2-mc state (same learned sums, different allocator) round-trips
+        and the restored system keeps running min-cost steps."""
+        rng = np.random.default_rng(8)
+        system = ETA2System(
+            n_users=12,
+            capacities=rng.uniform(6, 10, 12),
+            allocator="min-cost",
+            min_cost_round_budget=40.0,
+            seed=8,
+        )
+        truths = rng.uniform(0, 20, 30)
+
+        def tasks(n):
+            return [
+                IncomingTask(processing_time=float(rng.uniform(0.5, 1.5)), domain=int(rng.integers(3)))
+                for _ in range(n)
+            ]
+
+        def observe_for(indices):
+            def observe(pairs):
+                return [truths[indices[task]] + rng.standard_normal() for _, task in pairs]
+
+            return observe
+
+        system.warmup(tasks(15), observe_for(list(range(15))))
+        system.step(tasks(15), observe_for(list(range(15, 30))))
+        path = tmp_path / "state.json"
+        save_system_state(system, path)
+
+        fresh = ETA2System(
+            n_users=12,
+            capacities=np.full(12, 8.0),
+            allocator="min-cost",
+            min_cost_round_budget=40.0,
+            seed=0,
+        )
+        load_system_state(fresh, path)
+        assert fresh.is_warmed_up
+        original = system.expertise_matrix()
+        restored = fresh.expertise_matrix()
+        assert restored.domain_ids == original.domain_ids
+        for domain_id in original.domain_ids:
+            assert np.allclose(original.column(domain_id), restored.column(domain_id))
+        result = fresh.step(tasks(15), observe_for(list(range(15, 30))))
+        assert result.observations.observation_count > 0
+
+    def test_truncated_file_clear_error(self, tmp_path):
+        system, _, _ = self._run_system(seed=9)
+        path = tmp_path / "state.json"
+        save_system_state(system, path)
+        path.write_text(path.read_text()[:25])
+        fresh = ETA2System(n_users=12, capacities=np.full(12, 8.0))
+        with pytest.raises(ValueError, match="truncated or invalid JSON"):
+            load_system_state(fresh, path)
+
+    def test_garbage_file_clear_error(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("not json at all {{{")
+        fresh = ETA2System(n_users=3, capacities=np.full(3, 8.0))
+        with pytest.raises(ValueError, match="corrupt"):
+            load_system_state(fresh, path)
+
+
+class TestAtomicWrite:
+    def test_writes_and_cleans_up_temp(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, '{"a": 1}')
+        assert path.read_text() == '{"a": 1}'
+        assert not (tmp_path / "out.json.tmp").exists()
+
+    def test_crash_mid_write_preserves_previous_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "old content")
+        with pytest.raises(SimulatedCrash):
+            atomic_write_text(path, "new content", writer=crashing_writer(0.5))
+        assert path.read_text() == "old content"  # never half-written
+
+    def test_stale_temp_file_overwritten(self, tmp_path):
+        path = tmp_path / "out.json"
+        (tmp_path / "out.json.tmp").write_text("stale debris")
+        atomic_write_text(path, "fresh")
+        assert path.read_text() == "fresh"
+        assert not (tmp_path / "out.json.tmp").exists()
+
+    def test_save_system_state_is_atomic(self, tmp_path):
+        """A crash while saving must leave the previous state loadable."""
+        system_a = ETA2System(n_users=6, capacities=np.full(6, 8.0), seed=1)
+        rng = np.random.default_rng(1)
+        tasks = [
+            IncomingTask(processing_time=1.0, domain=int(rng.integers(2))) for _ in range(8)
+        ]
+        system_a.warmup(tasks, lambda pairs: [5.0 + rng.standard_normal() for _ in pairs])
+        path = tmp_path / "state.json"
+        save_system_state(system_a, path)
+
+        with pytest.raises(SimulatedCrash):
+            atomic_write_text(path, "{garbage", writer=crashing_writer(0.9))
+        fresh = ETA2System(n_users=6, capacities=np.full(6, 8.0))
+        load_system_state(fresh, path)  # still the good save
+        assert fresh.is_warmed_up

@@ -1,0 +1,126 @@
+"""Acceptance chaos tests: the closed loop survives faults and crashes.
+
+Two drills from the issue's acceptance criteria:
+
+1. **Chaos run** — observer faults (timeouts, exceptions, NaN payloads) at
+   well over 10% combined rate; the simulation must complete every day and
+   never raise out of :func:`run_simulation`.
+2. **Crash/restore** — the run is killed after day 3 of 6; a resumed run
+   (recovering the newest checkpoint) over the remaining days must end with
+   strictly better estimation error than a cold-start rerun of the same
+   remaining days.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import synthetic_dataset
+from repro.reliability.faults import FaultProfile
+from repro.simulation.approaches import ETA2Approach
+from repro.simulation.engine import SimulationConfig, run_simulation
+
+#: Exceeds the issue's 10% floor: 10% of calls fail outright (exceptions +
+#: timeouts) and 15% of delivered pairs are corrupt (NaN + dropped).
+CHAOS_PROFILE = FaultProfile(
+    exception_rate=0.05,
+    timeout_rate=0.05,
+    drop_rate=0.05,
+    nan_rate=0.10,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset(n_users=40, n_tasks=150, n_domains=4, tau=12.0, seed=7)
+
+
+class TestChaosRun:
+    def test_survives_heavy_faults(self, dataset):
+        config = SimulationConfig(n_days=5, seed=11, faults=CHAOS_PROFILE)
+        result = run_simulation(dataset, ETA2Approach(alpha=0.5, gamma=0.3), config)
+
+        # Every day completed, and the injected faults actually fired.
+        assert len(result.days) == 5
+        assert sum(result.fault_counts.values()) > 0
+        assert result.fault_counts["nan_payloads"] > 0
+        assert result.fault_counts["exceptions"] + result.fault_counts["timeouts"] > 0
+        assert result.observer_report.fault_count > 0
+        assert result.observer_report.retries > 0
+        assert result.sanitize_report.pairs > 0
+
+        # Degraded, not destroyed: the estimates stay usable.
+        assert np.isfinite(result.mean_estimation_error)
+        assert result.mean_estimation_error < 1.0
+
+    def test_chaos_run_is_deterministic(self, dataset):
+        config = SimulationConfig(n_days=3, seed=5, faults=CHAOS_PROFILE)
+        a = run_simulation(dataset, ETA2Approach(), config)
+        b = run_simulation(dataset, ETA2Approach(), config)
+        assert np.allclose(a.errors_by_day(), b.errors_by_day(), equal_nan=True)
+        assert a.fault_counts == b.fault_counts
+
+    def test_min_cost_mode_survives_faults(self, dataset):
+        config = SimulationConfig(n_days=3, seed=9, faults=CHAOS_PROFILE)
+        approach = ETA2Approach(allocator="min-cost", min_cost_round_budget=60.0)
+        result = run_simulation(dataset, approach, config)
+        assert len(result.days) == 3
+        assert np.isfinite(result.mean_estimation_error)
+
+
+class TestCrashRestore:
+    def test_resume_beats_cold_start_on_remaining_days(self, dataset, tmp_path):
+        """Kill after day 3 of 6; recovery must beat starting over."""
+        faults = CHAOS_PROFILE
+        # Days 0-2, checkpointing after every completed day; then the
+        # "process dies" (the run simply ends at end_day).
+        before = run_simulation(
+            dataset,
+            ETA2Approach(checkpoint_dir=tmp_path),
+            SimulationConfig(n_days=6, end_day=3, seed=11, faults=faults),
+        )
+        assert [day.day for day in before.days] == [0, 1, 2]
+        assert len(list(tmp_path.iterdir())) > 0
+
+        # Restart: recover the newest valid checkpoint, replay days 3-5.
+        resumed = run_simulation(
+            dataset,
+            ETA2Approach(checkpoint_dir=tmp_path, resume=True),
+            SimulationConfig(n_days=6, start_day=3, seed=11, faults=faults),
+        )
+        # Cold start over the *same* remaining days (same seed, same
+        # schedule, same injected faults) but with all learning lost.
+        cold = run_simulation(
+            dataset,
+            ETA2Approach(),
+            SimulationConfig(n_days=6, start_day=3, seed=11, faults=faults),
+        )
+
+        assert [day.day for day in resumed.days] == [3, 4, 5]
+        assert [day.day for day in cold.days] == [3, 4, 5]
+        assert np.isfinite(resumed.mean_estimation_error)
+        # The recovered expertise must pay off immediately.
+        assert resumed.mean_estimation_error < cold.mean_estimation_error
+
+    def test_resume_with_corrupt_newest_checkpoint(self, dataset, tmp_path, caplog):
+        """A truncated newest checkpoint falls back to an older valid one."""
+        run_simulation(
+            dataset,
+            ETA2Approach(checkpoint_dir=tmp_path),
+            SimulationConfig(n_days=6, end_day=3, seed=11),
+        )
+        checkpoints = sorted(tmp_path.glob("checkpoint-*.json"))
+        assert len(checkpoints) == 3
+        newest = checkpoints[-1]
+        newest.write_text(newest.read_text()[:50])
+
+        with caplog.at_level(logging.WARNING, logger="repro.reliability.checkpoint"):
+            resumed = run_simulation(
+                dataset,
+                ETA2Approach(checkpoint_dir=tmp_path, resume=True),
+                SimulationConfig(n_days=6, start_day=3, seed=11),
+            )
+        assert any("skipping invalid checkpoint" in message for message in caplog.messages)
+        assert len(resumed.days) == 3
+        assert np.isfinite(resumed.mean_estimation_error)

@@ -1,0 +1,193 @@
+"""Tests for crash-safe checkpointing of the ETA2 system."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ETA2System, IncomingTask
+from repro.reliability.checkpoint import CheckpointError, CheckpointManager
+from repro.reliability.faults import SimulatedCrash, crashing_writer
+
+
+def _make_system(seed=0, n_users=10):
+    rng = np.random.default_rng(seed)
+    return ETA2System(
+        n_users=n_users, capacities=rng.uniform(5, 9, n_users), alpha=0.5, seed=seed
+    )
+
+
+def _day_tasks(rng, n_tasks=12, n_domains=3):
+    return [
+        IncomingTask(
+            processing_time=float(rng.uniform(0.5, 1.5)), domain=int(rng.integers(n_domains))
+        )
+        for _ in range(n_tasks)
+    ]
+
+
+def _observer(rng, true_u):
+    def observe(pairs, _tasks=[]):
+        return [10.0 + rng.standard_normal() / true_u[user % true_u.shape[0]] for user, _ in pairs]
+
+    return observe
+
+
+def _warmed_system(seed=0):
+    rng = np.random.default_rng(seed)
+    system = _make_system(seed=seed)
+    true_u = rng.uniform(0.5, 3.0, 10)
+    system.warmup(_day_tasks(rng), _observer(rng, true_u))
+    return system, rng, true_u
+
+
+class TestManagerBasics:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, prefix="bad/prefix")
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path).path_for(-1)
+
+    def test_save_and_restore_round_trip(self, tmp_path):
+        system, _, _ = _warmed_system()
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(system, step=1, metadata={"kind": "warm-up"})
+        assert path.exists()
+        record = manager.load_record(path)
+        assert record["step"] == 1
+        assert record["metadata"]["kind"] == "warm-up"
+
+        fresh = _make_system(seed=99)
+        restored_step = CheckpointManager(tmp_path).restore(fresh)
+        assert restored_step == 1
+        assert fresh.is_warmed_up
+        original = system.expertise_matrix()
+        restored = fresh.expertise_matrix()
+        assert original.domain_ids == restored.domain_ids
+        for domain_id in original.domain_ids:
+            assert np.allclose(original.column(domain_id), restored.column(domain_id))
+
+    def test_rotation_keeps_newest(self, tmp_path):
+        system, _, _ = _warmed_system()
+        manager = CheckpointManager(tmp_path, keep=2)
+        for step in range(1, 6):
+            manager.save(system, step=step)
+        names = [path.name for path in manager.checkpoints()]
+        assert names == ["checkpoint-00000004.json", "checkpoint-00000005.json"]
+
+    def test_stray_files_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("not a checkpoint")
+        (tmp_path / "checkpoint-0000001.json").write_text("{}")  # wrong digit count
+        manager = CheckpointManager(tmp_path)
+        assert manager.checkpoints() == []
+        assert manager.latest_valid() is None
+
+
+class TestValidation:
+    def test_truncated_file_clear_error(self, tmp_path):
+        system, _, _ = _warmed_system()
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(system, step=1)
+        path.write_text(path.read_text()[: 40])
+        with pytest.raises(CheckpointError, match="truncated or invalid JSON"):
+            manager.load_record(path)
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        system, _, _ = _warmed_system()
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(system, step=1)
+        record = json.loads(path.read_text())
+        record["state"]["iteration_log"] = [999]  # silent corruption
+        path.write_text(json.dumps(record))
+        with pytest.raises(CheckpointError, match="checksum"):
+            manager.load_record(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "checkpoint-00000001.json"
+        path.write_text(json.dumps({"checkpoint_version": 99}))
+        with pytest.raises(CheckpointError, match="version"):
+            CheckpointManager(tmp_path).load_record(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "checkpoint-00000001.json"
+        path.write_text(json.dumps({"checkpoint_version": 1, "step": 1}))
+        with pytest.raises(CheckpointError, match="checksum"):
+            CheckpointManager(tmp_path).load_record(path)
+
+
+class TestRecovery:
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        system, _, _ = _warmed_system()
+        manager = CheckpointManager(tmp_path, keep=3)
+        manager.save(system, step=1)
+        newest = manager.save(system, step=2)
+        newest.write_text(newest.read_text()[:-30])  # corrupt the newest
+
+        fresh = _make_system(seed=99)
+        assert manager.restore(fresh) == 1  # older valid one wins
+        assert fresh.is_warmed_up
+
+    def test_no_valid_checkpoint_returns_none(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        fresh = _make_system()
+        assert manager.restore(fresh) is None
+        assert not fresh.is_warmed_up
+
+    def test_mid_write_crash_preserves_previous_checkpoint(self, tmp_path):
+        system, _, _ = _warmed_system()
+        manager = CheckpointManager(tmp_path)
+        manager.save(system, step=1)
+        with pytest.raises(SimulatedCrash):
+            manager.save(system, step=2, _writer=crashing_writer(0.5))
+        # The interrupted step-2 write must not have produced a visible
+        # checkpoint file, and step 1 must still restore cleanly.
+        assert [p.name for p in manager.checkpoints()] == ["checkpoint-00000001.json"]
+        fresh = _make_system(seed=99)
+        assert manager.restore(fresh) == 1
+
+
+class TestSystemIntegration:
+    def test_auto_checkpoint_after_each_step(self, tmp_path):
+        rng = np.random.default_rng(0)
+        system = _make_system(seed=0)
+        system.enable_checkpointing(tmp_path, keep=2)
+        true_u = rng.uniform(0.5, 3.0, 10)
+        system.warmup(_day_tasks(rng), _observer(rng, true_u))
+        system.step(_day_tasks(rng), _observer(rng, true_u))
+        system.step(_day_tasks(rng), _observer(rng, true_u))
+        assert system.completed_steps == 3
+        names = [path.name for path in system.checkpoint_manager.checkpoints()]
+        assert names == ["checkpoint-00000002.json", "checkpoint-00000003.json"]
+        record = system.checkpoint_manager.load_record(
+            system.checkpoint_manager.checkpoints()[-1]
+        )
+        assert record["metadata"]["kind"] == "daily"
+
+    def test_resume_classmethod_recovers_and_continues(self, tmp_path):
+        rng = np.random.default_rng(1)
+        system = _make_system(seed=1)
+        system.enable_checkpointing(tmp_path)
+        true_u = rng.uniform(0.5, 3.0, 10)
+        system.warmup(_day_tasks(rng), _observer(rng, true_u))
+        system.step(_day_tasks(rng), _observer(rng, true_u))
+
+        resumed = ETA2System.resume(
+            tmp_path, n_users=10, capacities=np.full(10, 7.0), alpha=0.5, seed=1
+        )
+        assert resumed.is_warmed_up
+        assert resumed.completed_steps == 2
+        # The resumed system keeps stepping (and keeps checkpointing).
+        resumed.step(_day_tasks(rng), _observer(rng, true_u))
+        assert resumed.completed_steps == 3
+        assert resumed.checkpoint_manager.checkpoints()[-1].name == "checkpoint-00000003.json"
+
+    def test_resume_from_empty_directory_starts_cold(self, tmp_path):
+        resumed = ETA2System.resume(tmp_path, n_users=4, capacities=np.full(4, 7.0))
+        assert not resumed.is_warmed_up
+        assert resumed.completed_steps == 0
+
+    def test_restore_latest_requires_checkpointing(self):
+        with pytest.raises(RuntimeError):
+            _make_system().restore_latest()

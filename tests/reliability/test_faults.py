@@ -1,0 +1,163 @@
+"""Tests for deterministic fault injection and the chaos world."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import synthetic_dataset
+from repro.reliability.chaos import ChaosWorld
+from repro.reliability.faults import (
+    FaultError,
+    FaultInjector,
+    FaultProfile,
+    FaultTimeout,
+    FaultyObserver,
+    SimulatedCrash,
+    VirtualClock,
+    crashing_writer,
+)
+
+
+class TestFaultProfile:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultProfile(exception_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(exception_rate=0.6, timeout_rate=0.6)
+        with pytest.raises(ValueError):
+            FaultProfile(drop_rate=0.5, nan_rate=0.4, outlier_rate=0.2)
+        with pytest.raises(ValueError):
+            FaultProfile(latency=-1.0)
+        with pytest.raises(ValueError):
+            FaultProfile(outlier_offset=0.0)
+
+    def test_active_flag(self):
+        assert not FaultProfile().active
+        assert FaultProfile(drop_rate=0.1).active
+        assert FaultProfile(exception_rate=0.1).active
+        assert FaultProfile(latency_rate=0.5, latency=1.0).active
+        assert not FaultProfile(latency_rate=0.5, latency=0.0).active
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock(start=10.0)
+        assert clock() == 10.0
+        clock.advance(2.5)
+        assert clock.now() == 12.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestFaultInjector:
+    def test_deterministic_from_seed(self):
+        profile = FaultProfile(exception_rate=0.3, drop_rate=0.2, nan_rate=0.2)
+
+        def run(seed):
+            injector = FaultInjector(profile, seed=seed)
+            trace = []
+            for _ in range(50):
+                try:
+                    injector.before_call()
+                    values = injector.corrupt(np.arange(10.0))
+                    trace.append(["nan" if np.isnan(v) else v for v in values])
+                except FaultError:
+                    trace.append("raised")
+            return trace, injector.counts
+
+        trace_a, counts_a = run(42)
+        trace_b, counts_b = run(42)
+        trace_c, counts_c = run(43)
+        assert trace_a == trace_b and counts_a == counts_b
+        assert trace_a != trace_c
+
+    def test_exception_and_timeout_kinds(self):
+        injector = FaultInjector(FaultProfile(exception_rate=1.0), seed=0)
+        with pytest.raises(FaultError):
+            injector.before_call()
+        injector = FaultInjector(FaultProfile(timeout_rate=1.0), seed=0)
+        with pytest.raises(FaultTimeout):
+            injector.before_call()
+        assert injector.counts["timeouts"] == 1
+
+    def test_latency_advances_clock(self):
+        clock = VirtualClock()
+        injector = FaultInjector(
+            FaultProfile(latency_rate=1.0, latency=4.0), seed=0, clock=clock
+        )
+        injector.before_call()
+        assert clock.now() == 4.0
+        assert injector.counts["latency"] == 1
+
+    def test_corrupt_rates_roughly_respected(self):
+        profile = FaultProfile(drop_rate=0.2, nan_rate=0.1, outlier_rate=0.1)
+        injector = FaultInjector(profile, seed=1)
+        values = injector.corrupt(np.full(5000, 10.0))
+        nan_fraction = np.isnan(values).mean()
+        assert 0.25 < nan_fraction < 0.35  # drops + nan payloads ~ 0.3
+        outliers = np.abs(values - 10.0) > 1e5
+        assert 0.07 < outliers.mean() < 0.13
+        assert injector.counts["outliers"] == int(outliers.sum())
+
+    def test_inactive_profile_is_identity(self):
+        injector = FaultInjector(FaultProfile(), seed=0)
+        injector.before_call()
+        values = np.arange(5.0)
+        assert np.array_equal(injector.corrupt(values), values)
+        assert all(count == 0 for count in injector.counts.values())
+
+
+class TestFaultyObserver:
+    def test_wraps_and_counts(self):
+        faulty = FaultyObserver(
+            lambda pairs: [1.0] * len(pairs), FaultProfile(nan_rate=1.0), seed=0
+        )
+        values = faulty([(0, 0), (1, 0)])
+        assert np.all(np.isnan(values))
+        assert faulty.fault_counts["nan_payloads"] == 2
+
+
+class TestChaosWorld:
+    def _world(self):
+        dataset = synthetic_dataset(n_users=8, n_tasks=20, n_domains=2, seed=0)
+        return dataset.world(seed=1)
+
+    def test_delegates_to_wrapped_world(self):
+        world = self._world()
+        chaos = ChaosWorld(world, FaultProfile(), seed=2)
+        assert chaos.wrapped is world
+        assert np.array_equal(chaos.true_values(), world.true_values())
+        assert np.array_equal(chaos.base_numbers(), world.base_numbers())
+        assert chaos.adversary_users == world.adversary_users
+
+    def test_fault_free_profile_passes_observations_through(self):
+        world = self._world()
+        chaos = ChaosWorld(self._world(), FaultProfile(), seed=2)
+        pairs = [(0, 0), (1, 1), (2, 2)]
+        assert np.allclose(chaos.observe_pairs(pairs), world.observe_pairs(pairs))
+
+    def test_corrupts_observations_deterministically(self):
+        profile = FaultProfile(drop_rate=0.3, nan_rate=0.2)
+        pairs = [(user, task) for user in range(8) for task in range(20)]
+        a = ChaosWorld(self._world(), profile, seed=3).observe_pairs(pairs)
+        b = ChaosWorld(self._world(), profile, seed=3).observe_pairs(pairs)
+        assert np.allclose(a, b, equal_nan=True)
+        assert 0.2 < np.isnan(a).mean() < 0.8
+
+    def test_observe_raises_injected_faults(self):
+        chaos = ChaosWorld(self._world(), FaultProfile(exception_rate=1.0), seed=4)
+        with pytest.raises(FaultError):
+            chaos.observe_pairs([(0, 0)])
+        assert chaos.fault_counts["exceptions"] == 1
+
+
+class TestCrashingWriter:
+    def test_writes_prefix_then_crashes(self, tmp_path):
+        writer = crashing_writer(crash_after_fraction=0.5)
+        target = tmp_path / "out.txt"
+        with pytest.raises(SimulatedCrash):
+            writer(target, "0123456789")
+        assert target.read_text() == "01234"
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            crashing_writer(crash_after_fraction=1.5)

@@ -1,0 +1,258 @@
+"""Tests for the resilient ``observe()`` wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.faults import FaultProfile, FaultyObserver, VirtualClock
+from repro.reliability.observer import (
+    CircuitBreaker,
+    ObserverReport,
+    ResilientObserver,
+    RetryPolicy,
+)
+from repro.reliability.sanitize import ObservationSanitizer
+
+PAIRS = [(0, 0), (1, 0), (2, 1)]
+
+
+def _no_sleep(_seconds):
+    pass
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, backoff_factor=2.0, max_delay=0.3)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped
+        assert policy.delay(10) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_recovers(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=2, recovery_time=10.0, clock=clock)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # half-open probe
+        breaker.record_failure()
+        assert not breaker.allow()  # re-opened immediately
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+class TestResilientObserver:
+    def test_fault_free_passthrough(self):
+        observer = ResilientObserver(lambda pairs: [1.0, 2.0, 3.0], sleep=_no_sleep)
+        values = observer(PAIRS)
+        assert np.allclose(values, [1.0, 2.0, 3.0])
+        assert observer.report.calls == 1
+        assert observer.report.delivered_pairs == 3
+        assert observer.report.fault_count == 0
+
+    def test_empty_batch(self):
+        observer = ResilientObserver(lambda pairs: [], sleep=_no_sleep)
+        assert observer([]).size == 0
+
+    def test_transient_exception_retried(self):
+        attempts = []
+
+        def observe(pairs):
+            attempts.append(len(pairs))
+            if len(attempts) < 3:
+                raise ConnectionError("flaky transport")
+            return [5.0] * len(pairs)
+
+        observer = ResilientObserver(
+            observe, retry=RetryPolicy(max_attempts=3, base_delay=0.0), sleep=_no_sleep
+        )
+        values = observer(PAIRS)
+        assert np.allclose(values, 5.0)
+        assert observer.report.retries == 2
+        assert observer.report.exceptions == 2
+        assert len(attempts) == 3
+
+    def test_backoff_delays_are_slept(self):
+        slept = []
+
+        def observe(pairs):
+            raise TimeoutError("down")
+
+        observer = ResilientObserver(
+            observe,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.1, backoff_factor=2.0),
+            breaker=CircuitBreaker(failure_threshold=100),
+            salvage=False,
+            sleep=slept.append,
+        )
+        observer(PAIRS)
+        assert slept == pytest.approx([0.1, 0.2])
+
+    def test_persistent_failure_degrades_to_nan(self):
+        def observe(pairs):
+            raise RuntimeError("hard down")
+
+        observer = ResilientObserver(
+            observe,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            breaker=CircuitBreaker(failure_threshold=100),
+            salvage=False,
+            sleep=_no_sleep,
+        )
+        values = observer(PAIRS)
+        assert np.all(np.isnan(values))
+        assert observer.report.failed_pairs == 3
+
+    def test_poison_pair_salvage(self):
+        """A batch with one poison pair degrades to just that pair missing."""
+
+        def observe(pairs):
+            if any(pair == (1, 0) for pair in pairs):
+                raise ValueError("poison pair")
+            return [float(user) for user, _ in pairs]
+
+        observer = ResilientObserver(
+            observe,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            breaker=CircuitBreaker(failure_threshold=100),
+            sleep=_no_sleep,
+        )
+        values = observer(PAIRS)
+        assert values[0] == 0.0
+        assert np.isnan(values[1])
+        assert values[2] == 2.0
+        assert observer.report.salvaged_pairs == 2
+        assert observer.report.failed_pairs == 1
+
+    def test_malformed_response_rejected(self):
+        observer = ResilientObserver(
+            lambda pairs: [1.0],  # wrong length
+            retry=RetryPolicy(max_attempts=1),
+            salvage=False,
+            sleep=_no_sleep,
+        )
+        values = observer(PAIRS)
+        assert np.all(np.isnan(values))
+        assert observer.report.malformed == 1
+
+    def test_non_numeric_response_rejected(self):
+        observer = ResilientObserver(
+            lambda pairs: ["not", "a", "number"],
+            retry=RetryPolicy(max_attempts=1),
+            salvage=False,
+            sleep=_no_sleep,
+        )
+        assert np.all(np.isnan(observer(PAIRS)))
+        assert observer.report.exceptions == 1
+
+    def test_slow_response_times_out(self):
+        clock = VirtualClock()
+
+        def observe(pairs):
+            clock.advance(3.0)  # slower than the deadline
+            return [1.0] * len(pairs)
+
+        observer = ResilientObserver(
+            observe,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            breaker=CircuitBreaker(failure_threshold=100, clock=clock),
+            call_timeout=1.0,
+            salvage=False,
+            clock=clock,
+            sleep=_no_sleep,
+        )
+        values = observer(PAIRS)
+        assert np.all(np.isnan(values))
+        assert observer.report.timeouts == 2
+
+    def test_breaker_short_circuits_calls(self):
+        calls = []
+
+        def observe(pairs):
+            calls.append(1)
+            raise RuntimeError("down")
+
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=2, recovery_time=60.0, clock=clock)
+        observer = ResilientObserver(
+            observe,
+            retry=RetryPolicy(max_attempts=5, base_delay=0.0),
+            breaker=breaker,
+            salvage=False,
+            clock=clock,
+            sleep=_no_sleep,
+        )
+        observer(PAIRS)  # trips the breaker after 2 failures
+        assert len(calls) == 2
+        observer(PAIRS)  # circuit open: no call at all
+        assert len(calls) == 2
+        assert observer.report.short_circuits == 1
+
+    def test_sanitizer_applied_to_delivered_values(self):
+        sanitizer = ObservationSanitizer()
+        observer = ResilientObserver(
+            lambda pairs: [1.0, float("inf"), 2.0], sanitizer=sanitizer, sleep=_no_sleep
+        )
+        values = observer(PAIRS)
+        assert values[0] == 1.0
+        assert np.isnan(values[1])
+        assert sanitizer.report.inf_payloads == 1
+
+    def test_shared_report_accumulates(self):
+        report = ObserverReport()
+        for _ in range(3):
+            observer = ResilientObserver(
+                lambda pairs: [0.0] * len(pairs), report=report, sleep=_no_sleep
+            )
+            observer(PAIRS)
+        assert report.calls == 3
+        assert report.delivered_pairs == 9
+
+    def test_wrapping_faulty_observer_end_to_end(self):
+        """The wrapper survives a deterministic flaky transport."""
+        rng = np.random.default_rng(0)
+        profile = FaultProfile(exception_rate=0.2, timeout_rate=0.1, nan_rate=0.1)
+        faulty = FaultyObserver(
+            lambda pairs: [float(task) for _, task in pairs], profile, seed=1
+        )
+        observer = ResilientObserver(
+            faulty,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            breaker=CircuitBreaker(failure_threshold=50),
+            sleep=_no_sleep,
+        )
+        pairs = [(int(rng.integers(10)), int(rng.integers(5))) for _ in range(20)]
+        deliveries = [observer(pairs) for _ in range(25)]
+        assert all(len(values) == 20 for values in deliveries)
+        assert observer.report.fault_count > 0  # faults actually happened
+        finite = np.isfinite(np.concatenate(deliveries))
+        assert finite.mean() > 0.5  # and most data still got through

@@ -1,0 +1,110 @@
+"""Tests for the observation quarantine pass."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.sanitize import ObservationSanitizer, SanitizeReport
+
+
+def _pairs(n_tasks, per_task):
+    return [(user, task) for task in range(n_tasks) for user in range(per_task)]
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationSanitizer(outlier_zscore=0.0)
+        with pytest.raises(ValueError):
+            ObservationSanitizer(min_task_observations=2)
+        with pytest.raises(ValueError):
+            ObservationSanitizer(value_bounds=(5.0, 5.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationSanitizer().sanitize([(0, 0)], [1.0, 2.0])
+
+
+class TestSanitize:
+    def test_clean_batch_untouched(self):
+        sanitizer = ObservationSanitizer()
+        pairs = _pairs(2, 4)
+        values = [10.0, 10.1, 9.9, 10.2, 5.0, 5.1, 4.9, 5.2]
+        cleaned = sanitizer.sanitize(pairs, values)
+        assert np.allclose(cleaned, values)
+        assert sanitizer.report.rejected == 0
+        assert sanitizer.report.accepted == 8
+
+    def test_input_not_mutated(self):
+        values = np.array([1.0, np.inf, 2.0])
+        ObservationSanitizer().sanitize([(0, 0), (1, 0), (2, 0)], values)
+        assert np.isinf(values[1])  # caller's array untouched
+
+    def test_nan_counted_and_passed_through(self):
+        sanitizer = ObservationSanitizer()
+        cleaned = sanitizer.sanitize([(0, 0), (1, 0)], [np.nan, 3.0])
+        assert np.isnan(cleaned[0]) and cleaned[1] == 3.0
+        assert sanitizer.report.nan_payloads == 1
+
+    def test_inf_quarantined(self):
+        sanitizer = ObservationSanitizer()
+        cleaned = sanitizer.sanitize([(0, 0), (1, 0)], [np.inf, -np.inf])
+        assert np.all(np.isnan(cleaned))
+        assert sanitizer.report.inf_payloads == 2
+
+    def test_bounds_quarantined(self):
+        sanitizer = ObservationSanitizer(value_bounds=(0.0, 100.0))
+        cleaned = sanitizer.sanitize([(0, 0), (1, 0), (2, 0)], [50.0, -1.0, 101.0])
+        assert cleaned[0] == 50.0
+        assert np.isnan(cleaned[1]) and np.isnan(cleaned[2])
+        assert sanitizer.report.out_of_bounds == 2
+
+    def test_gross_outlier_quarantined(self):
+        sanitizer = ObservationSanitizer()
+        pairs = [(user, 0) for user in range(6)]
+        values = [10.0, 10.2, 9.8, 10.1, 9.9, 1e6]
+        cleaned = sanitizer.sanitize(pairs, values)
+        assert np.isnan(cleaned[5])
+        assert np.all(np.isfinite(cleaned[:5]))
+        assert sanitizer.report.outliers == 1
+
+    def test_outlier_detection_is_per_task(self):
+        """One task's huge values are fine if that task agrees internally."""
+        sanitizer = ObservationSanitizer()
+        pairs = _pairs(2, 4)
+        values = [10.0, 10.1, 9.9, 10.2, 1e6, 1e6 + 1, 1e6 - 1, 1e6 + 2]
+        cleaned = sanitizer.sanitize(pairs, values)
+        assert np.all(np.isfinite(cleaned))
+        assert sanitizer.report.outliers == 0
+
+    def test_small_task_groups_skipped(self):
+        """Two observations cannot identify the bad one — leave them alone."""
+        sanitizer = ObservationSanitizer()
+        cleaned = sanitizer.sanitize([(0, 0), (1, 0)], [10.0, 1e6])
+        assert np.all(np.isfinite(cleaned))
+        assert sanitizer.report.outliers == 0
+
+    def test_honest_noise_survives(self):
+        """Normal noise per the paper's model must not be quarantined."""
+        rng = np.random.default_rng(0)
+        sanitizer = ObservationSanitizer()
+        pairs = [(user, 0) for user in range(200)]
+        values = 50.0 + rng.standard_normal(200) * 2.0
+        cleaned = sanitizer.sanitize(pairs, values)
+        assert np.all(np.isfinite(cleaned))
+        assert sanitizer.report.outliers == 0
+
+    def test_counters_accumulate_across_batches(self):
+        sanitizer = ObservationSanitizer()
+        sanitizer.sanitize([(0, 0)], [np.nan])
+        sanitizer.sanitize([(0, 0)], [np.inf])
+        report = sanitizer.report
+        assert report.pairs == 2
+        assert report.nan_payloads == 1
+        assert report.inf_payloads == 1
+        assert report.rejected == 2
+
+    def test_report_summary_and_dict(self):
+        report = SanitizeReport(pairs=5, nan_payloads=2, accepted=3)
+        assert report.as_dict()["nan_payloads"] == 2
+        assert "nan_payloads=2" in report.summary()
+        assert SanitizeReport().summary() == "SanitizeReport(empty)"

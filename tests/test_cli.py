@@ -65,6 +65,59 @@ def test_simulate_with_drift_and_bias(capsys):
     assert main(["simulate", "--days", "2", "--drift", "0.3", "--bias", "0.2"]) == 0
 
 
+def test_simulate_with_faults(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--days",
+                "2",
+                "--seed",
+                "3",
+                "--fault-exceptions",
+                "0.05",
+                "--fault-nan",
+                "0.1",
+                "--fault-drops",
+                "0.05",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "injected faults:" in out
+    assert "collection:" in out
+    assert "quarantine:" in out
+
+
+def test_simulate_with_checkpointing_and_resume(tmp_path, capsys):
+    checkpoint_args = ["--checkpoint-dir", str(tmp_path), "--checkpoint-keep", "2"]
+    assert main(["simulate", "--days", "3", "--seed", "3", *checkpoint_args]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoints: 2 retained" in out
+    assert len(list(tmp_path.glob("checkpoint-*.json"))) == 2
+
+    # Resuming restores the newest checkpoint and keeps running.
+    assert main(["simulate", "--days", "2", "--seed", "4", "--resume", *checkpoint_args]) == 0
+    assert "checkpoints: 2 retained" in capsys.readouterr().out
+
+
+def test_simulate_checkpoint_dir_ignored_for_baselines(tmp_path, capsys):
+    args = ["simulate", "--approach", "mean", "--days", "2", "--checkpoint-dir", str(tmp_path)]
+    assert main(args) == 0
+    assert "--checkpoint-dir is ignored" in capsys.readouterr().out
+
+
+def test_simulate_rejects_invalid_fault_rate(capsys):
+    assert main(["simulate", "--days", "2", "--fault-exceptions", "1.5"]) == 2
+    assert "must lie in [0, 1]" in capsys.readouterr().err
+
+
+def test_simulate_resume_requires_checkpoint_dir(capsys):
+    assert main(["simulate", "--days", "2", "--resume"]) == 2
+    assert "requires a checkpoint_dir" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
