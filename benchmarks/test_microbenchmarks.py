@@ -4,20 +4,30 @@ Unlike the figure benchmarks (one-shot, correctness-asserting), these time
 the hot kernels across input sizes with repeated rounds — the numbers a
 systems reviewer would ask for.  Rough complexity targets:
 
-- batch MLE: O(iterations x users x tasks),
+- batch MLE: O(iterations x observed entries) since the sparse rewrite,
 - Algorithm 1 greedy: O(K (m + n)) pair selections,
 - average-linkage clustering: O(merges x clusters^2) vectorised,
 - SGNS training: O(epochs x pairs x dim).
+
+Setting ``REPRO_BENCH_QUICK=1`` shrinks every size for CI smoke runs (the
+committed full-size record lives in ``BENCH_core.json``; see
+``repro.perf.baseline``).
 """
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.clustering import hierarchical_clustering
+from repro.clustering.dynamic import DynamicHierarchicalClustering
+from repro.clustering.linkage import AverageLinkage
 from repro.core.allocation import AllocationProblem, greedy_allocate
 from repro.core.truth import estimate_truth
 from repro.semantics.embeddings import PPMISVDEmbedding, generate_topical_corpus
 from repro.truthdiscovery.base import ObservationMatrix
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
 def _mle_inputs(n_users, n_tasks, seed=0):
@@ -36,14 +46,14 @@ def _mle_inputs(n_users, n_tasks, seed=0):
     return ObservationMatrix(values=np.where(mask, values, 0.0), mask=mask), domains
 
 
-@pytest.mark.parametrize("n_tasks", [200, 1000])
+@pytest.mark.parametrize("n_tasks", [100, 300] if QUICK else [200, 1000])
 def test_mle_scaling(benchmark, n_tasks):
     observations, domains = _mle_inputs(100, n_tasks)
     result = benchmark(lambda: estimate_truth(observations, domains))
     assert result.converged
 
 
-@pytest.mark.parametrize("n_tasks", [200, 1000])
+@pytest.mark.parametrize("n_tasks", [100, 300] if QUICK else [200, 1000])
 def test_greedy_allocation_scaling(benchmark, n_tasks):
     rng = np.random.default_rng(1)
     problem = AllocationProblem(
@@ -55,7 +65,7 @@ def test_greedy_allocation_scaling(benchmark, n_tasks):
     assert outcome.assignment.respects_capacities(problem)
 
 
-@pytest.mark.parametrize("n_points", [100, 400])
+@pytest.mark.parametrize("n_points", [50, 150] if QUICK else [100, 400])
 def test_clustering_scaling(benchmark, n_points):
     rng = np.random.default_rng(2)
     centers = rng.uniform(-10, 10, (8, 4))
@@ -68,8 +78,38 @@ def test_clustering_scaling(benchmark, n_points):
     assert result.cluster_count >= 1
 
 
+@pytest.mark.parametrize("k", [160] if QUICK else [500])
+def test_linkage_construction_scaling(benchmark, k):
+    """Sum-matrix construction from singleton groups (the vectorised kernel)."""
+    rng = np.random.default_rng(6)
+    points = rng.random((k, 3))
+    base = np.abs(points[:, None, :] - points[None, :, :]).sum(axis=-1)
+    np.fill_diagonal(base, 0.0)
+    groups = [[i] for i in range(k)]
+    engine = benchmark(lambda: AverageLinkage(base, groups))
+    assert engine.cluster_count == k
+
+
+def test_dynamic_add_time(benchmark):
+    """Warm-up fit plus incremental arrival batches (grow-only cache path)."""
+    rng = np.random.default_rng(7)
+    warmup_size, batches, batch_size = (120, 4, 10) if QUICK else (400, 8, 25)
+    warmup = rng.normal(0.0, 1.0, (warmup_size, 64))
+    arrivals = [rng.normal(0.0, 1.0, (batch_size, 64)) for _ in range(batches)]
+
+    def run():
+        clustering = DynamicHierarchicalClustering(gamma=0.5)
+        clustering.fit(warmup)
+        for batch in arrivals:
+            clustering.add(batch)
+        return clustering
+
+    clustering = benchmark(run)
+    assert clustering.point_count == warmup_size + batches * batch_size
+
+
 def test_ppmi_training_time(benchmark):
-    corpus = generate_topical_corpus(sentences_per_domain=200, seed=3)
+    corpus = generate_topical_corpus(sentences_per_domain=50 if QUICK else 200, seed=3)
     model = benchmark(lambda: PPMISVDEmbedding(corpus.sentences, dim=32))
     assert model.vocabulary_size > 100
 

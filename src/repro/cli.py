@@ -36,23 +36,25 @@ from repro.truthdiscovery import AverageLog, HubsAuthorities, TruthFinder
 
 __all__ = ["main", "build_parser"]
 
-#: Figure id -> (runner, needs_dataset_argument, description).
+#: Figure id -> (runner, needs_dataset_argument, description).  Runners take
+#: (config, dataset, jobs); only the embarrassingly-parallel sweep figures
+#: (4, 5, 6) fan out across --jobs worker processes.
 FIGURES = {
-    "fig2": (lambda cfg, ds: fig2_error_distribution(cfg), False, "observation-error distribution vs N(0,1)"),
-    "table1": (lambda cfg, ds: table1_normality(cfg), False, "chi-square normality non-rejection rates"),
-    "fig4": (lambda cfg, ds: fig4_parameter_sweep(ds or "survey", cfg), True, "(alpha, gamma) parameter sweep"),
-    "fig5": (lambda cfg, ds: fig5_error_over_days(ds or "survey", cfg), True, "estimation error by day, all approaches"),
-    "fig6": (lambda cfg, ds: fig6_capability_sweep(ds or "survey", cfg), True, "error vs processing capability"),
-    "fig7": (lambda cfg, ds: fig7_expertise_vs_error(cfg, dataset_name=ds or "sfv"), True, "observation error vs user expertise"),
-    "fig8": (lambda cfg, ds: fig8_bias_robustness(cfg), False, "robustness to non-normal observations"),
+    "fig2": (lambda cfg, ds, jobs: fig2_error_distribution(cfg), False, "observation-error distribution vs N(0,1)"),
+    "table1": (lambda cfg, ds, jobs: table1_normality(cfg), False, "chi-square normality non-rejection rates"),
+    "fig4": (lambda cfg, ds, jobs: fig4_parameter_sweep(ds or "survey", cfg, jobs=jobs), True, "(alpha, gamma) parameter sweep"),
+    "fig5": (lambda cfg, ds, jobs: fig5_error_over_days(ds or "survey", cfg, jobs=jobs), True, "estimation error by day, all approaches"),
+    "fig6": (lambda cfg, ds, jobs: fig6_capability_sweep(ds or "survey", cfg, jobs=jobs), True, "error vs processing capability"),
+    "fig7": (lambda cfg, ds, jobs: fig7_expertise_vs_error(cfg, dataset_name=ds or "sfv"), True, "observation error vs user expertise"),
+    "fig8": (lambda cfg, ds, jobs: fig8_bias_robustness(cfg), False, "robustness to non-normal observations"),
     "fig9-10": (
-        lambda cfg, ds: fig9_fig10_mincost_comparison(ds or "synthetic", cfg),
+        lambda cfg, ds, jobs: fig9_fig10_mincost_comparison(ds or "synthetic", cfg),
         True,
         "ETA2 vs ETA2-mc: error and cost vs tau",
     ),
-    "fig11": (lambda cfg, ds: fig11_expertise_accuracy(cfg), False, "expertise estimation accuracy"),
-    "fig12": (lambda cfg, ds: fig12_convergence_cdf(cfg), False, "CDF of MLE convergence iterations"),
-    "table2": (lambda cfg, ds: table2_allocation_audit(cfg), False, "users-per-task allocation audit"),
+    "fig11": (lambda cfg, ds, jobs: fig11_expertise_accuracy(cfg), False, "expertise estimation accuracy"),
+    "fig12": (lambda cfg, ds, jobs: fig12_convergence_cdf(cfg), False, "CDF of MLE convergence iterations"),
+    "table2": (lambda cfg, ds, jobs: table2_allocation_audit(cfg), False, "users-per-task allocation audit"),
 }
 
 APPROACHES = {
@@ -94,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--dataset", choices=DATASET_NAMES, default=None)
     figure.add_argument("--replications", type=int, default=3)
     figure.add_argument("--seed", type=int, default=2017)
+    figure.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep figures (fig4/5/6); "
+        "-1 = one per CPU; results are identical to the serial run",
+    )
 
     simulate = sub.add_parser("simulate", help="run one simulation and print per-day results")
     simulate.add_argument("--dataset", choices=DATASET_NAMES, default="synthetic")
@@ -169,7 +178,7 @@ def _run_list() -> int:
 def _run_figure(args: argparse.Namespace) -> int:
     runner, _, _ = FIGURES[args.figure_id]
     config = ExperimentConfig(replications=args.replications, seed=args.seed)
-    result = runner(config, args.dataset)
+    result = runner(config, args.dataset, args.jobs)
     print(result.render())
     return 0
 

@@ -28,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.clustering.linkage import AverageLinkage
+from repro.perf.cache import GrowOnlyDistanceMatrix, GrowOnlyRowBuffer
 
 __all__ = ["DomainMerge", "DynamicClusteringResult", "DynamicHierarchicalClustering"]
 
@@ -100,8 +101,11 @@ class DynamicHierarchicalClustering:
         self._gamma = float(gamma)
         self._refresh_d_star = bool(refresh_d_star)
         self._metric = metric
-        self._points: "np.ndarray | None" = None
-        self._base: "np.ndarray | None" = None
+        # Grow-only buffers: each arrival batch appends its vectors and only
+        # the *new* distance rows/columns; existing pairs are never
+        # recomputed or copied (beyond amortised capacity doubling).
+        self._points = GrowOnlyRowBuffer()
+        self._cache = GrowOnlyDistanceMatrix()
         self._domains: dict = {}
         self._next_domain_id = 0
         self._d_star: "float | None" = None
@@ -124,11 +128,16 @@ class DynamicHierarchicalClustering:
 
     @property
     def is_fitted(self) -> bool:
-        return self._points is not None
+        return self._points.count > 0
+
+    @property
+    def _base(self) -> np.ndarray:
+        """The cached pairwise distance matrix (read-only view)."""
+        return self._cache.view()
 
     @property
     def point_count(self) -> int:
-        return 0 if self._points is None else self._points.shape[0]
+        return self._points.count
 
     @property
     def domain_ids(self) -> list:
@@ -137,9 +146,15 @@ class DynamicHierarchicalClustering:
     def labels(self) -> np.ndarray:
         """Domain id of every point seen so far."""
         labels = np.full(self.point_count, -1, dtype=int)
-        for domain_id, members in self._domains.items():
-            for index in members:
-                labels[index] = domain_id
+        if self._domains:
+            indices = np.concatenate(
+                [np.asarray(members, dtype=int) for members in self._domains.values()]
+            )
+            ids = np.repeat(
+                np.fromiter(self._domains, dtype=int, count=len(self._domains)),
+                [len(members) for members in self._domains.values()],
+            )
+            labels[indices] = ids
         return labels
 
     def members(self, domain_id: int) -> list:
@@ -153,10 +168,11 @@ class DynamicHierarchicalClustering:
         points = np.atleast_2d(np.asarray(vectors, dtype=float))
         if points.shape[0] == 0:
             raise ValueError("warm-up batch must contain at least one task")
-        self._points = points
-        self._base = self._distances(points, points)
-        np.fill_diagonal(self._base, 0.0)
-        self._d_star = float(self._base.max())
+        self._points.append(points)
+        base = self._distances(points, points)
+        np.fill_diagonal(base, 0.0)
+        self._cache.initialise(base)
+        self._d_star = self._cache.current_max
         return self._recluster(groups=[[i] for i in range(points.shape[0])], existing_of_group={})
 
     def add(self, vectors: "np.ndarray | Sequence") -> DynamicClusteringResult:
@@ -171,19 +187,17 @@ class DynamicHierarchicalClustering:
                 merges=(),
                 all_labels=self.labels(),
             )
-        if new_points.shape[1] != self._points.shape[1]:
+        if new_points.shape[1] != self._points.dim:
             raise ValueError("new task vectors have a different dimensionality")
 
-        old_count = self._points.shape[0]
-        cross = self._distances(self._points, new_points)
+        old_count = self._points.count
+        cross = self._distances(self._points.view(), new_points)
         inner = self._distances(new_points, new_points)
         np.fill_diagonal(inner, 0.0)
-        self._points = np.vstack([self._points, new_points])
-        top = np.hstack([self._base, cross])
-        bottom = np.hstack([cross.T, inner])
-        self._base = np.vstack([top, bottom])
+        self._points.append(new_points)
+        self._ingest_distances(cross, inner)
         if self._refresh_d_star:
-            self._d_star = float(self._base.max())
+            self._d_star = self._cache.current_max
 
         groups = []
         existing_of_group: dict = {}
@@ -194,9 +208,17 @@ class DynamicHierarchicalClustering:
             groups.append([old_count + offset])
         return self._recluster(groups=groups, existing_of_group=existing_of_group, added_from=old_count)
 
+    def _ingest_distances(self, cross: np.ndarray, inner: np.ndarray) -> None:
+        """Fold one batch's new distance rows into the cached matrix.
+
+        Overridden by the recomputing reference implementation in
+        :mod:`repro.perf.reference` (the equivalence yardstick).
+        """
+        self._cache.append(cross, inner)
+
     def _recluster(self, groups, existing_of_group: dict, added_from: int = 0) -> DynamicClusteringResult:
         threshold = self._gamma * self._d_star
-        engine = AverageLinkage(self._base, groups)
+        engine = AverageLinkage(self._cache.view(), groups)
         slot_members_before = {slot: set(groups[slot]) for slot in range(len(groups))}
         engine.merge_until(threshold)
 

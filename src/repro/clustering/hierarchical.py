@@ -33,9 +33,10 @@ class ClusteringResult:
 
 def _labels_from_clusters(clusters, n_points: int) -> np.ndarray:
     labels = np.full(n_points, -1, dtype=int)
-    for cluster_id, members in enumerate(clusters):
-        for index in members:
-            labels[index] = cluster_id
+    if clusters:
+        indices = np.concatenate([np.asarray(members, dtype=int) for members in clusters])
+        ids = np.repeat(np.arange(len(clusters)), [len(members) for members in clusters])
+        labels[indices] = ids
     if np.any(labels < 0):
         raise AssertionError("internal error: clustering did not cover all points")
     return labels

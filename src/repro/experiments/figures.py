@@ -18,6 +18,7 @@ import numpy as np
 from repro.experiments.config import ExperimentConfig, dataset_factory
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.runner import average_day_errors, replicate
+from repro.perf.sweep import ApproachSpec, group_by_tag, replication_jobs, run_jobs
 from repro.rng import ensure_rng
 from repro.simulation.approaches import ETA2Approach, MeanApproach, ReliabilityApproach
 from repro.simulation.metrics import expertise_estimation_error
@@ -52,6 +53,18 @@ def _approach_factories(dataset_name: str, config: ExperimentConfig) -> dict:
         "average-log": lambda: ReliabilityApproach(AverageLog()),
         "truthfinder": lambda: ReliabilityApproach(TruthFinder()),
         "baseline-mean": lambda: MeanApproach(),
+    }
+
+
+def _approach_specs(dataset_name: str, config: ExperimentConfig) -> dict:
+    """Picklable counterparts of :func:`_approach_factories` for parallel sweeps."""
+    best = config.best_parameters(dataset_name)
+    return {
+        "ETA2": ApproachSpec.eta2(gamma=best["gamma"], alpha=best["alpha"]),
+        "hubs-authorities": ApproachSpec(kind="hubs-authorities"),
+        "average-log": ApproachSpec(kind="average-log"),
+        "truthfinder": ApproachSpec(kind="truthfinder"),
+        "baseline-mean": ApproachSpec(kind="mean"),
     }
 
 
@@ -213,20 +226,32 @@ def fig4_parameter_sweep(
     config: ExperimentConfig = ExperimentConfig(),
     alphas: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
     gammas: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.7),
+    jobs: "int | None" = None,
 ) -> Fig4Result:
-    """Fig. 4: mean estimation error over the parameter grid."""
+    """Fig. 4: mean estimation error over the parameter grid.
+
+    Every (grid point, replication) cell is an independent simulation, so
+    the whole grid fans out across ``jobs`` worker processes at once;
+    results are identical to the serial sweep for any ``jobs``.
+    """
     probe = dataset_factory(dataset_name, config, seed=0)
     use_gamma = not probe.domains_known
     gamma_grid = tuple(gammas) if use_gamma else (0.5,)
-    errors = np.full((len(alphas), len(gamma_grid)), np.nan)
+    job_list = []
     for i, alpha in enumerate(alphas):
         for j, gamma in enumerate(gamma_grid):
-            results = replicate(
-                dataset_name,
-                lambda a=alpha, g=gamma: ETA2Approach(gamma=g, alpha=a),
-                config,
+            job_list.extend(
+                replication_jobs(
+                    dataset_name,
+                    ApproachSpec.eta2(gamma=gamma, alpha=alpha),
+                    config,
+                    tag=(i, j),
+                )
             )
-            errors[i, j] = float(np.nanmean([r.mean_estimation_error for r in results]))
+    grouped = group_by_tag(job_list, run_jobs(job_list, n_jobs=jobs))
+    errors = np.full((len(alphas), len(gamma_grid)), np.nan)
+    for (i, j), results in grouped.items():
+        errors[i, j] = float(np.nanmean([r.mean_estimation_error for r in results]))
     return Fig4Result(
         dataset_name=dataset_name,
         alphas=tuple(alphas),
@@ -258,13 +283,15 @@ class Fig5Result:
 def fig5_error_over_days(
     dataset_name: str,
     config: ExperimentConfig = ExperimentConfig(),
+    jobs: "int | None" = None,
 ) -> Fig5Result:
     """Fig. 5: per-day estimation error for ETA2 and the four baselines."""
-    factories = _approach_factories(dataset_name, config)
-    series: dict = {}
+    specs = _approach_specs(dataset_name, config)
+    job_list = []
     for name in COMPARISON_APPROACHES:
-        results = replicate(dataset_name, factories[name], config)
-        series[name] = average_day_errors(results).tolist()
+        job_list.extend(replication_jobs(dataset_name, specs[name], config, tag=name))
+    grouped = group_by_tag(job_list, run_jobs(job_list, n_jobs=jobs))
+    series = {name: average_day_errors(grouped[name]).tolist() for name in COMPARISON_APPROACHES}
     days = tuple(range(1, config.n_days + 1))
     return Fig5Result(dataset_name=dataset_name, days=days, series=series)
 
@@ -293,15 +320,25 @@ def fig6_capability_sweep(
     dataset_name: str,
     config: ExperimentConfig = ExperimentConfig(),
     taus: Sequence[float] = (6.0, 9.0, 12.0, 15.0, 18.0),
+    jobs: "int | None" = None,
 ) -> Fig6Result:
     """Fig. 6: mean estimation error as tau varies."""
-    series: dict = {name: [] for name in COMPARISON_APPROACHES}
+    job_list = []
     for tau in taus:
         tau_config = config.with_tau(tau)
-        factories = _approach_factories(dataset_name, tau_config)
+        specs = _approach_specs(dataset_name, tau_config)
         for name in COMPARISON_APPROACHES:
-            results = replicate(dataset_name, factories[name], tau_config)
-            series[name].append(float(np.nanmean([r.mean_estimation_error for r in results])))
+            job_list.extend(
+                replication_jobs(dataset_name, specs[name], tau_config, tag=(name, tau))
+            )
+    grouped = group_by_tag(job_list, run_jobs(job_list, n_jobs=jobs))
+    series = {
+        name: [
+            float(np.nanmean([r.mean_estimation_error for r in grouped[(name, tau)]]))
+            for tau in taus
+        ]
+        for name in COMPARISON_APPROACHES
+    }
     return Fig6Result(dataset_name=dataset_name, taus=tuple(taus), series=series)
 
 

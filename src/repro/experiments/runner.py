@@ -18,14 +18,30 @@ def replicate(
     approach_factory: Callable,
     config: ExperimentConfig,
     bias_fraction: float = 0.0,
+    jobs: "int | None" = None,
 ) -> list:
     """Run ``config.replications`` independent simulations.
 
     Each replication draws a fresh dataset instance, task-arrival schedule
     and observation noise from its own seed stream (mirroring the paper's
     "different seeds to randomly select tasks in each day").
-    ``approach_factory()`` must return a *fresh* approach object.
+    ``approach_factory`` is either a zero-argument callable returning a
+    *fresh* approach object, or a picklable
+    :class:`~repro.perf.sweep.ApproachSpec`.  ``jobs`` fans replications
+    across worker processes (specs only — closures don't pickle); results
+    are identical to the serial path either way.
     """
+    from repro.perf.sweep import ApproachSpec, replication_jobs, run_jobs
+
+    if isinstance(approach_factory, ApproachSpec):
+        return run_jobs(
+            replication_jobs(dataset_name, approach_factory, config, bias_fraction=bias_fraction),
+            n_jobs=jobs,
+        )
+    if jobs not in (None, 0, 1):
+        raise TypeError(
+            "parallel replication needs a picklable ApproachSpec, not a factory callable"
+        )
     results: list = []
     rngs = spawn_rngs(config.seed, config.replications)
     for rng in rngs:

@@ -1,0 +1,267 @@
+"""Benchmark-regression harness for the optimised hot kernels.
+
+``python -m repro.perf.baseline --write`` times each optimised kernel and
+its frozen pre-optimisation reference (:mod:`repro.perf.reference`) at the
+full sizes *and* the reduced quick sizes, and records the medians in
+``BENCH_core.json``.  ``--check`` re-times the kernels (``--quick`` uses
+the reduced sizes for CI) and fails when a kernel regressed more than
+``--threshold`` (default 2x) against the committed baseline.  Only
+size-matched entries are compared — speedups are size-dependent (the
+reference kernels have worse complexity), so a quick run is checked
+against the baseline's quick section, never against the full sizes:
+
+- the optimised/reference *speedup ratio* is always compared: it is
+  machine-independent, so CI catches a de-optimised kernel on any runner;
+- raw wall-clock (``median_s``) is compared only when the baseline was
+  written on the same machine (matching ``meta.node``).
+
+Refresh the committed baseline after intentional kernel changes with::
+
+    PYTHONPATH=src python -m repro.perf.baseline --write
+
+from the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["run_benchmarks", "compare", "main", "DEFAULT_BASELINE", "KERNELS"]
+
+DEFAULT_BASELINE = "BENCH_core.json"
+
+#: Kernel name -> {size-parameter: value} per mode.
+SIZES = {
+    "average_linkage_construction": {"full": {"k": 500}, "quick": {"k": 160}},
+    "mle_sparse": {
+        "full": {"n_users": 100, "n_tasks": 1000, "density": 0.2, "n_domains": 8},
+        "quick": {"n_users": 60, "n_tasks": 300, "density": 0.2, "n_domains": 8},
+    },
+    "dynamic_add": {
+        "full": {"warmup": 400, "batches": 8, "batch_size": 25, "dim": 64},
+        "quick": {"warmup": 120, "batches": 4, "batch_size": 10, "dim": 64},
+    },
+}
+
+KERNELS = tuple(SIZES)
+
+
+#: Minimum wall-clock per timing round.  Sub-millisecond kernels (the quick
+#: sizes) are repeated until a round lasts this long, timeit-style —
+#: otherwise timer noise dominates and the regression check turns flaky.
+_MIN_ROUND_SECONDS = 0.01
+
+
+def _median_seconds(func, rounds: int) -> float:
+    start = time.perf_counter()
+    func()  # calibration pass; also warms caches
+    single = time.perf_counter() - start
+    number = min(1000, max(1, math.ceil(_MIN_ROUND_SECONDS / max(single, 1e-9))))
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(number):
+            func()
+        samples.append((time.perf_counter() - start) / number)
+    return float(statistics.median(samples))
+
+
+def _bench_average_linkage(size: dict, rounds: int) -> dict:
+    from repro.clustering.linkage import AverageLinkage
+    from repro.perf.reference import reference_linkage_sums
+
+    k = size["k"]
+    rng = np.random.default_rng(1234)
+    points = rng.random((k, 3))
+    base = np.abs(points[:, None, :] - points[None, :, :]).sum(axis=-1)
+    np.fill_diagonal(base, 0.0)
+    groups = [[i] for i in range(k)]
+
+    optimised = _median_seconds(lambda: AverageLinkage(base, groups), rounds)
+    reference = _median_seconds(lambda: reference_linkage_sums(base, groups), rounds)
+    return {"median_s": optimised, "reference_median_s": reference}
+
+
+def _bench_mle_sparse(size: dict, rounds: int) -> dict:
+    from repro.core.truth import estimate_truth
+    from repro.perf.reference import reference_estimate_truth
+    from repro.truthdiscovery.base import ObservationMatrix
+
+    rng = np.random.default_rng(5678)
+    n_users, n_tasks = size["n_users"], size["n_tasks"]
+    mask = rng.random((n_users, n_tasks)) < size["density"]
+    for task in np.flatnonzero(~mask.any(axis=0)):
+        mask[rng.integers(n_users), task] = True
+    values = np.where(mask, rng.normal(5.0, 2.0, (n_users, n_tasks)), 0.0)
+    observations = ObservationMatrix(values=values, mask=mask)
+    domains = rng.integers(0, size["n_domains"], n_tasks)
+
+    optimised = _median_seconds(lambda: estimate_truth(observations, domains), rounds)
+    reference = _median_seconds(lambda: reference_estimate_truth(observations, domains), rounds)
+    return {"median_s": optimised, "reference_median_s": reference}
+
+
+def _bench_dynamic_add(size: dict, rounds: int) -> dict:
+    from repro.clustering.dynamic import DynamicHierarchicalClustering
+    from repro.perf.reference import ReferenceDynamicHierarchicalClustering
+
+    rng = np.random.default_rng(91011)
+    dim = size["dim"]
+    warmup = rng.normal(0.0, 1.0, (size["warmup"], dim))
+    batches = [
+        rng.normal(0.0, 1.0, (size["batch_size"], dim)) for _ in range(size["batches"])
+    ]
+
+    def run(cls):
+        clustering = cls(gamma=0.5)
+        clustering.fit(warmup)
+        for batch in batches:
+            clustering.add(batch)
+
+    optimised = _median_seconds(lambda: run(DynamicHierarchicalClustering), rounds)
+    reference = _median_seconds(lambda: run(ReferenceDynamicHierarchicalClustering), rounds)
+    return {"median_s": optimised, "reference_median_s": reference}
+
+
+_RUNNERS = {
+    "average_linkage_construction": _bench_average_linkage,
+    "mle_sparse": _bench_mle_sparse,
+    "dynamic_add": _bench_dynamic_add,
+}
+
+
+def run_benchmarks(quick: bool = False, rounds: "int | None" = None) -> dict:
+    """Time every kernel (optimised and reference); returns the record dict."""
+    mode = "quick" if quick else "full"
+    if rounds is None:
+        rounds = 3 if quick else 5
+    kernels: dict = {}
+    for name in KERNELS:
+        size = SIZES[name][mode]
+        timing = _RUNNERS[name](size, rounds)
+        timing["speedup"] = (
+            timing["reference_median_s"] / timing["median_s"]
+            if timing["median_s"] > 0
+            else float("inf")
+        )
+        kernels[name] = {"size": size, "rounds": rounds, **timing}
+    return {
+        "meta": {
+            "command": "PYTHONPATH=src python -m repro.perf.baseline "
+            + ("--write --quick" if quick else "--write"),
+            "mode": mode,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "node": platform.node(),
+        },
+        "kernels": kernels,
+    }
+
+
+def compare(current: dict, baseline: dict, threshold: float = 2.0) -> list:
+    """Regressions of ``current`` against ``baseline`` (empty = pass).
+
+    Each current kernel is matched against the baseline entry (full or
+    quick section) recorded at the *same size*; speedups grow with size
+    because the reference kernels have worse complexity, so cross-size
+    comparison would false-fail.  The speedup ratio is always checked
+    (machine-independent); raw medians only when ``meta.node`` matches.
+    Kernels with no size-matched baseline entry are ignored: a new kernel
+    or size has nothing to regress against.
+    """
+    failures = []
+    same_node = current.get("meta", {}).get("node") == baseline.get("meta", {}).get("node")
+    pools = (baseline.get("kernels", {}), baseline.get("quick_kernels", {}))
+    for name, now in current.get("kernels", {}).items():
+        base = next(
+            (
+                pool[name]
+                for pool in pools
+                if name in pool and pool[name].get("size") == now.get("size")
+            ),
+            None,
+        )
+        if base is None:
+            continue
+        ratio = base["speedup"] / max(now["speedup"], 1e-12)
+        if ratio > threshold:
+            failures.append(
+                f"{name}: speedup fell to {now['speedup']:.2f}x vs baseline "
+                f"{base['speedup']:.2f}x ({ratio:.2f}x worse, limit {threshold:.1f}x)"
+            )
+        if same_node:
+            ratio = now["median_s"] / max(base["median_s"], 1e-12)
+            if ratio > threshold:
+                failures.append(
+                    f"{name}: {now['median_s']:.4f}s vs baseline "
+                    f"{base['median_s']:.4f}s ({ratio:.2f}x slower, limit {threshold:.1f}x)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.baseline",
+        description="Record or check the optimised-kernel benchmark baseline.",
+    )
+    parser.add_argument("--write", action="store_true", help="write the record to --path")
+    parser.add_argument(
+        "--check", action="store_true", help="compare a fresh run against --path; exit 1 on regression"
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced sizes (CI mode)")
+    parser.add_argument("--rounds", type=int, default=None, help="timing rounds per kernel")
+    parser.add_argument("--path", default=DEFAULT_BASELINE, help="baseline file (default BENCH_core.json)")
+    parser.add_argument("--out", default=None, help="also write the fresh record here")
+    parser.add_argument("--threshold", type=float, default=2.0, help="regression factor (default 2x)")
+    args = parser.parse_args(argv)
+    if not (args.write or args.check):
+        parser.error("pass --write and/or --check")
+
+    record = run_benchmarks(quick=args.quick, rounds=args.rounds)
+    for name, kernel in record["kernels"].items():
+        print(
+            f"{name}: optimised {kernel['median_s']:.4f}s, "
+            f"reference {kernel['reference_median_s']:.4f}s, "
+            f"speedup {kernel['speedup']:.2f}x"
+        )
+    if args.out is not None:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"record written to {out}")
+    if args.write:
+        if not args.quick:
+            # A full-size baseline also records the quick sizes, so CI's
+            # --check --quick has size-matched entries to compare against.
+            quick_record = run_benchmarks(quick=True, rounds=args.rounds)
+            record["quick_kernels"] = quick_record["kernels"]
+            for name, kernel in quick_record["kernels"].items():
+                print(f"{name} (quick): speedup {kernel['speedup']:.2f}x")
+        Path(args.path).write_text(json.dumps(record, indent=2) + "\n")
+        print(f"baseline written to {args.path}")
+    if args.check:
+        baseline_path = Path(args.path)
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        failures = compare(record, json.loads(baseline_path.read_text()), threshold=args.threshold)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"no regressions against {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

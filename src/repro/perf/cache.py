@@ -1,0 +1,140 @@
+"""Grow-only buffers for incrementally accumulated matrices.
+
+The dynamic clustering front-end receives a small batch of new tasks every
+day and needs (a) all task vectors seen so far and (b) the full pairwise
+distance matrix over them.  Reallocating and copying both on every arrival
+batch is O(n²) memory traffic per day; these buffers amortise growth by
+capacity doubling, so each day only writes the *new* rows/columns.
+
+Distances themselves are only ever computed for new pairs — the cached
+top-left block is bit-for-bit the block computed when those tasks arrived,
+which keeps the incremental clustering exactly equivalent to a from-scratch
+recompute (tested in ``tests/perf/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GrowOnlyRowBuffer", "GrowOnlyDistanceMatrix"]
+
+
+def _grown_capacity(current: int, needed: int) -> int:
+    capacity = max(current, 4)
+    while capacity < needed:
+        capacity *= 2
+    return capacity
+
+
+class GrowOnlyRowBuffer:
+    """An append-only ``(n, dim)`` float array with amortised growth."""
+
+    def __init__(self):
+        self._buffer: "np.ndarray | None" = None
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def dim(self) -> "int | None":
+        return None if self._buffer is None else self._buffer.shape[1]
+
+    def view(self) -> np.ndarray:
+        """The rows appended so far (a view — do not mutate)."""
+        if self._buffer is None:
+            return np.zeros((0, 0), dtype=float)
+        return self._buffer[: self._count]
+
+    def append(self, rows: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2:
+            raise ValueError("rows must be 2-D")
+        if self._buffer is None:
+            capacity = _grown_capacity(0, rows.shape[0])
+            self._buffer = np.empty((capacity, rows.shape[1]), dtype=float)
+        elif rows.shape[1] != self._buffer.shape[1]:
+            raise ValueError("rows have the wrong dimensionality")
+        needed = self._count + rows.shape[0]
+        if needed > self._buffer.shape[0]:
+            grown = np.empty(
+                (_grown_capacity(self._buffer.shape[0], needed), self._buffer.shape[1]),
+                dtype=float,
+            )
+            grown[: self._count] = self._buffer[: self._count]
+            self._buffer = grown
+        self._buffer[self._count : needed] = rows
+        self._count = needed
+
+
+class GrowOnlyDistanceMatrix:
+    """A symmetric ``(n, n)`` distance matrix that grows by appending points.
+
+    ``append(cross, inner)`` writes one arrival batch: ``cross`` holds the
+    distances from the ``n`` existing points to the ``m`` new ones and
+    ``inner`` the ``(m, m)`` block among the new points.  Existing entries
+    are never recomputed or moved (beyond capacity doubling), and the
+    running maximum — the clustering's ``d_star`` refresh — is maintained
+    incrementally instead of re-scanning O(n²) entries.
+    """
+
+    def __init__(self):
+        self._buffer: "np.ndarray | None" = None
+        self._count = 0
+        self._max = 0.0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def current_max(self) -> float:
+        """Largest distance seen so far (0.0 while empty)."""
+        return self._max
+
+    def view(self) -> np.ndarray:
+        """The live ``(n, n)`` block (a view — do not mutate)."""
+        if self._buffer is None:
+            return np.zeros((0, 0), dtype=float)
+        return self._buffer[: self._count, : self._count]
+
+    def initialise(self, block: np.ndarray) -> None:
+        """Seed the matrix with the warm-up batch's full distance block."""
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2 or block.shape[0] != block.shape[1]:
+            raise ValueError("initial block must be square")
+        n = block.shape[0]
+        capacity = _grown_capacity(0, n)
+        self._buffer = np.empty((capacity, capacity), dtype=float)
+        self._buffer[:n, :n] = block
+        self._count = n
+        self._max = float(block.max()) if n else 0.0
+
+    def append(self, cross: np.ndarray, inner: np.ndarray) -> None:
+        """Add one batch: ``cross`` is ``(n_old, m)``, ``inner`` is ``(m, m)``."""
+        cross = np.asarray(cross, dtype=float)
+        inner = np.asarray(inner, dtype=float)
+        if inner.ndim != 2 or inner.shape[0] != inner.shape[1]:
+            raise ValueError("inner block must be square")
+        m = inner.shape[0]
+        if cross.shape != (self._count, m):
+            raise ValueError("cross block must be (existing_points, new_points)")
+        if self._buffer is None:
+            self.initialise(inner)
+            return
+        total = self._count + m
+        if total > self._buffer.shape[0]:
+            capacity = _grown_capacity(self._buffer.shape[0], total)
+            grown = np.empty((capacity, capacity), dtype=float)
+            grown[: self._count, : self._count] = self.view()
+            self._buffer = grown
+        n = self._count
+        self._buffer[:n, n:total] = cross
+        self._buffer[n:total, :n] = cross.T
+        self._buffer[n:total, n:total] = inner
+        self._count = total
+        if cross.size:
+            self._max = max(self._max, float(cross.max()))
+        if inner.size:
+            self._max = max(self._max, float(inner.max()))

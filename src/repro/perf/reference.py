@@ -1,0 +1,180 @@
+"""Frozen pre-optimisation kernels, kept as equivalence/speedup yardsticks.
+
+These are verbatim copies of the seed implementations that the performance
+layer replaced:
+
+- :func:`reference_linkage_sums` — the O(k²) Python double loop that built
+  :class:`~repro.clustering.linkage.AverageLinkage`'s cluster-sum matrix,
+- :func:`reference_labels_from_clusters` — the per-point label loop,
+- :func:`reference_estimate_truth` — the dense §4.1 batch MLE (full
+  ``(n_users, n_tasks)`` products every coordinate iteration),
+- :class:`ReferenceDynamicHierarchicalClustering` — dynamic clustering that
+  rebuilds the entire pairwise distance matrix from scratch on every
+  arrival batch instead of using the grow-only cache.
+
+They exist so that (a) ``tests/perf/test_equivalence.py`` can prove the
+optimised kernels produce identical clusters and ``allclose`` truths, and
+(b) :mod:`repro.perf.baseline` can record optimised-vs-reference speedups
+in ``BENCH_core.json``.  Do not "fix" or optimise this module.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.clustering.dynamic import DynamicHierarchicalClustering
+from repro.core.expertise import DEFAULT_EXPERTISE, clamp_expertise, expertise_from_sums
+from repro.core.truth import (
+    ABSOLUTE_TOLERANCE,
+    RELATIVE_TOLERANCE,
+    TruthAnalysisResult,
+    update_truths_for_expertise,
+)
+from repro.perf.cache import GrowOnlyDistanceMatrix
+from repro.truthdiscovery.base import ObservationMatrix
+
+__all__ = [
+    "reference_linkage_sums",
+    "reference_labels_from_clusters",
+    "reference_estimate_truth",
+    "ReferenceDynamicHierarchicalClustering",
+]
+
+
+def reference_linkage_sums(base: np.ndarray, groups: Sequence[Sequence[int]]) -> np.ndarray:
+    """The seed ``AverageLinkage.__init__`` cluster-sum construction."""
+    base = np.asarray(base, dtype=float)
+    members = [list(group) for group in groups]
+    k = len(members)
+    sums = np.zeros((k, k), dtype=float)
+    for a in range(k):
+        rows = base[np.ix_(members[a], members[a])]
+        sums[a, a] = rows.sum() / 2.0
+        for b in range(a + 1, k):
+            total = base[np.ix_(members[a], members[b])].sum()
+            sums[a, b] = total
+            sums[b, a] = total
+    return sums
+
+
+def reference_labels_from_clusters(clusters, n_points: int) -> np.ndarray:
+    """The seed per-point labelling loop of the static clustering front-end."""
+    labels = np.full(n_points, -1, dtype=int)
+    for cluster_id, members in enumerate(clusters):
+        for index in members:
+            labels[index] = cluster_id
+    if np.any(labels < 0):
+        raise AssertionError("internal error: clustering did not cover all points")
+    return labels
+
+
+def _reference_update_expertise(
+    observations: ObservationMatrix,
+    truths: np.ndarray,
+    sigmas: np.ndarray,
+    domain_columns: np.ndarray,
+    n_domains: int,
+) -> np.ndarray:
+    """The seed dense Eq. 6 pass (per-domain column scans every iteration)."""
+    mask = observations.mask
+    safe_truths = np.where(np.isnan(truths), 0.0, truths)
+    normalised_sq = np.where(mask, ((observations.values - safe_truths) / sigmas) ** 2, 0.0)
+
+    n_users = observations.n_users
+    numerators = np.zeros((n_users, n_domains), dtype=float)
+    denominators = np.zeros((n_users, n_domains), dtype=float)
+    for k in range(n_domains):
+        tasks = np.flatnonzero(domain_columns == k)
+        if tasks.size == 0:
+            continue
+        numerators[:, k] = mask[:, tasks].sum(axis=1)
+        denominators[:, k] = normalised_sq[:, tasks].sum(axis=1)
+    return expertise_from_sums(numerators, denominators)
+
+
+def _reference_truths_converged(new: np.ndarray, old: np.ndarray) -> bool:
+    both = ~(np.isnan(new) | np.isnan(old))
+    if not np.any(both):
+        return True
+    delta = np.abs(new[both] - old[both])
+    scale = np.abs(old[both])
+    relative_ok = delta <= RELATIVE_TOLERANCE * np.maximum(scale, 1e-12)
+    absolute_ok = delta <= ABSOLUTE_TOLERANCE
+    return bool(np.all(relative_ok | absolute_ok))
+
+
+def reference_estimate_truth(
+    observations: ObservationMatrix,
+    task_domains,
+    initial_expertise: "np.ndarray | None" = None,
+    domain_ids: "tuple | None" = None,
+    max_iterations: int = 100,
+) -> TruthAnalysisResult:
+    """The seed dense §4.1 batch MLE (see :func:`repro.core.truth.estimate_truth`)."""
+    task_domains = np.asarray(task_domains)
+    if task_domains.shape != (observations.n_tasks,):
+        raise ValueError("task_domains must have one label per task")
+    if observations.observation_count == 0:
+        raise ValueError("observation matrix is empty")
+
+    if domain_ids is None:
+        domain_ids = tuple(sorted(set(task_domains.tolist())))
+    column_of = {domain_id: k for k, domain_id in enumerate(domain_ids)}
+    try:
+        domain_columns = np.array([column_of[d] for d in task_domains.tolist()], dtype=int)
+    except KeyError as missing:
+        raise ValueError(f"task domain {missing} not present in domain_ids") from None
+    n_domains = len(domain_ids)
+
+    if initial_expertise is None:
+        expertise = np.full((observations.n_users, n_domains), DEFAULT_EXPERTISE, dtype=float)
+    else:
+        expertise = clamp_expertise(np.asarray(initial_expertise, dtype=float).copy())
+        if expertise.shape != (observations.n_users, n_domains):
+            raise ValueError("initial_expertise has the wrong shape")
+
+    truths = np.full(observations.n_tasks, np.nan)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        task_expertise = expertise[:, domain_columns]
+        new_truths, sigmas = update_truths_for_expertise(observations, task_expertise)
+        expertise = _reference_update_expertise(
+            observations, new_truths, sigmas, domain_columns, n_domains
+        )
+        if iterations > 1 and _reference_truths_converged(new_truths, truths):
+            truths = new_truths
+            converged = True
+            break
+        truths = new_truths
+
+    task_expertise = expertise[:, domain_columns]
+    truths, sigmas = update_truths_for_expertise(observations, task_expertise)
+    return TruthAnalysisResult(
+        truths=truths,
+        sigmas=sigmas,
+        expertise=expertise,
+        domain_ids=tuple(domain_ids),
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+class ReferenceDynamicHierarchicalClustering(DynamicHierarchicalClustering):
+    """Dynamic clustering without the incremental cache.
+
+    Every arrival batch recomputes the *full* pairwise distance matrix from
+    the accumulated points (the behaviour the grow-only cache replaced).
+    Classification, d* handling, and the merge loop are shared with the
+    optimised class, so any divergence is the distance bookkeeping's fault.
+    """
+
+    def _ingest_distances(self, cross: np.ndarray, inner: np.ndarray) -> None:
+        points = self._points.view()
+        base = self._distances(points, points)
+        np.fill_diagonal(base, 0.0)
+        cache = GrowOnlyDistanceMatrix()
+        cache.initialise(base)
+        self._cache = cache

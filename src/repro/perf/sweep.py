@@ -1,0 +1,173 @@
+"""Deterministic parallel sweep runner for ``run_simulation`` grids.
+
+Figure sweeps (Fig. 4's (α, γ) grid, Fig. 5's approach comparison, Fig. 6's
+τ sweep) are embarrassingly parallel: every (grid point, replication) cell
+is an independent ``run_simulation`` call.  This module fans those cells
+across a ``ProcessPoolExecutor`` while keeping results *bit-identical* to
+the serial path:
+
+- every :class:`SimulationJob` is a fully picklable value object — no
+  shared state crosses the process boundary;
+- each job re-derives its RNG streams exactly the way
+  :func:`repro.experiments.runner.replicate` does (``spawn_rngs(seed,
+  replications)[r].spawn(2)``), so seeds depend only on
+  ``(config.seed, replication)`` and never on worker identity, scheduling
+  order, or worker count;
+- :func:`run_jobs` returns results in submission order regardless of
+  completion order.
+
+Hence ``--jobs 4`` and serial execution produce identical
+:class:`~repro.simulation.engine.SimulationResult` errors (asserted in
+``tests/perf/test_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.config import ExperimentConfig, dataset_factory
+from repro.rng import spawn_rngs
+from repro.simulation.engine import SimulationConfig, SimulationResult, run_simulation
+
+__all__ = [
+    "ApproachSpec",
+    "SimulationJob",
+    "replication_jobs",
+    "run_jobs",
+    "group_by_tag",
+]
+
+#: Approach kinds :meth:`ApproachSpec.build` knows how to construct.
+APPROACH_KINDS = ("eta2", "hubs-authorities", "average-log", "truthfinder", "mean")
+
+
+@dataclass(frozen=True)
+class ApproachSpec:
+    """A picklable description of an approach (factories can't cross processes).
+
+    ``options`` is a sorted tuple of ``(name, value)`` keyword pairs passed
+    to the approach constructor; values must themselves be picklable and
+    hashable.  :meth:`build` returns a *fresh* approach instance per call,
+    mirroring the factory-per-replication contract of ``replicate``.
+    """
+
+    kind: str
+    options: tuple = ()
+
+    def __post_init__(self):
+        if self.kind not in APPROACH_KINDS:
+            raise ValueError(f"unknown approach kind: {self.kind!r} (expected one of {APPROACH_KINDS})")
+
+    @classmethod
+    def eta2(cls, **options) -> "ApproachSpec":
+        """ETA2 / ETA2-mc spec (``allocator='min-cost'`` selects the latter)."""
+        return cls(kind="eta2", options=tuple(sorted(options.items())))
+
+    def build(self):
+        from repro.simulation.approaches import ETA2Approach, MeanApproach, ReliabilityApproach
+
+        if self.kind == "eta2":
+            return ETA2Approach(**dict(self.options))
+        if self.kind == "mean":
+            return MeanApproach()
+        from repro.truthdiscovery import AverageLog, HubsAuthorities, TruthFinder
+
+        method = {
+            "hubs-authorities": HubsAuthorities,
+            "average-log": AverageLog,
+            "truthfinder": TruthFinder,
+        }[self.kind]
+        return ReliabilityApproach(method())
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One fully-specified ``run_simulation`` cell of a sweep.
+
+    ``replication`` indexes into the seed derivation of
+    :func:`repro.experiments.runner.replicate`; running jobs for
+    ``replication in range(config.replications)`` serially reproduces
+    ``replicate`` exactly.  ``tag`` is an opaque grid-point label used by
+    :func:`group_by_tag` to reassemble grid results.
+    """
+
+    dataset_name: str
+    approach: ApproachSpec
+    config: ExperimentConfig
+    replication: int
+    bias_fraction: float = 0.0
+    tag: "object" = None
+
+    def __post_init__(self):
+        if not 0 <= self.replication < self.config.replications:
+            raise ValueError("replication must lie in [0, config.replications)")
+
+    def run(self) -> SimulationResult:
+        """Execute this cell in the current process.
+
+        The RNG derivation mirrors ``replicate`` line for line: any change
+        there must be reflected here (the determinism test will catch it).
+        """
+        rng = spawn_rngs(self.config.seed, self.config.replications)[self.replication]
+        dataset_seed, sim_seed = rng.spawn(2)
+        dataset = dataset_factory(self.dataset_name, self.config, seed=dataset_seed)
+        sim_config = SimulationConfig(
+            n_days=self.config.n_days,
+            bias_fraction=self.bias_fraction,
+            seed=sim_seed,
+        )
+        return run_simulation(dataset, self.approach.build(), sim_config)
+
+
+def replication_jobs(
+    dataset_name: str,
+    approach: ApproachSpec,
+    config: ExperimentConfig,
+    bias_fraction: float = 0.0,
+    tag=None,
+) -> list:
+    """One :class:`SimulationJob` per replication, in replication order."""
+    return [
+        SimulationJob(
+            dataset_name=dataset_name,
+            approach=approach,
+            config=config,
+            replication=replication,
+            bias_fraction=bias_fraction,
+            tag=tag,
+        )
+        for replication in range(config.replications)
+    ]
+
+
+def _run_job(job: SimulationJob) -> SimulationResult:
+    return job.run()
+
+
+def run_jobs(jobs: Sequence[SimulationJob], n_jobs: "int | None" = None) -> list:
+    """Run jobs serially (``n_jobs`` in (None, 0, 1)) or across processes.
+
+    Results come back in submission order either way, and every job's seeds
+    are self-contained, so the two modes are numerically identical.
+    ``n_jobs`` < 0 means "one worker per CPU".
+    """
+    jobs = list(jobs)
+    if n_jobs is not None and n_jobs < 0:
+        n_jobs = os.cpu_count() or 1
+    if n_jobs in (None, 0, 1) or len(jobs) <= 1:
+        return [job.run() for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(jobs))) as pool:
+        return list(pool.map(_run_job, jobs))
+
+
+def group_by_tag(jobs: Sequence[SimulationJob], results: Sequence[SimulationResult]) -> dict:
+    """Reassemble ``run_jobs`` output into ``{tag: [results in job order]}``."""
+    if len(jobs) != len(results):
+        raise ValueError("jobs and results must align")
+    grouped: dict = {}
+    for job, result in zip(jobs, results):
+        grouped.setdefault(job.tag, []).append(result)
+    return grouped

@@ -34,6 +34,8 @@ class DayOutcome:
     observations: ObservationMatrix
     truths: np.ndarray
     allocation_cost: float
+    #: Per-phase wall-clock seconds (ETA2 approaches only; None otherwise).
+    timings: "dict | None" = None
 
 
 class Approach(abc.ABC):
@@ -172,6 +174,7 @@ class ETA2Approach(Approach):
             observations=result.observations,
             truths=result.truths,
             allocation_cost=result.allocation_cost,
+            timings=result.timings,
         )
 
     def expertise_snapshot(self) -> dict:

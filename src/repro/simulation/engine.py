@@ -29,7 +29,13 @@ from repro.simulation.approaches import Approach
 from repro.simulation.metrics import normalized_estimation_error
 from repro.truthdiscovery.base import ObservationMatrix
 
-__all__ = ["SimulationConfig", "DayRecord", "SimulationResult", "run_simulation"]
+__all__ = [
+    "SimulationConfig",
+    "DayRecord",
+    "SimulationResult",
+    "run_simulation",
+    "run_simulation_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,9 @@ class DayRecord:
     pair_count: int
     observations: ObservationMatrix
     truths: np.ndarray
+    #: Per-phase wall-clock seconds from the approach's pipeline (ETA2
+    #: approaches only; None for the baselines).
+    timings: "dict | None" = None
 
     @property
     def observed_task_fraction(self) -> float:
@@ -223,8 +232,11 @@ def run_simulation(
     base_numbers = world.base_numbers()
 
     day_records: list = []
-    pair_expertise: list = []
-    pair_errors: list = []
+    # Per-observe-call ndarray chunks (concatenated once at the end) instead
+    # of per-pair Python appends: the accounting below is O(1) array ops per
+    # call rather than O(pairs) interpreter work.
+    pair_expertise_chunks: list = []
+    pair_error_chunks: list = []
     for day in range(config.start_day, config.last_day):
         task_indices = np.flatnonzero(schedule == day)
         if task_indices.size == 0:
@@ -233,19 +245,27 @@ def run_simulation(
 
         def observe(pairs, _indices=task_indices):
             global_pairs = [(user, int(_indices[task])) for user, task in pairs]
-            values = world.observe_pairs(global_pairs)
+            values = np.asarray(world.observe_pairs(global_pairs), dtype=float)
             if config.dropout_rate > 0.0:
                 dropped = dropout_rng.random(len(values)) < config.dropout_rate
-                values = [
-                    float("nan") if drop else value for value, drop in zip(values, dropped)
-                ]
-            for (user, task), value in zip(global_pairs, values):
-                if np.isnan(value):
-                    continue  # dropout: nothing was delivered
-                expertise = world.user_expertise_for_task(user, task)
-                pair_expertise.append(expertise)
-                pair_errors.append((value - true_values[task]) / base_numbers[task])
-            return values
+                values = np.where(dropped, np.nan, values)
+            delivered = ~np.isnan(values)
+            if np.any(delivered):
+                users = np.fromiter((user for user, _ in global_pairs), dtype=int, count=len(global_pairs))
+                tasks = np.fromiter((task for _, task in global_pairs), dtype=int, count=len(global_pairs))
+                du, dt, dv = users[delivered], tasks[delivered], values[delivered]
+                pair_expertise_chunks.append(
+                    np.fromiter(
+                        (
+                            world.user_expertise_for_task(int(user), int(task))
+                            for user, task in zip(du, dt)
+                        ),
+                        dtype=float,
+                        count=du.size,
+                    )
+                )
+                pair_error_chunks.append((dv - true_values[dt]) / base_numbers[dt])
+            return values.tolist()
 
         collect = observe
         if resilience is not None:
@@ -275,6 +295,7 @@ def run_simulation(
                 pair_count=outcome.assignment.pair_count,
                 observations=outcome.observations,
                 truths=np.asarray(outcome.truths, dtype=float),
+                timings=outcome.timings,
             )
         )
 
@@ -285,10 +306,27 @@ def run_simulation(
         expertise_snapshot=approach.expertise_snapshot(),
         task_domain_labels=approach.task_domain_labels(),
         mle_iterations=tuple(approach.iteration_counts()),
-        observation_expertise=np.asarray(pair_expertise, dtype=float),
-        observation_errors=np.asarray(pair_errors, dtype=float),
+        observation_expertise=(
+            np.concatenate(pair_expertise_chunks) if pair_expertise_chunks else np.zeros(0)
+        ),
+        observation_errors=(
+            np.concatenate(pair_error_chunks) if pair_error_chunks else np.zeros(0)
+        ),
         adversary_users=tuple(world.adversary_users),
         observer_report=None if resilience is None else resilience["report"],
         fault_counts=None if chaos is None else chaos.fault_counts,
         sanitize_report=None if resilience is None else resilience["sanitizer"].report,
     )
+
+
+def run_simulation_batch(jobs, n_jobs: "int | None" = None) -> list:
+    """Run a batch of :class:`~repro.perf.sweep.SimulationJob` cells.
+
+    Thin convenience front-end over :func:`repro.perf.sweep.run_jobs`
+    (imported lazily — the sweep module imports this one).  Results come
+    back in job order; serial and parallel execution are numerically
+    identical.
+    """
+    from repro.perf.sweep import run_jobs
+
+    return run_jobs(jobs, n_jobs=n_jobs)

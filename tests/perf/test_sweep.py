@@ -1,0 +1,97 @@
+"""Determinism and plumbing of the parallel sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import fig4_parameter_sweep
+from repro.experiments.runner import replicate
+from repro.perf.sweep import (
+    ApproachSpec,
+    SimulationJob,
+    group_by_tag,
+    replication_jobs,
+    run_jobs,
+)
+from repro.simulation.approaches import ETA2Approach, MeanApproach, ReliabilityApproach
+from repro.simulation.engine import run_simulation_batch
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(replications=2, n_days=3, seed=123)
+
+
+def test_approach_spec_builds_fresh_instances():
+    spec = ApproachSpec.eta2(gamma=0.4, alpha=0.6)
+    a, b = spec.build(), spec.build()
+    assert isinstance(a, ETA2Approach) and isinstance(b, ETA2Approach)
+    assert a is not b
+    assert a._gamma == 0.4 and a._alpha == 0.6
+    assert isinstance(ApproachSpec(kind="mean").build(), MeanApproach)
+    assert isinstance(ApproachSpec(kind="truthfinder").build(), ReliabilityApproach)
+
+
+def test_approach_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown approach kind"):
+        ApproachSpec(kind="oracle")
+
+
+def test_replication_out_of_range(tiny_config):
+    spec = ApproachSpec(kind="mean")
+    with pytest.raises(ValueError, match="replication"):
+        SimulationJob("synthetic", spec, tiny_config, replication=2)
+
+
+def test_jobs_match_serial_replicate(tiny_config):
+    spec = ApproachSpec.eta2(gamma=0.5, alpha=0.5)
+    serial = replicate("synthetic", lambda: ETA2Approach(gamma=0.5, alpha=0.5), tiny_config)
+    via_jobs = run_jobs(replication_jobs("synthetic", spec, tiny_config))
+    assert len(serial) == len(via_jobs)
+    for a, b in zip(serial, via_jobs):
+        np.testing.assert_array_equal(a.errors_by_day(), b.errors_by_day())
+        assert a.total_cost == b.total_cost
+
+
+def test_parallel_identical_to_serial(tiny_config):
+    """The acceptance criterion: same seeds, --jobs N, identical errors."""
+    spec = ApproachSpec.eta2(gamma=0.5, alpha=0.5)
+    jobs = replication_jobs("synthetic", spec, tiny_config)
+    serial = run_jobs(jobs, n_jobs=None)
+    parallel = run_jobs(jobs, n_jobs=2)
+    for a, b in zip(serial, parallel):
+        np.testing.assert_array_equal(a.errors_by_day(), b.errors_by_day())
+        np.testing.assert_array_equal(a.observation_errors, b.observation_errors)
+        assert a.total_cost == b.total_cost
+
+
+def test_run_simulation_batch_delegates(tiny_config):
+    jobs = replication_jobs("synthetic", ApproachSpec(kind="mean"), tiny_config)
+    direct = run_jobs(jobs)
+    batch = run_simulation_batch(jobs)
+    for a, b in zip(direct, batch):
+        np.testing.assert_array_equal(a.errors_by_day(), b.errors_by_day())
+
+
+def test_group_by_tag_preserves_job_order(tiny_config):
+    jobs = replication_jobs("synthetic", ApproachSpec(kind="mean"), tiny_config, tag="x")
+    jobs += replication_jobs("synthetic", ApproachSpec(kind="mean"), tiny_config, tag="y")
+    results = list(range(len(jobs)))
+    grouped = group_by_tag(jobs, results)
+    assert grouped == {"x": [0, 1], "y": [2, 3]}
+    with pytest.raises(ValueError, match="align"):
+        group_by_tag(jobs, results[:-1])
+
+
+def test_replicate_rejects_parallel_factories(tiny_config):
+    with pytest.raises(TypeError, match="ApproachSpec"):
+        replicate("synthetic", lambda: MeanApproach(), tiny_config, jobs=2)
+
+
+def test_fig4_parallel_identical_to_serial():
+    config = ExperimentConfig(replications=1, n_days=2, seed=9)
+    serial = fig4_parameter_sweep("synthetic", config, alphas=(0.3, 0.7), gammas=(0.5,))
+    parallel = fig4_parameter_sweep(
+        "synthetic", config, alphas=(0.3, 0.7), gammas=(0.5,), jobs=2
+    )
+    np.testing.assert_array_equal(serial.errors, parallel.errors)

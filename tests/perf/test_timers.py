@@ -1,0 +1,98 @@
+"""Phase-timer bookkeeping and its wiring through pipeline and engine."""
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, dataset_factory
+from repro.perf.timers import PHASES, PhaseTimer, merge_timings
+from repro.simulation.approaches import ETA2Approach
+from repro.simulation.engine import SimulationConfig, run_simulation
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_phase_accumulates_across_entries():
+    clock = FakeClock()
+    timer = PhaseTimer(clock=clock)
+    with timer.phase("collect"):
+        clock.t += 2.0
+    with timer.phase("collect"):
+        clock.t += 3.0
+    assert timer.get("collect") == 5.0
+    assert timer.total == 5.0
+
+
+def test_wrap_times_every_call():
+    clock = FakeClock()
+    timer = PhaseTimer(clock=clock)
+
+    def work(x):
+        clock.t += 1.5
+        return x * 2
+
+    timed = timer.wrap("truth", work)
+    assert timed(4) == 8
+    assert timed(5) == 10
+    assert timer.get("truth") == 3.0
+
+
+def test_phase_records_on_exception():
+    clock = FakeClock()
+    timer = PhaseTimer(clock=clock)
+    try:
+        with timer.phase("allocate"):
+            clock.t += 1.0
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert timer.get("allocate") == 1.0
+
+
+def test_add_clamps_negative_spans():
+    timer = PhaseTimer()
+    timer.add("allocate", -0.5)
+    assert timer.get("allocate") == 0.0
+
+
+def test_timings_always_lists_canonical_phases():
+    timer = PhaseTimer()
+    timings = timer.timings()
+    assert set(PHASES) <= set(timings)
+    assert all(v == 0.0 for v in timings.values())
+
+
+def test_merge_timings_folds_in_place():
+    totals = {"identify": 1.0}
+    merge_timings(totals, {"identify": 0.5, "truth": 2.0})
+    assert totals == {"identify": 1.5, "truth": 2.0}
+    assert merge_timings(totals, None) is totals
+
+
+def test_simulation_day_records_carry_timings():
+    config = ExperimentConfig(replications=1, n_days=3, seed=5)
+    dataset = dataset_factory("synthetic", config, seed=0)
+    approach = ETA2Approach(gamma=0.5, alpha=0.5)
+    result = run_simulation(dataset, approach, SimulationConfig(n_days=3, seed=1))
+    for day in result.days:
+        assert day.timings is not None
+        assert set(PHASES) <= set(day.timings)
+        assert all(seconds >= 0.0 for seconds in day.timings.values())
+    totals = approach._system.phase_totals
+    assert totals["truth"] > 0.0
+    assert sum(totals.values()) > 0.0
+
+
+def test_min_cost_steps_split_allocate_collect_truth():
+    config = ExperimentConfig(replications=1, n_days=2, seed=6)
+    dataset = dataset_factory("synthetic", config, seed=0)
+    approach = ETA2Approach(gamma=0.5, alpha=0.5, allocator="min-cost")
+    result = run_simulation(dataset, approach, SimulationConfig(n_days=2, seed=2))
+    daily = result.days[-1].timings  # day 1+ uses Algorithm 2
+    assert daily["collect"] > 0.0
+    assert daily["truth"] > 0.0
+    assert np.isfinite(daily["allocate"]) and daily["allocate"] >= 0.0
