@@ -1,0 +1,69 @@
+"""Repo-level pytest plugin: a per-test wall-clock timeout.
+
+``pytest-timeout`` is deliberately not a dependency (the CI image and the
+dev container run on the stdlib + numpy/scipy stack), so this implements
+the one feature we need: any single test exceeding ``repro_test_timeout``
+seconds fails with a clear message instead of hanging the suite — a chaos
+or adversarial test that deadlocks should kill itself, not the nightly
+job.
+
+Implementation: ``signal.setitimer(ITIMER_REAL)`` raises in the test's
+own thread when the clock runs out.  SIGALRM only exists on POSIX and
+only works from the main thread; anywhere else the plugin silently
+disables itself rather than breaking the run.  Set
+``repro_test_timeout = 0`` (or run on an unsupported platform) to turn it
+off; mark a legitimately slow test with ``@pytest.mark.timeout(<secs>)``
+to give it its own budget.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+_DEFAULT_TIMEOUT = 120.0
+
+
+def pytest_addoption(parser):
+    parser.addini(
+        "repro_test_timeout",
+        help="per-test wall-clock timeout in seconds (0 disables)",
+        default=str(_DEFAULT_TIMEOUT),
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): override the per-test wall-clock timeout for one test",
+    )
+
+
+def _supported() -> bool:
+    return hasattr(signal, "setitimer") and threading.current_thread() is threading.main_thread()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = float(item.config.getini("repro_test_timeout"))
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        seconds = float(marker.args[0])
+    if seconds <= 0 or not _supported():
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise pytest.fail.Exception(
+            f"test exceeded the {seconds:g}s per-test timeout (repro_test_timeout)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -65,6 +65,9 @@ APPROACHES = {
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_keep=args.checkpoint_keep,
         resume=args.resume,
+        robust=_build_robust(args),
+        reputation=_build_reputation(args),
+        guards=args.guards,
     ),
     "eta2-mc": lambda args: ETA2Approach(
         gamma=args.gamma,
@@ -74,12 +77,48 @@ APPROACHES = {
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_keep=args.checkpoint_keep,
         resume=args.resume,
+        robust=_build_robust(args),
+        reputation=_build_reputation(args),
+        guards=args.guards,
     ),
     "hubs-authorities": lambda args: ReliabilityApproach(HubsAuthorities()),
     "average-log": lambda args: ReliabilityApproach(AverageLog()),
     "truthfinder": lambda args: ReliabilityApproach(TruthFinder()),
     "mean": lambda args: MeanApproach(),
 }
+
+
+def _rate(text: str) -> float:
+    """Argparse type: a float in [0, 1] (fault rates, fractions)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"expected a rate in [0, 1], got {text!r}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: a strictly positive float (thresholds)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text!r}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer (day counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -138,19 +177,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore the newest valid checkpoint from --checkpoint-dir before running",
     )
     reliability.add_argument(
-        "--fault-exceptions", type=float, default=0.0, help="injected per-call transport exception rate"
+        "--fault-exceptions", type=_rate, default=0.0, help="injected per-call transport exception rate"
     )
     reliability.add_argument(
-        "--fault-timeouts", type=float, default=0.0, help="injected per-call transport timeout rate"
+        "--fault-timeouts", type=_rate, default=0.0, help="injected per-call transport timeout rate"
     )
     reliability.add_argument(
-        "--fault-drops", type=float, default=0.0, help="injected per-pair dropped-response rate"
+        "--fault-drops", type=_rate, default=0.0, help="injected per-pair dropped-response rate"
     )
     reliability.add_argument(
-        "--fault-nan", type=float, default=0.0, help="injected per-pair NaN-payload rate"
+        "--fault-nan", type=_rate, default=0.0, help="injected per-pair NaN-payload rate"
     )
     reliability.add_argument(
-        "--fault-outliers", type=float, default=0.0, help="injected per-pair gross-outlier rate"
+        "--fault-outliers", type=_rate, default=0.0, help="injected per-pair gross-outlier rate"
+    )
+    robustness = simulate.add_argument_group(
+        "robustness", "Byzantine hardening: adversaries, robust MLE, reputation, guards"
+    )
+    robustness.add_argument(
+        "--adversaries", type=_rate, default=0.0, help="fraction of users given adversarial behaviour"
+    )
+    robustness.add_argument(
+        "--adversary-kind",
+        choices=("constant", "random", "biased", "colluding"),
+        default="colluding",
+        dest="adversary_kind",
+        help="adversary behaviour model (default: colluding)",
+    )
+    robustness.add_argument(
+        "--robust",
+        choices=("none", "huber", "trimmed"),
+        default="none",
+        help="robust reweighting inside the truth-analysis MLE",
+    )
+    robustness.add_argument(
+        "--guards",
+        choices=("warn", "raise", "repair"),
+        default=None,
+        help="runtime invariant guards at phase boundaries (eta2/eta2-mc only)",
+    )
+    robustness.add_argument(
+        "--reputation",
+        action="store_true",
+        help="enable cross-day reputation tracking and quarantine (eta2/eta2-mc only)",
+    )
+    robustness.add_argument(
+        "--reputation-bias-threshold",
+        type=_positive_float,
+        default=None,
+        dest="reputation_bias_threshold",
+        help="bias t-score quarantine threshold (default: ReputationConfig default)",
+    )
+    robustness.add_argument(
+        "--reputation-variance-threshold",
+        type=_positive_float,
+        default=None,
+        dest="reputation_variance_threshold",
+        help="variance-score quarantine threshold",
+    )
+    robustness.add_argument(
+        "--reputation-consistency-threshold",
+        type=_positive_float,
+        default=None,
+        dest="reputation_consistency_threshold",
+        help="consistency-score quarantine threshold",
+    )
+    robustness.add_argument(
+        "--reputation-duplicate-threshold",
+        type=_rate,
+        default=None,
+        dest="reputation_duplicate_threshold",
+        help="duplicate-fraction quarantine threshold (a rate in (0, 1])",
+    )
+    robustness.add_argument(
+        "--reputation-min-observations",
+        type=_positive_float,
+        default=None,
+        dest="reputation_min_observations",
+        help="decayed observation count below which no score is evaluated",
+    )
+    robustness.add_argument(
+        "--reputation-probation-days",
+        type=_positive_int,
+        default=None,
+        dest="reputation_probation_days",
+        help="days a quarantined user sits out before probation",
     )
 
     report = sub.add_parser("report", help="run every experiment and write a Markdown report")
@@ -204,9 +315,45 @@ def _build_fault_profile(args: argparse.Namespace):
     )
 
 
+def _build_robust(args: argparse.Namespace):
+    if args.robust == "none":
+        return None
+    from repro.core.robust import RobustConfig
+
+    return RobustConfig(method=args.robust)
+
+
+def _build_reputation(args: argparse.Namespace):
+    """True/False/ReputationConfig for ETA2Approach from the CLI flags."""
+    overrides = {
+        "bias_threshold": args.reputation_bias_threshold,
+        "variance_threshold": args.reputation_variance_threshold,
+        "consistency_threshold": args.reputation_consistency_threshold,
+        "duplicate_threshold": args.reputation_duplicate_threshold,
+        "min_observations": args.reputation_min_observations,
+        "probation_days": args.reputation_probation_days,
+    }
+    overrides = {name: value for name, value in overrides.items() if value is not None}
+    if not args.reputation:
+        if overrides:
+            raise ValueError("--reputation-* thresholds require --reputation")
+        return False
+    if not overrides:
+        return True  # let the system default the tracker (alpha follows the updater)
+    from repro.reliability.reputation import ReputationConfig
+
+    return ReputationConfig(alpha=args.alpha, **overrides)
+
+
 def _run_simulate(args: argparse.Namespace) -> int:
     if args.checkpoint_dir is not None and args.approach not in ("eta2", "eta2-mc"):
         print(f"note: --checkpoint-dir is ignored for approach {args.approach!r}")
+    if args.approach not in ("eta2", "eta2-mc") and (
+        args.reputation or args.guards is not None or args.robust != "none"
+    ):
+        print(
+            f"note: --reputation/--guards/--robust are ignored for approach {args.approach!r}"
+        )
     config = ExperimentConfig(replications=1, n_days=args.days, tau=args.tau, seed=args.seed)
     dataset = dataset_factory(args.dataset, config, seed=args.seed)
     try:
@@ -216,6 +363,8 @@ def _run_simulate(args: argparse.Namespace) -> int:
             seed=args.seed,
             drift_rate=args.drift,
             bias_fraction=args.bias,
+            adversary_fraction=args.adversaries,
+            adversary_kind=args.adversary_kind,
             faults=_build_fault_profile(args),
         )
     except ValueError as error:
@@ -236,6 +385,14 @@ def _run_simulate(args: argparse.Namespace) -> int:
         print(f"injected faults: {injected or 'none'}")
         print(f"collection: {result.observer_report.summary()}")
         print(f"quarantine: {result.sanitize_report.summary()}")
+    if args.adversaries > 0.0:
+        print(f"adversaries ({args.adversary_kind}): users {sorted(result.adversary_users)}")
+    if args.reputation and args.approach in ("eta2", "eta2-mc"):
+        print(
+            f"reputation: quarantined {sorted(result.final_quarantined)}"
+            f"  probation {sorted(result.final_probation)}"
+            f"  ever-quarantined {sorted(result.ever_quarantined)}"
+        )
     if args.checkpoint_dir is not None and args.approach in ("eta2", "eta2-mc"):
         manager = approach._system.checkpoint_manager
         print(f"checkpoints: {len(manager.checkpoints())} retained in {manager.directory}")

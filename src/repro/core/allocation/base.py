@@ -85,6 +85,13 @@ class AllocationProblem:
         ``c_j`` per task — the payment for recruiting one user for task j
         (used by min-cost; defaults to one unit per the paper's Section
         6.4.3 setting).
+    eligible:
+        Optional per-user boolean mask; ``False`` users (e.g. quarantined
+        by the reputation tracker) receive no assignments from any
+        allocator.  ``None`` means everyone is eligible.  An explicit
+        boolean mask — not infinite processing times — because
+        ``False * inf`` is NaN under IEEE rules and would silently poison
+        workload arithmetic.
     """
 
     expertise: np.ndarray
@@ -92,6 +99,7 @@ class AllocationProblem:
     capacities: np.ndarray
     epsilon: float = DEFAULT_EPSILON
     costs: "np.ndarray | None" = None
+    eligible: "np.ndarray | None" = None
 
     def __post_init__(self):
         expertise = np.asarray(self.expertise, dtype=float)
@@ -121,10 +129,18 @@ class AllocationProblem:
                 raise ValueError("costs must have one entry per task")
             if np.any(costs < 0):
                 raise ValueError("costs must be non-negative")
+        eligible = self.eligible
+        if eligible is not None:
+            eligible = np.asarray(eligible, dtype=bool)
+            if eligible.shape != (n_users,):
+                raise ValueError("eligible must have one entry per user")
+            if not np.any(eligible):
+                raise ValueError("at least one user must be eligible")
         object.__setattr__(self, "expertise", expertise)
         object.__setattr__(self, "processing_times", times)
         object.__setattr__(self, "capacities", capacities)
         object.__setattr__(self, "costs", costs)
+        object.__setattr__(self, "eligible", eligible)
 
     @property
     def n_users(self) -> int:
@@ -148,6 +164,12 @@ class AllocationProblem:
         if self.has_pair_times:
             return self.processing_times
         return np.broadcast_to(self.processing_times[None, :], (self.n_users, self.n_tasks))
+
+    def eligible_mask(self) -> np.ndarray:
+        """Per-user eligibility as a concrete boolean array (all-True default)."""
+        if self.eligible is None:
+            return np.ones(self.n_users, dtype=bool)
+        return self.eligible
 
     def accuracy_matrix(self) -> np.ndarray:
         """The ``p_ij`` matrix of Eq. 11."""

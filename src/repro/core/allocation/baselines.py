@@ -36,11 +36,12 @@ class RandomAllocator:
         n_users, n_tasks = problem.n_users, problem.n_tasks
         times = problem.pair_times()
         remaining = problem.capacities.astype(float).copy()
+        eligible = problem.eligible_mask()
         matrix = np.zeros((n_users, n_tasks), dtype=bool)
         order = self._rng.permutation(n_users * n_tasks)
         for flat in order:
             user, task = divmod(int(flat), n_tasks)
-            if times[user, task] <= remaining[user] + 1e-12:
+            if eligible[user] and times[user, task] <= remaining[user] + 1e-12:
                 matrix[user, task] = True
                 remaining[user] -= times[user, task]
         return Assignment(matrix=matrix)
@@ -73,10 +74,11 @@ class ReliabilityGreedyAllocator:
             raise ValueError("reliabilities must have one entry per user")
         times = problem.pair_times()
         remaining = problem.capacities.astype(float).copy()
+        eligible = problem.eligible_mask()
         matrix = np.zeros((problem.n_users, problem.n_tasks), dtype=bool)
         # Shortest-first by each task's mean time across users.
         task_order = np.argsort(times.mean(axis=0), kind="stable")
-        user_order = np.argsort(-self._reliabilities, kind="stable")
+        user_order = [u for u in np.argsort(-self._reliabilities, kind="stable") if eligible[u]]
         progressed = True
         while progressed:
             progressed = False

@@ -46,10 +46,15 @@ class ExploringMaxQualityAllocator:
             return assignment
         budget = self._rate * problem.capacities
         times = problem.pair_times()
+        eligible = problem.eligible_mask()
         order = self._rng.permutation(problem.n_users * problem.n_tasks)
         for flat in order:
             user, task = divmod(int(flat), problem.n_tasks)
-            if not assignment.matrix[user, task] and times[user, task] <= budget[user] + 1e-12:
+            if (
+                eligible[user]
+                and not assignment.matrix[user, task]
+                and times[user, task] <= budget[user] + 1e-12
+            ):
                 assignment.matrix[user, task] = True
                 budget[user] -= times[user, task]
         return assignment

@@ -68,6 +68,7 @@ def greedy_allocate(
     p = problem.accuracy_matrix()
     times = problem.pair_times()  # (n_users, n_tasks); per-task t_j broadcast
     costs = problem.costs
+    eligible = problem.eligible_mask()
 
     if initial is None:
         assigned = np.zeros((n_users, n_tasks), dtype=bool)
@@ -94,7 +95,7 @@ def greedy_allocate(
     def best_for_task(task: int) -> "tuple[float, int]":
         if not active[task] or budget_blocked[task]:
             return (0.0, -1)
-        feasible = (~assigned[:, task]) & (times[:, task] <= remaining + 1e-12)
+        feasible = (~assigned[:, task]) & eligible & (times[:, task] <= remaining + 1e-12)
         if not np.any(feasible):
             return (0.0, -1)
         gain = p[:, task] * miss[task]

@@ -20,7 +20,7 @@ Two allocation modes mirror the paper's two problem formulations:
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -31,6 +31,7 @@ from repro.core.allocation.baselines import RandomAllocator
 from repro.core.allocation.max_quality import MaxQualityAllocator
 from repro.core.allocation.min_cost import MinCostAllocator
 from repro.core.expertise import ExpertiseMatrix
+from repro.core.robust import RobustConfig
 from repro.core.truth import estimate_truth
 from repro.core.update import ExpertiseUpdater
 from repro.perf.timers import PHASES, PhaseTimer, merge_timings
@@ -91,6 +92,15 @@ class StepResult:
     #: Wall-clock seconds per pipeline phase (``identify``/``allocate``/
     #: ``collect``/``truth``), recorded by :class:`~repro.perf.timers.PhaseTimer`.
     timings: "dict | None" = None
+    #: Users the allocators excluded this step because the reputation
+    #: tracker had them quarantined (empty without a tracker).
+    excluded_users: tuple = ()
+    #: The :class:`~repro.reliability.reputation.ReputationSummary` of this
+    #: step's scoring pass (None without a tracker).
+    reputation: "object | None" = None
+    #: Merged :class:`~repro.reliability.guards.GuardReport` of this step's
+    #: phase-boundary checks (None without guards enabled).
+    guard_report: "object | None" = None
 
     @property
     def degraded(self) -> bool:
@@ -163,6 +173,7 @@ class ETA2System:
         extra_greedy_pass: bool = True,
         exploration_rate: float = 0.0,
         clustering_metric: str = "euclidean",
+        robust: "RobustConfig | None" = None,
         seed=None,
     ):
         capacities = np.asarray(capacities, dtype=float)
@@ -200,12 +211,19 @@ class ETA2System:
         self.iteration_log: list = []
         #: Cumulative wall-clock seconds per pipeline phase across all steps.
         self.phase_totals: dict = {name: 0.0 for name in PHASES}
-        # Reliability layer (both optional; see configure_resilience /
-        # enable_checkpointing).
+        # Reliability layer (all optional; see configure_resilience /
+        # enable_checkpointing / enable_reputation / enable_guards).
         self._resilience: "dict | None" = None
         self.observer_report = None
         self.sanitizer = None
         self._checkpoint = None
+        if robust is not None and not isinstance(robust, RobustConfig):
+            raise TypeError("robust must be a RobustConfig or None")
+        self._robust = robust
+        #: Cross-day reputation tracker (None until enable_reputation()).
+        self.reputation = None
+        #: Phase-boundary invariant guard (None until enable_guards()).
+        self.guard = None
         #: Completed warm-up/daily steps (drives checkpoint numbering).
         self.completed_steps = 0
 
@@ -276,6 +294,71 @@ class ETA2System:
             clock=self._resilience["clock"],
             sleep=self._resilience["sleep"],
             report=self.observer_report,
+        )
+
+    def enable_reputation(self, config=None):
+        """Track cross-day worker reputation and quarantine misbehaviour.
+
+        From now on, every completed step folds its standardized residuals
+        into a :class:`~repro.reliability.reputation.ReputationTracker`
+        (created here; defaults to the updater's decay ``alpha``), and every
+        allocation excludes the currently quarantined users.  Returns the
+        tracker (also kept on ``system.reputation``).
+        """
+        from repro.reliability.reputation import ReputationConfig, ReputationTracker
+
+        if config is None:
+            config = ReputationConfig(alpha=self._updater.alpha)
+        self.reputation = ReputationTracker(self._n_users, config)
+        return self.reputation
+
+    def enable_guards(self, policy: str = "warn", config=None):
+        """Check phase-boundary invariants on every step.
+
+        ``policy`` is ``"warn"``, ``"raise"`` or ``"repair"`` (ignored when
+        an explicit :class:`~repro.reliability.guards.GuardConfig` is
+        given).  Returns the guard (also kept on ``system.guard``); each
+        step's merged report lands on ``StepResult.guard_report``.
+        """
+        from repro.reliability.guards import GuardConfig, InvariantGuard
+
+        self.guard = InvariantGuard(config if config is not None else GuardConfig(policy=policy))
+        return self.guard
+
+    def _eligibility(self) -> "tuple[np.ndarray | None, tuple]":
+        """Allocation eligibility mask and the users it excludes."""
+        if self.reputation is None:
+            return None, ()
+        eligible = self.reputation.eligible
+        if np.all(eligible):
+            return None, ()
+        if not np.any(eligible):
+            # The loop must keep collecting data no matter what the tracker
+            # thinks; an all-quarantined roster would otherwise deadlock it.
+            _LOG.warning(
+                "every user is quarantined; suspending eligibility filtering for this step"
+            )
+            return None, ()
+        return eligible, tuple(int(u) for u in np.flatnonzero(~eligible))
+
+    def _check_partition(self, domains: np.ndarray, new_domains) -> "object | None":
+        if self.guard is None:
+            return None
+        if self._clustering.is_fitted:
+            # Every label the clusterer emitted must be either already
+            # tracked by the updater or declared new this very step —
+            # anything else means the merge bookkeeping between the two
+            # modules has diverged.
+            known = set(self._updater.domain_ids) | set(new_domains)
+        else:
+            known = set(domains.tolist())
+        return self.guard.check_partition(domains, known)
+
+    def _record_reputation(self, observations, truths, sigmas, task_expertise):
+        if self.reputation is None:
+            return None
+        return self.reputation.record_day(
+            observations.mask, observations.values, truths, sigmas, task_expertise
         )
 
     def enable_checkpointing(self, directory, keep: int = 3):
@@ -399,9 +482,11 @@ class ETA2System:
         timer = PhaseTimer()
         with timer.phase("identify"):
             domains, merges, new_domains = self._identify_domains(tasks)
+        guard_reports = [self._check_partition(domains, new_domains)]
 
         with timer.phase("allocate"):
-            problem = self._problem(tasks, self._default_expertise_for(domains))
+            eligible, excluded = self._eligibility()
+            problem = self._problem(tasks, self._default_expertise_for(domains), eligible)
             assignment = self._random.allocate(problem)
         with timer.phase("collect"):
             observations = self._collect(assignment, observe)
@@ -410,12 +495,23 @@ class ETA2System:
             # warm-up regime (the next day retries warm-up) instead of
             # seeding expertise from nothing.
             return self._degraded_result(
-                assignment, observations, domains, merges, new_domains, problem, "warm-up", timer
+                assignment, observations, domains, merges, new_domains, problem, "warm-up", timer,
+                excluded=excluded,
             )
 
         with timer.phase("truth"):
-            result = estimate_truth(observations, domains)
+            result = estimate_truth(observations, domains, robust=self._robust)
+            if self.guard is not None:
+                truths, sigmas, truth_report = self.guard.check_truths(
+                    result.truths, result.sigmas, observed=observations.mask.any(axis=0)
+                )
+                expertise, expertise_report = self.guard.check_expertise(result.expertise)
+                guard_reports += [truth_report, expertise_report]
+                if truth_report.repaired or expertise_report.repaired:
+                    result = replace(result, truths=truths, sigmas=sigmas, expertise=expertise)
             self._updater.seed_from_batch(observations, domains, result)
+        task_expertise = result.expertise_for_tasks(domains)
+        summary = self._record_reputation(observations, result.truths, result.sigmas, task_expertise)
         self.iteration_log.append(result.iterations)
         self._warmed_up = True
         return self._after_step(
@@ -429,9 +525,12 @@ class ETA2System:
                 new_domains=new_domains,
                 mle_iterations=result.iterations,
                 allocation_cost=assignment.total_cost(problem.costs),
-                task_expertise=result.expertise_for_tasks(domains),
+                task_expertise=task_expertise,
                 converged=result.converged,
                 timings=timer.timings(),
+                excluded_users=excluded,
+                reputation=summary,
+                guard_report=self._merge_guard_reports(guard_reports),
             ),
             "warm-up",
         )
@@ -450,9 +549,11 @@ class ETA2System:
         timer = PhaseTimer()
         with timer.phase("identify"):
             domains, merges, new_domains = self._identify_domains(tasks)
+        guard_reports = [self._check_partition(domains, new_domains)]
         with timer.phase("allocate"):
             expertise = self._expertise_for(domains)
-            problem = self._problem(tasks, expertise)
+            eligible, excluded = self._eligibility()
+            problem = self._problem(tasks, expertise, eligible)
 
         if self._allocator_kind == "max-quality":
             with timer.phase("allocate"):
@@ -481,21 +582,30 @@ class ETA2System:
             # applying the decay with no fresh data would erode the learned
             # state the outage already made harder to rebuild.
             return self._degraded_result(
-                assignment, observations, domains, merges, new_domains, problem, "daily", timer
+                assignment, observations, domains, merges, new_domains, problem, "daily", timer,
+                excluded=excluded,
             )
         with timer.phase("truth"):
-            incorporate = self._updater.incorporate(observations, domains)
+            incorporate = self._updater.incorporate(observations, domains, robust=self._robust)
 
         self.iteration_log.append(incorporate.iterations)
+        truths, sigmas = incorporate.truths, incorporate.sigmas
         task_expertise = np.vstack(
             [incorporate.expertise[d] for d in domains.tolist()]
         ).T
+        if self.guard is not None:
+            truths, sigmas, truth_report = self.guard.check_truths(
+                truths, sigmas, observed=observations.mask.any(axis=0)
+            )
+            task_expertise, expertise_report = self.guard.check_expertise(task_expertise)
+            guard_reports += [truth_report, expertise_report]
+        summary = self._record_reputation(observations, truths, sigmas, task_expertise)
         return self._after_step(
             StepResult(
                 assignment=assignment,
                 observations=observations,
-                truths=incorporate.truths,
-                sigmas=incorporate.sigmas,
+                truths=truths,
+                sigmas=sigmas,
                 task_domains=domains,
                 merges=merges,
                 new_domains=new_domains,
@@ -504,6 +614,9 @@ class ETA2System:
                 task_expertise=task_expertise,
                 converged=incorporate.converged,
                 timings=timer.timings(),
+                excluded_users=excluded,
+                reputation=summary,
+                guard_report=self._merge_guard_reports(guard_reports),
             ),
             "daily",
         )
@@ -522,6 +635,7 @@ class ETA2System:
         problem,
         kind: str,
         timer: "PhaseTimer | None" = None,
+        excluded: tuple = (),
     ) -> StepResult:
         """The all-NaN outcome of a step whose collection failed entirely.
 
@@ -552,15 +666,29 @@ class ETA2System:
             task_expertise=self._expertise_for(domains),
             converged=False,
             timings=timings,
+            excluded_users=excluded,
         )
 
-    def _problem(self, tasks: Sequence[IncomingTask], expertise: np.ndarray) -> AllocationProblem:
+    def _merge_guard_reports(self, reports) -> "object | None":
+        if self.guard is None:
+            return None
+        from repro.reliability.guards import GuardReport
+
+        return GuardReport.merge(reports)
+
+    def _problem(
+        self,
+        tasks: Sequence[IncomingTask],
+        expertise: np.ndarray,
+        eligible: "np.ndarray | None" = None,
+    ) -> AllocationProblem:
         return AllocationProblem(
             expertise=expertise,
             processing_times=np.array([task.processing_time for task in tasks], dtype=float),
             capacities=self._capacities,
             epsilon=self._epsilon,
             costs=np.array([task.cost for task in tasks], dtype=float),
+            eligible=eligible,
         )
 
     def _default_expertise_for(self, domains: np.ndarray) -> np.ndarray:
@@ -606,7 +734,9 @@ class ETA2System:
         """
 
         def estimate(observations: ObservationMatrix):
-            preview = self._updater.incorporate(observations, domains, commit=False)
+            preview = self._updater.incorporate(
+                observations, domains, commit=False, robust=self._robust
+            )
             task_expertise = np.vstack(
                 [preview.expertise[d] for d in domains.tolist()]
             ).T

@@ -136,13 +136,18 @@ def system_state_to_dict(system: ETA2System) -> dict:
     and the iteration log.  Allocator settings and the embedding model are
     construction-time configuration and must be supplied again on restore.
     """
-    return {
+    state = {
         "format_version": _FORMAT_VERSION,
         "warmed_up": system.is_warmed_up,
         "iteration_log": list(system.iteration_log),
         "updater": updater_to_dict(system._updater),
         "clustering": clustering_to_dict(system._clustering),
     }
+    # Optional keys keep the format at version 1: old readers ignore them,
+    # old files simply lack them.
+    if system.reputation is not None:
+        state["reputation"] = system.reputation.state_dict()
+    return state
 
 
 def apply_system_state(system: ETA2System, state: dict) -> ETA2System:
@@ -172,6 +177,17 @@ def apply_system_state(system: ETA2System, state: dict) -> ETA2System:
     system._clustering = clustering
     system._warmed_up = warmed_up
     system.iteration_log = iteration_log
+    reputation_state = state.get("reputation")
+    if reputation_state is not None:
+        from repro.reliability.reputation import ReputationTracker
+
+        tracker = ReputationTracker.load_state(reputation_state)
+        if tracker.n_users != system.n_users:
+            raise ValueError(
+                f"reputation state has {tracker.n_users} users but the system "
+                f"was built for {system.n_users}"
+            )
+        system.reputation = tracker
     return system
 
 

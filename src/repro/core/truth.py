@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.expertise import DEFAULT_EXPERTISE, clamp_expertise, expertise_from_sums
+from repro.core.robust import RobustConfig, robust_weights, weighted_median_truths
 from repro.truthdiscovery.base import ObservationMatrix
 
 __all__ = ["TruthAnalysisResult", "estimate_truth", "update_truths_for_expertise", "SIGMA_FLOOR"]
@@ -51,6 +52,15 @@ class TruthAnalysisResult:
     domain_ids: tuple
     iterations: int
     converged: bool
+    #: Largest per-task relative truth change at the last iteration (the
+    #: quantity the convergence criterion thresholds at 5 %).  NaN when a
+    #: single iteration ran; chaos tests assert on it to tell a *slow* run
+    #: (delta just above tolerance) from a *diverging* one.
+    final_delta: float = float("nan")
+    #: True when the weighted-median fallback replaced a diverged iterate
+    #: (only possible with a :class:`~repro.core.robust.RobustConfig` whose
+    #: ``fallback`` is enabled).
+    used_fallback: bool = False
 
     def expertise_for_tasks(self, task_domains: np.ndarray) -> np.ndarray:
         """``u_{i, d_j}`` matrix for the given per-task domain-id labels."""
@@ -60,13 +70,18 @@ class TruthAnalysisResult:
 
 
 def update_truths_for_expertise(
-    observations: ObservationMatrix, task_expertise: np.ndarray
+    observations: ObservationMatrix,
+    task_expertise: np.ndarray,
+    robust: "RobustConfig | None" = None,
 ) -> "tuple[np.ndarray, np.ndarray]":
     """One Eq. 5 pass: truths and base numbers given per-task expertise.
 
     ``task_expertise`` is the ``(n_users, n_tasks)`` matrix ``u_{i, d_j}``.
     Returns ``(truths, sigmas)``; unobserved tasks get NaN truth and the
-    sigma floor.
+    sigma floor.  With a :class:`~repro.core.robust.RobustConfig`, the
+    pass is reweighted once (IRLS step): standardized residuals under the
+    plain pass's pilot estimates earn each observation a Huber or trimming
+    weight that multiplies its ``u^2`` likelihood weight.
     """
     mask = observations.mask
     weights = np.where(mask, task_expertise**2, 0.0)
@@ -84,7 +99,31 @@ def update_truths_for_expertise(
     with np.errstate(invalid="ignore", divide="ignore"):
         variance = np.where(counts > 0, weighted_square / np.maximum(counts, 1), 0.0)
     sigmas = np.maximum(np.sqrt(variance), SIGMA_FLOOR)
-    return truths, sigmas
+    if robust is None or robust.method == "none":
+        return truths, sigmas
+
+    rows, cols = np.nonzero(mask)
+    values = observations.values[rows, cols]
+    obs_expertise = task_expertise[rows, cols]
+    safe_truths = np.where(np.isnan(truths), 0.0, truths)
+    z = (values - safe_truths[cols]) * obs_expertise / sigmas[cols]
+    rw = robust_weights(z, cols, observations.n_tasks, robust)
+    combined = obs_expertise**2 * rw
+    robust_totals = np.bincount(cols, weights=combined, minlength=observations.n_tasks)
+    observed = robust_totals > 0
+    weighted_values = np.bincount(cols, weights=combined * values, minlength=observations.n_tasks)
+    robust_truths = np.where(
+        observed, weighted_values / np.where(observed, robust_totals, 1.0), truths
+    )
+    safe_truths = np.where(np.isnan(robust_truths), 0.0, robust_truths)
+    obs_residuals = values - safe_truths[cols]
+    weighted_sq = np.bincount(
+        cols, weights=combined * obs_residuals**2, minlength=observations.n_tasks
+    )
+    rw_counts = np.bincount(cols, weights=rw, minlength=observations.n_tasks)
+    variance = np.where(rw_counts > 0, weighted_sq / np.maximum(rw_counts, 1e-12), 0.0)
+    robust_sigmas = np.where(observed, np.maximum(np.sqrt(variance), SIGMA_FLOOR), sigmas)
+    return robust_truths, robust_sigmas
 
 
 class _SparseObservations:
@@ -153,6 +192,57 @@ class _SparseObservations:
         sigmas = np.maximum(np.sqrt(variance), SIGMA_FLOOR)
         return truths, sigmas
 
+    def robust_truth_pass(
+        self, expertise: np.ndarray, config: RobustConfig
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Eq. 5 with one IRLS reweighting step per outer iteration.
+
+        A plain pass produces pilot truths/sigmas; each observation's
+        standardized residual ``z = (x - mu) u / sigma`` under that pilot
+        then earns it a robustness weight (Huber or 0/1 trimming) that
+        multiplies its likelihood weight ``u^2`` in a second pass.  The
+        sigma line divides by the *robust* observation count (sum of
+        robustness weights) — the soft-count analogue of Eq. 5's plain
+        count — so down-weighted outliers stop inflating base numbers too.
+        """
+        truths, sigmas = self.truth_pass(expertise)
+        obs_expertise = expertise[self.rows, self.domain_cols]
+        weights = obs_expertise**2
+        safe_truths = np.where(np.isnan(truths), 0.0, truths)
+        z = (self.values - safe_truths[self.cols]) * obs_expertise / sigmas[self.cols]
+        rw = robust_weights(z, self.cols, self.n_tasks, config)
+        combined = weights * rw
+        weight_totals = np.bincount(self.cols, weights=combined, minlength=self.n_tasks)
+        observed = weight_totals > 0
+        weighted_values = np.bincount(
+            self.cols, weights=combined * self.values, minlength=self.n_tasks
+        )
+        # A task whose every observation got zero robust weight keeps its
+        # pilot estimate instead of collapsing to NaN.
+        robust_truths = np.where(
+            observed, weighted_values / np.where(observed, weight_totals, 1.0), truths
+        )
+        safe_truths = np.where(np.isnan(robust_truths), 0.0, robust_truths)
+        residuals = self.values - safe_truths[self.cols]
+        weighted_square = np.bincount(
+            self.cols, weights=combined * residuals**2, minlength=self.n_tasks
+        )
+        rw_counts = np.bincount(self.cols, weights=rw, minlength=self.n_tasks)
+        variance = np.where(rw_counts > 0, weighted_square / np.maximum(rw_counts, 1e-12), 0.0)
+        robust_sigmas = np.where(observed, np.maximum(np.sqrt(variance), SIGMA_FLOOR), sigmas)
+        return robust_truths, robust_sigmas
+
+    def fallback_truths(self, expertise: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Guaranteed-finite weighted-median estimate for diverged runs."""
+        return weighted_median_truths(
+            self.rows,
+            self.cols,
+            self.values,
+            expertise[self.rows, self.domain_cols],
+            self.n_tasks,
+            SIGMA_FLOOR,
+        )
+
     def expertise_pass(self, truths: np.ndarray, sigmas: np.ndarray) -> np.ndarray:
         """Eq. 6 via one scatter-sum over the observed entries."""
         safe_truths = np.where(np.isnan(truths), 0.0, truths)
@@ -178,12 +268,29 @@ def _truths_converged(new: np.ndarray, old: np.ndarray) -> bool:
     return bool(np.all(relative_ok | absolute_ok))
 
 
+def _truth_delta(new: np.ndarray, old: np.ndarray) -> float:
+    """Largest per-task relative change between consecutive iterates.
+
+    Diagnostic companion to :func:`_truths_converged` (which stays the
+    bitwise-frozen decision rule): the scale is floored at
+    ``ABSOLUTE_TOLERANCE / RELATIVE_TOLERANCE`` so near-zero truths report
+    their absolute movement on the same 5 %-comparable footing.
+    """
+    both = ~(np.isnan(new) | np.isnan(old))
+    if not np.any(both):
+        return 0.0
+    delta = np.abs(new[both] - old[both])
+    scale = np.maximum(np.abs(old[both]), ABSOLUTE_TOLERANCE / RELATIVE_TOLERANCE)
+    return float(np.max(delta / scale))
+
+
 def estimate_truth(
     observations: ObservationMatrix,
     task_domains,
     initial_expertise: "np.ndarray | None" = None,
     domain_ids: "tuple | None" = None,
     max_iterations: int = 100,
+    robust: "RobustConfig | None" = None,
 ) -> TruthAnalysisResult:
     """Run the Section 4.1 MLE over one batch of observations.
 
@@ -199,6 +306,14 @@ def estimate_truth(
     domain_ids:
         The distinct domain ids, in column order.  Defaults to the sorted
         distinct labels of ``task_domains``.
+    robust:
+        Optional :class:`~repro.core.robust.RobustConfig` enabling Huber /
+        trimmed reweighting of the Eq. 5 truth pass, iteration damping,
+        and the weighted-median divergence fallback.  ``None`` (the
+        default) is bit-identical to the plain paper MLE.  The Eq. 6
+        expertise pass deliberately stays *unweighted*: down-weighting an
+        adversary's residuals there would hand them back a high expertise
+        estimate, which is exactly the wrong direction.
     """
     task_domains = np.asarray(task_domains)
     if task_domains.shape != (observations.n_tasks,):
@@ -224,28 +339,66 @@ def estimate_truth(
 
     sparse = _SparseObservations(observations, domain_columns, n_domains)
 
+    reweight = robust is not None and robust.method != "none"
+    damping = 1.0 if robust is None else robust.damping
+
     truths = np.full(observations.n_tasks, np.nan)
     converged = False
+    final_delta = float("nan")
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        new_truths, sigmas = sparse.truth_pass(expertise)
+        if reweight:
+            new_truths, sigmas = sparse.robust_truth_pass(expertise, robust)
+        else:
+            new_truths, sigmas = sparse.truth_pass(expertise)
+        if damping < 1.0 and iterations > 1:
+            both = ~(np.isnan(new_truths) | np.isnan(truths))
+            new_truths = np.where(
+                both, damping * new_truths + (1.0 - damping) * truths, new_truths
+            )
         expertise = sparse.expertise_pass(new_truths, sigmas)
-        if iterations > 1 and _truths_converged(new_truths, truths):
-            truths = new_truths
-            converged = True
-            break
+        if iterations > 1:
+            final_delta = _truth_delta(new_truths, truths)
+            if _truths_converged(new_truths, truths):
+                truths = new_truths
+                converged = True
+                break
         truths = new_truths
 
     if not converged:
         # Surface degraded estimates instead of silently returning them:
         # an operator watching the logs can tell a bad day from a good one.
         _LOG.warning(
-            "truth analysis did not converge within %d iterations (%d tasks, %d observations)",
+            "truth analysis did not converge within %d iterations "
+            "(final relative change %.4g, %d tasks, %d observations)",
             max_iterations,
+            final_delta,
             observations.n_tasks,
             observations.observation_count,
         )
-    truths, sigmas = sparse.truth_pass(expertise)
+    if reweight:
+        truths, sigmas = sparse.robust_truth_pass(expertise, robust)
+    else:
+        truths, sigmas = sparse.truth_pass(expertise)
+
+    used_fallback = False
+    if robust is not None and robust.fallback and not converged:
+        observed = sparse.task_counts > 0
+        diverged = (
+            bool(np.any(~np.isfinite(truths[observed])))
+            or not np.isfinite(final_delta)
+            or final_delta > robust.fallback_delta
+        )
+        if diverged:
+            truths, sigmas = sparse.fallback_truths(expertise)
+            used_fallback = True
+            _LOG.warning(
+                "truth analysis diverged (relative change %.4g > %.4g); "
+                "using weighted-median fallback for %d tasks",
+                final_delta,
+                robust.fallback_delta,
+                observations.n_tasks,
+            )
     return TruthAnalysisResult(
         truths=truths,
         sigmas=sigmas,
@@ -253,4 +406,6 @@ def estimate_truth(
         domain_ids=tuple(domain_ids),
         iterations=iterations,
         converged=converged,
+        final_delta=final_delta,
+        used_fallback=used_fallback,
     )

@@ -28,7 +28,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.expertise import DEFAULT_EXPERTISE, ExpertiseMatrix, expertise_from_sums
+from repro.core.robust import RobustConfig, weighted_median_truths
 from repro.core.truth import (
+    SIGMA_FLOOR,
     TruthAnalysisResult,
     update_truths_for_expertise,
 )
@@ -56,6 +58,11 @@ class IncorporateResult:
     iterations: int
     converged: bool
     expertise: dict
+    #: Largest per-task relative truth change at the last inner iteration
+    #: (NaN when only one iteration ran).
+    final_delta: float = float("nan")
+    #: True when the weighted-median fallback replaced a diverged iterate.
+    used_fallback: bool = False
 
 
 class ExpertiseUpdater:
@@ -136,6 +143,7 @@ class ExpertiseUpdater:
         task_domains: np.ndarray,
         max_iterations: int = 100,
         commit: bool = True,
+        robust: "RobustConfig | None" = None,
     ) -> IncorporateResult:
         """Fold one time step's new observations into the expertise state.
 
@@ -148,6 +156,11 @@ class ExpertiseUpdater:
         With ``commit=False`` the running sums are left untouched — a
         *preview* used by the min-cost allocator, which re-estimates after
         every recruiting round but must only commit the day's final data.
+
+        ``robust`` enables the Huber/trimmed Eq. 5 reweighting, iteration
+        damping, and weighted-median fallback (see
+        :class:`~repro.core.robust.RobustConfig`); the Eq. 7-8 sums stay
+        unweighted so misbehaving users keep earning low expertise.
         """
         task_domains = np.asarray(task_domains)
         if task_domains.shape != (observations.n_tasks,):
@@ -163,35 +176,68 @@ class ExpertiseUpdater:
         base_n = {d: self._alpha * self._numerators[d] for d in distinct}
         base_d = {d: self._alpha * self._denominators[d] for d in distinct}
 
+        damping = 1.0 if robust is None else robust.damping
+
         expertise = {d: self.expertise_column(d) for d in distinct}
         truths = np.full(observations.n_tasks, np.nan)
         sigmas = np.full(observations.n_tasks, np.nan)
         converged = False
+        final_delta = float("nan")
         iterations = 0
         new_n: dict = {}
         new_d: dict = {}
         for iterations in range(1, max_iterations + 1):
             task_expertise = np.vstack([expertise[d] for d in task_domains.tolist()]).T
-            new_truths, sigmas = update_truths_for_expertise(observations, task_expertise)
+            new_truths, sigmas = update_truths_for_expertise(
+                observations, task_expertise, robust=robust
+            )
+            if damping < 1.0 and iterations > 1:
+                both = ~(np.isnan(new_truths) | np.isnan(truths))
+                new_truths = np.where(
+                    both, damping * new_truths + (1.0 - damping) * truths, new_truths
+                )
             fresh_n, fresh_d = self._batch_sums(observations, task_domains, new_truths, sigmas)
             new_n = {d: base_n[d] + fresh_n.get(d, 0.0) for d in distinct}
             new_d = {d: base_d[d] + fresh_d.get(d, 0.0) for d in distinct}
             expertise = {
                 d: self._column_from_sums(new_n[d], new_d[d]) for d in distinct
             }
-            if iterations > 1 and self._truths_converged(new_truths, truths):
-                truths = new_truths
-                converged = True
-                break
+            if iterations > 1:
+                final_delta = self._truth_delta(new_truths, truths)
+                if self._truths_converged(new_truths, truths):
+                    truths = new_truths
+                    converged = True
+                    break
             truths = new_truths
+
+        used_fallback = False
+        if robust is not None and robust.fallback and not converged:
+            observed = observations.mask.any(axis=0)
+            diverged = (
+                bool(np.any(~np.isfinite(truths[observed])))
+                or not np.isfinite(final_delta)
+                or final_delta > robust.fallback_delta
+            )
+            if diverged:
+                truths, sigmas = self._fallback_truths(observations, task_domains, expertise)
+                fresh_n, fresh_d = self._batch_sums(observations, task_domains, truths, sigmas)
+                new_n = {d: base_n[d] + fresh_n.get(d, 0.0) for d in distinct}
+                new_d = {d: base_d[d] + fresh_d.get(d, 0.0) for d in distinct}
+                expertise = {
+                    d: self._column_from_sums(new_n[d], new_d[d]) for d in distinct
+                }
+                used_fallback = True
 
         if not converged and commit:
             _LOG.warning(
                 "expertise update did not converge within %d iterations "
-                "(%d tasks, %d observations); committing the last iterate",
+                "(final relative change %.4g, %d tasks, %d observations); "
+                "committing the %s",
                 max_iterations,
+                final_delta,
                 observations.n_tasks,
                 observations.observation_count,
+                "weighted-median fallback" if used_fallback else "last iterate",
             )
         if commit:
             for domain_id in distinct:
@@ -203,6 +249,8 @@ class ExpertiseUpdater:
             iterations=iterations,
             converged=converged,
             expertise={d: expertise[d].copy() for d in distinct},
+            final_delta=final_delta,
+            used_fallback=used_fallback,
         )
 
     @staticmethod
@@ -227,6 +275,36 @@ class ExpertiseUpdater:
             fresh_n[domain_id] = mask[:, tasks].sum(axis=1).astype(float)
             fresh_d[domain_id] = normalised_sq[:, tasks].sum(axis=1)
         return fresh_n, fresh_d
+
+    def _fallback_truths(
+        self,
+        observations: ObservationMatrix,
+        task_domains: np.ndarray,
+        expertise: dict,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Guaranteed-finite weighted-median truths for a diverged update."""
+        task_expertise = np.vstack(
+            [expertise[d] for d in np.asarray(task_domains).tolist()]
+        ).T
+        rows, cols = np.nonzero(observations.mask)
+        return weighted_median_truths(
+            rows,
+            cols,
+            observations.values[rows, cols],
+            task_expertise[rows, cols],
+            observations.n_tasks,
+            SIGMA_FLOOR,
+        )
+
+    @staticmethod
+    def _truth_delta(new: np.ndarray, old: np.ndarray) -> float:
+        """Largest per-task relative change (scale floored for near-zero)."""
+        both = ~(np.isnan(new) | np.isnan(old))
+        if not np.any(both):
+            return 0.0
+        delta = np.abs(new[both] - old[both])
+        scale = np.maximum(np.abs(old[both]), ABSOLUTE_TOLERANCE / RELATIVE_TOLERANCE)
+        return float(np.max(delta / scale))
 
     @staticmethod
     def _truths_converged(new: np.ndarray, old: np.ndarray) -> bool:

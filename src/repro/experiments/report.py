@@ -52,9 +52,16 @@ REPORT_SECTIONS = {
         replications=cfg.replications, seed=cfg.seed
     ).render(),
     "ext-adversarial": lambda cfg: adversarial_robustness(cfg).render(),
+    "ext-reputation": lambda cfg: _reputation_section(cfg),
     "ext-spatial": lambda cfg: _spatial_section(cfg),
     "ext-incentives": lambda cfg: _incentive_section(cfg),
 }
+
+
+def _reputation_section(config: ExperimentConfig) -> str:
+    from repro.experiments.reputation import reputation_defense
+
+    return reputation_defense(config).render()
 
 
 def _incentive_section(config: ExperimentConfig) -> str:

@@ -21,6 +21,13 @@ makes every one of those failures survivable:
   crashes) so every recovery path is exercised from a seeded RNG.
 - :mod:`repro.reliability.chaos` — :class:`ChaosWorld`, a fault-injecting
   wrapper around the simulation world.
+- :mod:`repro.reliability.reputation` — :class:`ReputationTracker`, decayed
+  cross-day residual scoring with quarantine / probation / reinstatement,
+  so misbehaviour that is individually plausible every day is still caught
+  over time.
+- :mod:`repro.reliability.guards` — :class:`InvariantGuard`, phase-boundary
+  invariant checks (finite truths, positive sigmas, bounded expertise,
+  valid partitions) with warn / raise / repair policies.
 """
 
 from repro.reliability.chaos import ChaosWorld
@@ -41,6 +48,19 @@ from repro.reliability.observer import (
     ResilientObserver,
     RetryPolicy,
 )
+from repro.reliability.guards import (
+    GuardConfig,
+    GuardReport,
+    GuardViolation,
+    InvariantGuard,
+    InvariantViolationError,
+)
+from repro.reliability.reputation import (
+    ReputationConfig,
+    ReputationScores,
+    ReputationSummary,
+    ReputationTracker,
+)
 from repro.reliability.sanitize import ObservationSanitizer, SanitizeReport
 
 __all__ = [
@@ -53,8 +73,17 @@ __all__ = [
     "FaultProfile",
     "FaultTimeout",
     "FaultyObserver",
+    "GuardConfig",
+    "GuardReport",
+    "GuardViolation",
+    "InvariantGuard",
+    "InvariantViolationError",
     "ObservationSanitizer",
     "ObserverReport",
+    "ReputationConfig",
+    "ReputationScores",
+    "ReputationSummary",
+    "ReputationTracker",
     "ResilientObserver",
     "RetryPolicy",
     "SanitizeReport",

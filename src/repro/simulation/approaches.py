@@ -36,6 +36,15 @@ class DayOutcome:
     allocation_cost: float
     #: Per-phase wall-clock seconds (ETA2 approaches only; None otherwise).
     timings: "dict | None" = None
+    #: Users excluded from allocation because the reputation tracker had
+    #: them quarantined (ETA2 approaches with reputation enabled only).
+    excluded_users: tuple = ()
+    #: The day's :class:`~repro.reliability.reputation.ReputationSummary`
+    #: (None unless reputation tracking is on).
+    reputation: "object | None" = None
+    #: The day's merged :class:`~repro.reliability.guards.GuardReport`
+    #: (None unless guards are on).
+    guard_report: "object | None" = None
 
 
 class Approach(abc.ABC):
@@ -88,6 +97,9 @@ class ETA2Approach(Approach):
         checkpoint_dir=None,
         checkpoint_keep: int = 3,
         resume: bool = False,
+        robust=None,
+        reputation: "bool | object" = False,
+        guards: "str | None" = None,
     ):
         if resume and checkpoint_dir is None:
             raise ValueError("resume=True requires a checkpoint_dir")
@@ -111,6 +123,12 @@ class ETA2Approach(Approach):
         self._checkpoint_dir = checkpoint_dir
         self._checkpoint_keep = checkpoint_keep
         self._resume = resume
+        #: Byzantine hardening (all optional): a RobustConfig for the MLE,
+        #: reputation tracking (True for defaults or a ReputationConfig),
+        #: and an invariant-guard policy ("warn"/"raise"/"repair").
+        self._robust = robust
+        self._reputation = reputation
+        self._guards = guards
         self._system: "ETA2System | None" = None
         self._labels: list = []
 
@@ -133,8 +151,15 @@ class ETA2Approach(Approach):
             min_cost_confidence=self._confidence,
             extra_greedy_pass=self._extra_pass,
             exploration_rate=self._exploration_rate,
+            robust=self._robust,
             seed=seed,
         )
+        if self._reputation:
+            self._system.enable_reputation(
+                None if self._reputation is True else self._reputation
+            )
+        if self._guards is not None:
+            self._system.enable_guards(policy=self._guards)
         if self._checkpoint_dir is not None:
             self._system.enable_checkpointing(self._checkpoint_dir, keep=self._checkpoint_keep)
             if self._resume:
@@ -175,6 +200,9 @@ class ETA2Approach(Approach):
             truths=result.truths,
             allocation_cost=result.allocation_cost,
             timings=result.timings,
+            excluded_users=result.excluded_users,
+            reputation=result.reputation,
+            guard_report=result.guard_report,
         )
 
     def expertise_snapshot(self) -> dict:

@@ -108,6 +108,12 @@ class DayRecord:
     #: Per-phase wall-clock seconds from the approach's pipeline (ETA2
     #: approaches only; None for the baselines).
     timings: "dict | None" = None
+    #: Users the allocators excluded this day under reputation quarantine.
+    excluded_users: tuple = ()
+    #: The day's reputation summary / merged guard report (None when the
+    #: respective subsystem is off or the approach does not support it).
+    reputation: "object | None" = None
+    guard_report: "object | None" = None
 
     @property
     def observed_task_fraction(self) -> float:
@@ -139,6 +145,15 @@ class SimulationResult:
     fault_counts: "dict | None" = None
     #: Sanitizer quarantine counters; None on fault-free runs.
     sanitize_report: "object | None" = None
+    #: Users under quarantine when the run ended (reputation-enabled ETA2
+    #: approaches only; empty otherwise).
+    final_quarantined: tuple = ()
+    #: Users on probation (served quarantine, under observation) at the end.
+    final_probation: tuple = ()
+    #: Users quarantined at *any* point during the run — the cumulative
+    #: detection record.  Quarantine/probation cycling means the final-day
+    #: quarantine set under-reports detections near the horizon.
+    ever_quarantined: tuple = ()
 
     @property
     def mean_estimation_error(self) -> float:
@@ -296,6 +311,9 @@ def run_simulation(
                 observations=outcome.observations,
                 truths=np.asarray(outcome.truths, dtype=float),
                 timings=outcome.timings,
+                excluded_users=outcome.excluded_users,
+                reputation=outcome.reputation,
+                guard_report=outcome.guard_report,
             )
         )
 
@@ -316,6 +334,21 @@ def run_simulation(
         observer_report=None if resilience is None else resilience["report"],
         fault_counts=None if chaos is None else chaos.fault_counts,
         sanitize_report=None if resilience is None else resilience["sanitizer"].report,
+        final_quarantined=(
+            day_records[-1].reputation.quarantined
+            if day_records and day_records[-1].reputation is not None
+            else ()
+        ),
+        final_probation=(
+            day_records[-1].reputation.probation
+            if day_records and day_records[-1].reputation is not None
+            else ()
+        ),
+        ever_quarantined=(
+            day_records[-1].reputation.ever_quarantined
+            if day_records and day_records[-1].reputation is not None
+            else ()
+        ),
     )
 
 

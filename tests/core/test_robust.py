@@ -1,0 +1,198 @@
+"""Tests for the robust truth-analysis variants (Huber/trimmed/fallback)."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.robust import (
+    RobustConfig,
+    huber_weights,
+    robust_weights,
+    trimmed_weights,
+    weighted_median,
+    weighted_median_truths,
+)
+from repro.core.truth import SIGMA_FLOOR, estimate_truth
+from repro.truthdiscovery.base import ObservationMatrix
+
+
+def _synthetic_batch(seed=0, n_users=40, n_tasks=80, n_domains=4, density=0.4):
+    rng = np.random.default_rng(seed)
+    expertise = rng.uniform(0.3, 3.0, (n_users, n_domains))
+    domains = rng.integers(0, n_domains, n_tasks)
+    truths = rng.uniform(0.0, 20.0, n_tasks)
+    sigmas = rng.uniform(0.5, 5.0, n_tasks)
+    mask = rng.random((n_users, n_tasks)) < density
+    noise = rng.standard_normal((n_users, n_tasks))
+    values = truths[None, :] + noise * sigmas[None, :] / expertise[:, domains]
+    obs = ObservationMatrix(values=np.where(mask, values, 0.0), mask=mask)
+    return obs, domains, truths, sigmas
+
+
+def _contaminate(obs, truths, sigmas, seed=11, fraction=0.15, offset=8.0):
+    """Corrupt a random ``fraction`` of *observations* with +offset-sigma junk.
+
+    Scattered corruption is the regime the per-observation reweighting is
+    for: whole-user contamination is largely absorbed by the expertise
+    estimate itself (the bad user just looks terrible), but occasional
+    gross outliers from otherwise-credible users keep their high weight
+    under the plain MLE.
+    """
+    rng = np.random.default_rng(seed)
+    corrupt = obs.mask & (rng.random(obs.mask.shape) < fraction)
+    values = np.where(corrupt, truths[None, :] + offset * sigmas[None, :], obs.values)
+    return ObservationMatrix(values=values, mask=obs.mask.copy())
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"method": "mean"},
+            {"huber_delta": 0.0},
+            {"trim_fraction": 1.0},
+            {"trim_fraction": -0.1},
+            {"min_observations": 2},
+            {"damping": 0.0},
+            {"damping": 1.5},
+            {"fallback_delta": 0.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            RobustConfig(**overrides)
+
+
+class TestWeights:
+    def test_huber_weights(self):
+        z = np.array([0.0, 1.0, 2.5, 5.0, -5.0])
+        weights = huber_weights(z, delta=2.5)
+        np.testing.assert_allclose(weights, [1.0, 1.0, 1.0, 0.5, 0.5])
+
+    def test_huber_infinite_residual_gets_zero_weight(self):
+        assert huber_weights(np.array([np.inf]), delta=2.5)[0] == 0.0
+
+    def test_trimmed_drops_largest_residuals_per_task(self):
+        z = np.array([0.1, 0.2, 0.3, 5.0, 6.0, 0.15])
+        task_of = np.zeros(6, dtype=int)
+        weights = trimmed_weights(z, task_of, n_tasks=1, trim_fraction=0.2, min_observations=4)
+        # ceil(0.2 * 6) = 2 dropped: the two largest |z|.
+        np.testing.assert_array_equal(weights, [1.0, 1.0, 1.0, 0.0, 0.0, 1.0])
+
+    def test_trimmed_leaves_small_tasks_alone(self):
+        z = np.array([0.1, 0.2, 50.0])
+        weights = trimmed_weights(
+            z, np.zeros(3, dtype=int), n_tasks=1, trim_fraction=0.3, min_observations=4
+        )
+        np.testing.assert_array_equal(weights, np.ones(3))
+
+    def test_trimmed_never_drops_below_two_observations(self):
+        z = np.array([0.1, 0.2, 0.3, 50.0])
+        weights = trimmed_weights(
+            z, np.zeros(4, dtype=int), n_tasks=1, trim_fraction=0.9, min_observations=4
+        )
+        assert weights.sum() == 2.0  # drop capped at count - 2
+
+    def test_robust_weights_dispatch(self):
+        z = np.array([0.0, 10.0])
+        task_of = np.zeros(2, dtype=int)
+        none = robust_weights(z, task_of, 1, RobustConfig(method="none"))
+        np.testing.assert_array_equal(none, np.ones(2))
+        huber = robust_weights(z, task_of, 1, RobustConfig(method="huber"))
+        assert huber[1] < 1.0
+
+
+class TestWeightedMedian:
+    def test_plain_median_with_equal_weights(self):
+        assert weighted_median(np.array([3.0, 1.0, 2.0]), np.ones(3)) == 2.0
+
+    def test_lower_median_on_even_split(self):
+        assert weighted_median(np.array([1.0, 2.0]), np.ones(2)) == 1.0
+
+    def test_weight_dominance(self):
+        assert weighted_median(np.array([1.0, 2.0, 3.0]), np.array([0.0, 0.0, 5.0])) == 3.0
+
+    def test_zero_total_weight_falls_back_to_median(self):
+        assert weighted_median(np.array([1.0, 2.0, 3.0]), np.zeros(3)) == 2.0
+
+    def test_empty_sample_is_nan(self):
+        assert np.isnan(weighted_median(np.array([]), np.array([])))
+
+    def test_weighted_median_truths_coordinate_form(self):
+        rows = np.array([0, 1, 2])
+        cols = np.array([0, 0, 0])
+        values = np.array([1.0, 2.0, 3.0])
+        expertise = np.array([np.sqrt(3.0), 1.0, 1.0])  # weights 3 : 1 : 1
+        truths, sigmas = weighted_median_truths(
+            rows, cols, values, expertise, n_tasks=2, sigma_floor=SIGMA_FLOOR
+        )
+        assert truths[0] == 1.0
+        assert sigmas[0] == SIGMA_FLOOR  # weighted MAD is 0 here -> floored
+        assert np.isnan(truths[1]) and sigmas[1] == SIGMA_FLOOR
+
+
+class TestEstimateTruthRobust:
+    def test_method_none_bit_identical_to_plain(self):
+        obs, domains, _, _ = _synthetic_batch(seed=1)
+        plain = estimate_truth(obs, domains)
+        none = estimate_truth(
+            obs, domains, robust=RobustConfig(method="none", damping=1.0, fallback=False)
+        )
+        np.testing.assert_array_equal(plain.truths, none.truths)
+        np.testing.assert_array_equal(plain.sigmas, none.sigmas)
+        np.testing.assert_array_equal(plain.expertise, none.expertise)
+        assert plain.iterations == none.iterations
+
+    @pytest.mark.parametrize("method", ["huber", "trimmed"])
+    def test_robust_beats_plain_under_contamination(self, method):
+        obs, domains, truths, sigmas = _synthetic_batch(seed=11, density=0.5)
+        dirty = _contaminate(obs, truths, sigmas)
+        plain = estimate_truth(dirty, domains)
+        robust = estimate_truth(dirty, domains, robust=RobustConfig(method=method))
+        plain_error = np.nanmean(np.abs(plain.truths - truths) / sigmas)
+        robust_error = np.nanmean(np.abs(robust.truths - truths) / sigmas)
+        assert robust_error < plain_error
+
+    def test_damped_iteration_still_converges(self):
+        obs, domains, _, _ = _synthetic_batch(seed=3)
+        result = estimate_truth(
+            obs, domains, robust=RobustConfig(method="none", damping=0.5)
+        )
+        assert result.converged
+        observed = ~np.isnan(result.truths)
+        assert np.all(np.isfinite(result.truths[observed]))
+
+    def test_fallback_replaces_non_converged_estimate(self):
+        obs, domains, _, _ = _synthetic_batch(seed=4)
+        result = estimate_truth(
+            obs,
+            domains,
+            max_iterations=1,
+            robust=RobustConfig(method="none", fallback=True),
+        )
+        assert not result.converged
+        assert result.used_fallback
+        observed = obs.mask.any(axis=0)
+        assert np.all(np.isfinite(result.truths[observed]))
+        assert np.all(result.sigmas > 0)
+
+    def test_no_fallback_when_disabled(self):
+        obs, domains, _, _ = _synthetic_batch(seed=5)
+        result = estimate_truth(
+            obs,
+            domains,
+            max_iterations=1,
+            robust=RobustConfig(method="none", fallback=False),
+        )
+        assert not result.used_fallback
+
+    def test_non_convergence_warning_reports_delta_and_iterations(self, caplog):
+        obs, domains, _, _ = _synthetic_batch(seed=6)
+        with caplog.at_level(logging.WARNING, logger="repro.core.truth"):
+            result = estimate_truth(obs, domains, max_iterations=2)
+        assert not result.converged
+        assert result.iterations == 2
+        assert np.isfinite(result.final_delta)
+        assert "did not converge within 2 iterations" in caplog.text
+        assert "final relative change" in caplog.text

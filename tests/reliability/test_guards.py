@@ -1,0 +1,167 @@
+"""Tests for the phase-boundary invariant guards."""
+
+import numpy as np
+import pytest
+
+from repro.core.expertise import DEFAULT_EXPERTISE, MAX_EXPERTISE, MIN_EXPERTISE
+from repro.reliability.guards import (
+    GuardConfig,
+    GuardReport,
+    GuardViolation,
+    InvariantGuard,
+    InvariantViolationError,
+)
+
+
+def _guard(policy="warn", **overrides):
+    return InvariantGuard(GuardConfig(policy=policy, **overrides))
+
+
+class TestConfigValidation:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(policy="panic")
+
+    def test_bad_sigma_floor_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(sigma_floor=0.0)
+
+    def test_bad_expertise_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(min_expertise=2.0, max_expertise=1.0)
+        with pytest.raises(ValueError):
+            GuardConfig(min_expertise=0.0)
+
+
+class TestCheckTruths:
+    def test_clean_data_passes_untouched(self):
+        truths = np.array([1.0, 2.0, np.nan])  # NaN = legitimate missing
+        sigmas = np.array([0.5, 1.0, 1.0])
+        out_truths, out_sigmas, report = _guard().check_truths(truths, sigmas)
+        assert report.ok
+        np.testing.assert_array_equal(out_truths, truths)
+        np.testing.assert_array_equal(out_sigmas, sigmas)
+
+    def test_nan_truth_at_observed_task_is_violation(self):
+        truths = np.array([1.0, np.nan])
+        sigmas = np.ones(2)
+        observed = np.array([True, True])
+        _, _, report = _guard().check_truths(truths, sigmas, observed=observed)
+        assert not report.ok
+        assert report.violations[0].check == "finite_truths"
+        assert report.violations[0].count == 1
+
+    def test_nan_truth_at_unobserved_task_is_fine(self):
+        truths = np.array([1.0, np.nan])
+        observed = np.array([True, False])
+        _, _, report = _guard().check_truths(truths, np.ones(2), observed=observed)
+        assert report.ok
+
+    def test_infinite_truth_always_violates(self):
+        _, _, report = _guard().check_truths(np.array([np.inf]), np.ones(1))
+        assert not report.ok
+
+    def test_bad_sigma_is_violation(self):
+        _, _, report = _guard().check_truths(np.ones(3), np.array([1.0, 0.0, np.nan]))
+        assert report.violations[0].check == "positive_sigmas"
+        assert report.violations[0].count == 2
+
+    def test_warn_policy_passes_data_through(self):
+        truths = np.array([np.inf])
+        sigmas = np.array([-1.0])
+        out_truths, out_sigmas, report = _guard("warn").check_truths(truths, sigmas)
+        assert np.isinf(out_truths[0]) and out_sigmas[0] == -1.0
+        assert not report.repaired
+
+    def test_raise_policy_raises(self):
+        with pytest.raises(InvariantViolationError, match="positive_sigmas"):
+            _guard("raise").check_truths(np.ones(1), np.zeros(1))
+
+    def test_repair_policy_fixes_values(self):
+        truths = np.array([np.inf, 2.0])
+        sigmas = np.array([1.0, -3.0])
+        out_truths, out_sigmas, report = _guard("repair").check_truths(truths, sigmas)
+        assert np.isnan(out_truths[0])  # demoted to missing, not invented
+        assert out_truths[1] == 2.0
+        assert out_sigmas[1] == GuardConfig().sigma_floor
+        assert report.repaired and not report.ok
+        assert np.isinf(truths[0])  # caller's arrays untouched
+
+
+class TestCheckExpertise:
+    def test_clean_expertise_ok(self):
+        expertise = np.array([[1.0, 2.0], [MIN_EXPERTISE, MAX_EXPERTISE]])
+        out, report = _guard().check_expertise(expertise)
+        assert report.ok
+        np.testing.assert_array_equal(out, expertise)
+
+    def test_non_finite_expertise_violates(self):
+        _, report = _guard().check_expertise(np.array([np.nan, 1.0]))
+        assert report.violations[0].check == "finite_expertise"
+
+    def test_out_of_range_expertise_violates(self):
+        _, report = _guard().check_expertise(np.array([MAX_EXPERTISE * 2.0]))
+        assert report.violations[0].check == "bounded_expertise"
+
+    def test_raise_policy_raises(self):
+        with pytest.raises(InvariantViolationError, match="finite_expertise"):
+            _guard("raise").check_expertise(np.array([np.inf]))
+
+    def test_repair_policy_clamps_and_defaults(self):
+        expertise = np.array([np.nan, MAX_EXPERTISE * 2.0, 1.5])
+        out, report = _guard("repair").check_expertise(expertise)
+        assert out[0] == DEFAULT_EXPERTISE
+        assert out[1] == MAX_EXPERTISE
+        assert out[2] == 1.5
+        assert report.repaired
+
+
+class TestCheckPartition:
+    def test_valid_partition_ok(self):
+        report = _guard().check_partition(np.array([0, 1, 0]), known_domains=(0, 1))
+        assert report.ok
+
+    def test_unknown_label_violates(self):
+        report = _guard().check_partition(np.array([0, 7, 7]), known_domains=(0, 1))
+        assert report.violations[0].check == "valid_partition"
+        assert report.violations[0].count == 2
+
+    def test_raise_policy_raises(self):
+        with pytest.raises(InvariantViolationError):
+            _guard("raise").check_partition(np.array([9]), known_domains=(0,))
+
+    def test_repair_degrades_to_warn(self):
+        # Inventing a domain label would silently misroute expertise, so
+        # repair must not claim to have fixed anything.
+        report = _guard("repair").check_partition(np.array([9]), known_domains=(0,))
+        assert not report.ok
+        assert not report.repaired
+
+    def test_wrong_shape_violates(self):
+        report = _guard().check_partition(np.zeros((2, 2), dtype=int), known_domains=(0,))
+        assert not report.ok
+
+
+class TestGuardReport:
+    def test_ok_and_count(self):
+        violation = GuardViolation(check="c", phase="p", count=3, detail="d")
+        report = GuardReport(violations=(violation, violation))
+        assert not report.ok
+        assert report.violation_count == 6
+        assert GuardReport().ok
+
+    def test_to_dict(self):
+        violation = GuardViolation(check="c", phase="p", count=1, detail="d")
+        d = GuardReport(violations=(violation,), repaired=True).to_dict()
+        assert d["repaired"] is True
+        assert d["violations"][0]["check"] == "c"
+
+    def test_merge_combines_and_skips_none(self):
+        v1 = GuardViolation(check="a", phase="p", count=1, detail="")
+        v2 = GuardViolation(check="b", phase="q", count=2, detail="")
+        merged = GuardReport.merge(
+            [GuardReport((v1,)), None, GuardReport((v2,), repaired=True)]
+        )
+        assert merged.violations == (v1, v2)
+        assert merged.repaired
+        assert GuardReport.merge([]).ok

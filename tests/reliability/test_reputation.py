@@ -1,0 +1,352 @@
+"""Tests for the cross-day reputation tracker and quarantine state machine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.reliability.reputation import (
+    ACTIVE,
+    PROBATION,
+    QUARANTINED,
+    ReputationConfig,
+    ReputationSummary,
+    ReputationTracker,
+)
+
+#: Honest filler rows: small, mutually distinct residuals on every task.
+HONEST_A = [0.10, -0.20, 0.05, -0.12]
+HONEST_B = [0.15, 0.12, -0.07, 0.21]
+
+
+def _config(**overrides):
+    """A config tuned for tiny hand-built days: evaluate from 2 obs, no grace."""
+    defaults = dict(alpha=1.0, min_observations=2.0, grace_days=0)
+    defaults.update(overrides)
+    return ReputationConfig(**defaults)
+
+
+def _day(tracker, values, sigmas=None):
+    """Record one day where truths are 0 and expertise is 1, so the entries
+    of ``values`` *are* the residuals (NaN = no observation)."""
+    values = np.asarray(values, dtype=float)
+    mask = np.isfinite(values)
+    n_users, n_tasks = values.shape
+    return tracker.record_day(
+        mask=mask,
+        values=np.where(mask, values, 0.0),
+        truths=np.zeros(n_tasks),
+        sigmas=np.ones(n_tasks) if sigmas is None else np.asarray(sigmas, dtype=float),
+        task_expertise=np.ones((n_users, n_tasks)),
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"alpha": -0.1},
+            {"alpha": 1.1},
+            {"bias_threshold": 0.0},
+            {"variance_threshold": -1.0},
+            {"consistency_threshold": 0.0},
+            {"min_deviation": -0.5},
+            {"min_observations": 1.0},
+            {"duplicate_tolerance": 0.0},
+            {"duplicate_threshold": 0.0},
+            {"duplicate_threshold": 1.5},
+            {"grace_days": -1},
+            {"probation_days": 0},
+            {"reinstate_days": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            ReputationConfig(**overrides)
+
+    def test_defaults_valid(self):
+        config = ReputationConfig()
+        assert config.alpha == 0.5
+        assert config.grace_days == 1
+
+    def test_tracker_requires_positive_users(self):
+        with pytest.raises(ValueError):
+            ReputationTracker(0)
+
+
+class TestScores:
+    def test_score_formulas_match_hand_computation(self):
+        tracker = ReputationTracker(2, _config())
+        residuals = np.array([0.5, -1.0, 1.5, 0.25])
+        _day(tracker, np.vstack([residuals, HONEST_B]))
+        scores = tracker.scores()
+
+        assert scores.counts[0] == 4
+        mean_z = residuals.mean()
+        var_z = residuals.var()
+        assert scores.bias_t[0] == pytest.approx(abs(mean_z) * 2.0 / np.sqrt(var_z))
+        assert scores.variance[0] == pytest.approx((residuals**2).mean())
+        mean_abs = np.abs(residuals).mean()
+        assert scores.mean_abs_residual[0] == pytest.approx(mean_abs)
+        assert scores.consistency[0] == pytest.approx(
+            mean_abs**2 / np.abs(residuals).var()
+        )
+        assert scores.duplication[0] == 0.0
+
+    def test_scores_nan_below_min_observations(self):
+        tracker = ReputationTracker(2, _config(min_observations=3.0))
+        _day(tracker, [[1.0, 2.0, np.nan, np.nan], HONEST_B])
+        scores = tracker.scores()
+        assert np.isnan(scores.bias_t[0])  # only 2 observations
+        assert np.isfinite(scores.bias_t[1])
+
+    def test_user_below_min_observations_never_flagged(self):
+        tracker = ReputationTracker(2, _config(min_observations=10.0))
+        summary = _day(tracker, [[9.0, -9.0, 9.0, -9.0], HONEST_B])
+        assert summary.newly_quarantined == ()
+
+    def test_nan_truth_tasks_contribute_nothing(self):
+        tracker = ReputationTracker(1, _config())
+        mask = np.array([[True, True]])
+        tracker.record_day(
+            mask=mask,
+            values=np.array([[5.0, 5.0]]),
+            truths=np.array([0.0, np.nan]),
+            sigmas=np.ones(2),
+            task_expertise=np.ones((1, 2)),
+        )
+        assert tracker.scores().counts[0] == 1
+
+    def test_mask_shape_validated(self):
+        tracker = ReputationTracker(3, _config())
+        with pytest.raises(ValueError):
+            tracker.record_day(
+                mask=np.ones((2, 4), dtype=bool),
+                values=np.zeros((2, 4)),
+                truths=np.zeros(4),
+                sigmas=np.ones(4),
+                task_expertise=np.ones((2, 4)),
+            )
+
+
+class TestFlagPaths:
+    """Each detector fires alone on data built to trip only that score."""
+
+    def test_bias_flag(self):
+        # mean z = 1.1, std z = 0.1 -> t = 22; variance 1.22; |r| gate fails.
+        tracker = ReputationTracker(3, _config())
+        summary = _day(tracker, [[1.0, 1.2, 1.0, 1.2], HONEST_A, HONEST_B])
+        assert summary.newly_quarantined == (0,)
+
+    def test_variance_flag(self):
+        # mean z = 0 (no bias), mean z^2 = 10.25 > 4; var(|r|) = 4 so the
+        # consistency score stays at 1.56 < 3.
+        tracker = ReputationTracker(3, _config())
+        summary = _day(tracker, [[0.5, -0.5, 4.5, -4.5], HONEST_A, HONEST_B])
+        assert summary.newly_quarantined == (0,)
+
+    def test_consistency_flag(self):
+        # |r| constant at 1.9: variance floor makes consistency explode while
+        # mean z = 0 and mean z^2 = 3.61 < 4 keep the other scores quiet.
+        tracker = ReputationTracker(3, _config())
+        summary = _day(tracker, [[1.9, -1.9, 1.9, -1.9], HONEST_A, HONEST_B])
+        assert summary.newly_quarantined == (0,)
+
+    def test_consistency_gated_by_min_deviation(self):
+        # Same shape but inside the deviation gate: an *accurate* consistent
+        # worker (an expert) must not be flagged.
+        tracker = ReputationTracker(3, _config())
+        summary = _day(tracker, [[0.9, -0.9, 0.9, -0.9], HONEST_A, HONEST_B])
+        assert summary.newly_quarantined == ()
+
+    def test_duplication_flag(self):
+        # Two users report bit-identical, individually plausible values.
+        copied = [0.3, -0.4, 0.2, -0.1]
+        tracker = ReputationTracker(3, _config())
+        summary = _day(tracker, [copied, list(copied), HONEST_B])
+        assert summary.newly_quarantined == (0, 1)
+        scores = tracker.scores()
+        assert scores.duplication[0] == 1.0
+        assert scores.duplication[2] == 0.0
+
+    def test_honest_users_not_flagged(self):
+        tracker = ReputationTracker(2, _config())
+        summary = _day(tracker, [HONEST_A, HONEST_B])
+        assert summary.newly_quarantined == ()
+        assert tracker.quarantined_users == ()
+
+
+class TestGraceWindow:
+    def test_residual_flags_suppressed_during_grace(self):
+        tracker = ReputationTracker(3, _config(grace_days=1))
+        biased = [3.0, 3.0, 3.0, 3.0]
+        summary = _day(tracker, [biased, HONEST_A, HONEST_B])
+        assert summary.newly_quarantined == ()  # day 1 is grace
+        summary = _day(tracker, [biased, HONEST_A, HONEST_B])
+        assert 0 in summary.newly_quarantined  # day 2 is not
+
+    def test_duplication_exempt_from_grace(self):
+        copied = [0.3, -0.4, 0.2, -0.1]
+        tracker = ReputationTracker(3, _config(grace_days=1))
+        summary = _day(tracker, [copied, list(copied), HONEST_B])
+        assert summary.newly_quarantined == (0, 1)
+
+
+class TestDuplicateDetection:
+    def test_tolerance_scales_with_sigma(self):
+        # Same 0.01 gap: a duplicate at sigma=10 (tolerance 0.02) but not at
+        # sigma=1 (tolerance 0.002).
+        tracker = ReputationTracker(2, _config())
+        _day(
+            tracker,
+            [[5.00, 1.0], [5.01, 2.0]],
+            sigmas=[10.0, 1.0],
+        )
+        assert tracker.scores().duplication[0] == pytest.approx(0.5)
+
+        tracker = ReputationTracker(2, _config())
+        _day(
+            tracker,
+            [[5.00, 1.0], [5.01, 2.0]],
+            sigmas=[1.0, 1.0],
+        )
+        assert tracker.scores().duplication[0] == 0.0
+
+    def test_same_value_different_tasks_not_duplicates(self):
+        tracker = ReputationTracker(2, _config())
+        _day(tracker, [[5.0, 1.0], [2.0, 5.0]])
+        assert np.all(tracker.scores().duplication == 0.0)
+
+    def test_duplicate_chain_counts_every_member(self):
+        # Three colluders on one task: all three observations are within
+        # tolerance of a neighbour, so all three users take a hit.
+        tracker = ReputationTracker(3, _config())
+        _day(tracker, [[5.0, 0.1], [5.0, 0.5], [5.0, 0.9]])
+        assert np.all(tracker.scores().duplication == pytest.approx(0.5))
+
+
+class TestStateMachine:
+    def _tracker(self):
+        # Disable the consistency path (min_deviation gate unreachable) so
+        # the +/-3 adversary trips only the variance score.
+        return ReputationTracker(
+            3,
+            _config(
+                alpha=0.5,
+                min_deviation=1000.0,
+                probation_days=2,
+                reinstate_days=2,
+            ),
+        )
+
+    ATTACK = [3.0, -3.0, 3.0, -3.0]
+    SILENT = [np.nan] * 4
+    CLEAN = [0.0, 0.05, -0.05, 0.02]
+
+    def test_quarantine_probation_reinstatement_cycle(self):
+        tracker = self._tracker()
+        summary = _day(tracker, [self.ATTACK, HONEST_A, HONEST_B])
+        assert summary.newly_quarantined == (0,)
+        assert tracker.status[0] == QUARANTINED
+        assert not tracker.eligible[0]
+        assert tracker.eligible[1] and tracker.eligible[2]
+
+        # Two silent days serve out the quarantine term.
+        _day(tracker, [self.SILENT, HONEST_A, HONEST_B])
+        assert tracker.status[0] == QUARANTINED
+        summary = _day(tracker, [self.SILENT, HONEST_A, HONEST_B])
+        assert summary.newly_probation == (0,)
+        assert tracker.status[0] == PROBATION
+        assert tracker.eligible[0]  # probation users work again
+
+        # Two clean probation days earn reinstatement.
+        _day(tracker, [self.CLEAN, HONEST_A, HONEST_B])
+        assert tracker.status[0] == PROBATION
+        summary = _day(tracker, [self.CLEAN, HONEST_A, HONEST_B])
+        assert summary.reinstated == (0,)
+        assert tracker.status[0] == ACTIVE
+        # The cumulative record survives reinstatement.
+        assert tracker.ever_quarantined_users == (0,)
+
+    def test_relapse_on_probation_requarantines(self):
+        tracker = self._tracker()
+        _day(tracker, [self.ATTACK, HONEST_A, HONEST_B])
+        _day(tracker, [self.SILENT, HONEST_A, HONEST_B])
+        _day(tracker, [self.SILENT, HONEST_A, HONEST_B])
+        assert tracker.status[0] == PROBATION
+        summary = _day(tracker, [self.ATTACK, HONEST_A, HONEST_B])
+        assert summary.newly_quarantined == (0,)
+        assert tracker.status[0] == QUARANTINED
+
+    def test_quarantined_evidence_frozen(self):
+        tracker = self._tracker()
+        _day(tracker, [self.ATTACK, HONEST_A, HONEST_B])
+        count_before = tracker.scores().counts.copy()
+        # A silent day: user 1 also reports nothing, but is active.
+        _day(tracker, [self.SILENT, self.SILENT, HONEST_B])
+        counts = tracker.scores().counts
+        assert counts[0] == count_before[0]  # quarantined: frozen
+        assert counts[1] == pytest.approx(0.5 * count_before[1])  # active: decayed
+
+
+class TestSummaryAndPersistence:
+    def test_summary_to_dict(self):
+        summary = ReputationSummary(
+            day=3,
+            quarantined=(1,),
+            probation=(2,),
+            newly_quarantined=(1,),
+            newly_probation=(2,),
+            reinstated=(),
+            ever_quarantined=(1, 2),
+        )
+        d = summary.to_dict()
+        assert d["day"] == 3
+        assert d["quarantined"] == [1]
+        assert d["ever_quarantined"] == [1, 2]
+
+    def _exercised_tracker(self):
+        tracker = ReputationTracker(3, _config(alpha=0.5))
+        _day(tracker, [[3.0, 3.0, 3.0, 3.0], HONEST_A, HONEST_B])
+        _day(tracker, [[np.nan] * 4, HONEST_A, HONEST_B])
+        return tracker
+
+    def test_state_dict_round_trips_through_json(self):
+        tracker = self._exercised_tracker()
+        state = json.loads(json.dumps(tracker.state_dict()))
+        restored = ReputationTracker.load_state(state)
+
+        assert restored.day == tracker.day
+        assert np.array_equal(restored.status, tracker.status)
+        assert restored.ever_quarantined_users == tracker.ever_quarantined_users
+        original, loaded = tracker.scores(), restored.scores()
+        for field in ("counts", "bias_t", "variance", "consistency", "duplication"):
+            np.testing.assert_array_equal(getattr(original, field), getattr(loaded, field))
+
+        # Identical future behaviour, not just identical snapshots.
+        a = _day(tracker, [[0.1, 0.1, 0.1, 0.1], HONEST_A, HONEST_B])
+        b = _day(restored, [[0.1, 0.1, 0.1, 0.1], HONEST_A, HONEST_B])
+        assert a == b
+
+    def test_load_state_accepts_pre_duplication_checkpoints(self):
+        # Checkpoints written before the duplication score and the cumulative
+        # quarantine record existed must still load.
+        tracker = self._exercised_tracker()
+        state = tracker.state_dict()
+        state.pop("sum_dup")
+        state.pop("ever_quarantined")
+        for key in ("duplicate_tolerance", "duplicate_threshold", "grace_days"):
+            state["config"].pop(key)
+
+        restored = ReputationTracker.load_state(state)
+        assert np.all(restored.scores().duplication[restored.scores().counts >= 2] == 0.0)
+        # Without the record, current non-active standing is the best guess.
+        assert restored.ever_quarantined_users == tuple(
+            int(u) for u in np.flatnonzero(restored.status != ACTIVE)
+        )
+
+    def test_load_state_rejects_wrong_lengths(self):
+        state = self._exercised_tracker().state_dict()
+        state["count"] = [1.0]
+        with pytest.raises(ValueError):
+            ReputationTracker.load_state(state)

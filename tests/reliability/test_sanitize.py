@@ -108,3 +108,51 @@ class TestSanitize:
         assert report.as_dict()["nan_payloads"] == 2
         assert "nan_payloads=2" in report.summary()
         assert SanitizeReport().summary() == "SanitizeReport(empty)"
+
+
+class TestDegenerateBatches:
+    """Edge cases where the robust statistics themselves degenerate."""
+
+    def test_constant_observations_mad_zero_flags_any_deviant(self):
+        # Five identical values give MAD = 0; the floored scale makes any
+        # deviation an outlier, which is the right call: perfect agreement
+        # plus one dissenter is the clearest outlier signal there is.
+        sanitizer = ObservationSanitizer()
+        pairs = [(user, 0) for user in range(6)]
+        cleaned = sanitizer.sanitize(pairs, [10.0] * 5 + [10.5])
+        assert np.isnan(cleaned[5])
+        assert np.all(np.isfinite(cleaned[:5]))
+        assert sanitizer.report.outliers == 1
+
+    def test_all_identical_batch_fully_accepted(self):
+        sanitizer = ObservationSanitizer()
+        pairs = [(user, 0) for user in range(5)]
+        cleaned = sanitizer.sanitize(pairs, [7.0] * 5)
+        assert np.all(cleaned == 7.0)
+        assert sanitizer.report.rejected == 0
+        assert sanitizer.report.accepted == 5
+
+    def test_single_observation_per_task_passes_through(self):
+        # One observation has no peers to be an outlier against.
+        sanitizer = ObservationSanitizer()
+        pairs = [(0, task) for task in range(4)]
+        cleaned = sanitizer.sanitize(pairs, [1.0, 1e9, np.nan, -5.0])
+        assert sanitizer.report.outliers == 0
+        assert sanitizer.report.nan_payloads == 1
+        assert np.all(np.isfinite(cleaned[[0, 1, 3]]))
+
+    def test_empty_batch(self):
+        sanitizer = ObservationSanitizer()
+        cleaned = sanitizer.sanitize([], [])
+        assert cleaned.shape == (0,)
+        report = sanitizer.report
+        assert report.pairs == 0 and report.accepted == 0 and report.rejected == 0
+
+    def test_fully_quarantined_batch(self):
+        # Every observation rejected for a different reason; nothing survives.
+        sanitizer = ObservationSanitizer(value_bounds=(0.0, 1.0))
+        pairs = [(user, 0) for user in range(4)]
+        cleaned = sanitizer.sanitize(pairs, [np.inf, np.nan, -3.0, 9.0])
+        assert np.all(np.isnan(cleaned))
+        assert sanitizer.report.accepted == 0
+        assert sanitizer.report.rejected == 4

@@ -109,8 +109,64 @@ def test_simulate_checkpoint_dir_ignored_for_baselines(tmp_path, capsys):
 
 
 def test_simulate_rejects_invalid_fault_rate(capsys):
-    assert main(["simulate", "--days", "2", "--fault-exceptions", "1.5"]) == 2
-    assert "must lie in [0, 1]" in capsys.readouterr().err
+    # Validation moved into the argparse type, so bad rates exit at parse
+    # time (SystemExit(2)) instead of reaching FaultProfile.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["simulate", "--days", "2", "--fault-exceptions", "1.5"])
+    assert excinfo.value.code == 2
+    assert "expected a rate in [0, 1]" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "flag, value, message",
+    [
+        ("--fault-drops", "-0.1", "expected a rate in [0, 1]"),
+        ("--fault-nan", "abc", "expected a number"),
+        ("--adversaries", "2", "expected a rate in [0, 1]"),
+        ("--reputation-duplicate-threshold", "1.5", "expected a rate in [0, 1]"),
+        ("--reputation-bias-threshold", "0", "expected a positive number"),
+        ("--reputation-probation-days", "0", "expected a positive integer"),
+        ("--reputation-probation-days", "1.5", "expected an integer"),
+    ],
+)
+def test_simulate_rejects_invalid_robustness_values(capsys, flag, value, message):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["simulate", "--days", "2", flag, value])
+    assert excinfo.value.code == 2
+    assert message in capsys.readouterr().err
+
+
+def test_simulate_reputation_knobs_require_reputation_flag(capsys):
+    args = ["simulate", "--days", "2", "--reputation-bias-threshold", "3.0"]
+    assert main(args) == 2
+    assert "--reputation-* thresholds require --reputation" in capsys.readouterr().err
+
+
+def test_simulate_with_reputation_and_adversaries(capsys):
+    args = [
+        "simulate",
+        "--days",
+        "3",
+        "--seed",
+        "2017",
+        "--adversaries",
+        "0.2",
+        "--reputation",
+        "--guards",
+        "warn",
+        "--robust",
+        "huber",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "adversaries (colluding): users" in out
+    assert "reputation: quarantined" in out
+    assert "ever-quarantined" in out
+
+
+def test_simulate_reputation_ignored_for_baselines(capsys):
+    assert main(["simulate", "--approach", "mean", "--days", "2", "--reputation"]) == 0
+    assert "--reputation/--guards/--robust are ignored" in capsys.readouterr().out
 
 
 def test_simulate_resume_requires_checkpoint_dir(capsys):
