@@ -20,6 +20,7 @@ from repro.core.pipeline import ETA2System, IncomingTask, StepResult, default_em
 from repro.core.truth import TruthAnalysisResult, estimate_truth
 from repro.core.update import ExpertiseUpdater
 from repro.datasets import sfv_dataset, survey_dataset, synthetic_dataset
+from repro.observability import MetricsRegistry, RunTracer, Telemetry, run_manifest
 from repro.simulation import SimulationConfig, run_simulation
 from repro.truthdiscovery import ObservationMatrix
 
@@ -30,13 +31,17 @@ __all__ = [
     "ExpertiseUpdater",
     "IncomingTask",
     "MaxQualityAllocator",
+    "MetricsRegistry",
     "MinCostAllocator",
     "ObservationMatrix",
+    "RunTracer",
     "SimulationConfig",
     "StepResult",
+    "Telemetry",
     "TruthAnalysisResult",
     "default_embedding",
     "estimate_truth",
+    "run_manifest",
     "run_simulation",
     "sfv_dataset",
     "survey_dataset",

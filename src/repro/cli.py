@@ -155,6 +155,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--round-budget", type=float, default=100.0, dest="round_budget")
     simulate.add_argument("--drift", type=float, default=0.0, help="per-day expertise drift std")
     simulate.add_argument("--bias", type=float, default=0.0, help="non-normal observation fraction")
+    telemetry = simulate.add_argument_group(
+        "telemetry", "structured tracing and metrics export (repro.observability)"
+    )
+    telemetry.add_argument(
+        "--trace-out",
+        default=None,
+        dest="trace_out",
+        help="write a JSONL event trace of the run here (enables tracing)",
+    )
+    telemetry.add_argument(
+        "--metrics-out",
+        default=None,
+        dest="metrics_out",
+        help="write a metrics export here after the run "
+        "(.json = JSON dump, anything else = Prometheus text)",
+    )
     reliability = simulate.add_argument_group(
         "reliability", "crash-safe checkpointing and deterministic fault injection"
     )
@@ -264,6 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="days a quarantined user sits out before probation",
     )
 
+    trace = sub.add_parser("trace", help="inspect a JSONL run trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="render a per-day timeline from a JSONL trace"
+    )
+    summarize.add_argument("trace_path", help="path of a --trace-out JSONL file")
+
     report = sub.add_parser("report", help="run every experiment and write a Markdown report")
     report.add_argument("--out", default=None, help="output path (default: stdout)")
     report.add_argument("--replications", type=int, default=3)
@@ -370,7 +393,39 @@ def _run_simulate(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = run_simulation(dataset, approach, sim_config)
+    telemetry = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry.create(
+            trace_path=args.trace_out,
+            metrics_path=args.metrics_out,
+            config=sim_config,
+            seed=args.seed,
+            start_day=sim_config.start_day,
+        )
+    elif args.checkpoint_dir is not None and args.approach in ("eta2", "eta2-mc"):
+        # No tracing requested, but checkpoints should still carry the run
+        # manifest so a later --resume can detect config drift.  A
+        # manifest-only bundle keeps the tracer on the NULL_TRACER path.
+        from repro.observability import Telemetry, run_manifest
+
+        telemetry = Telemetry(
+            manifest=run_manifest(
+                config=sim_config, seed=args.seed, start_day=sim_config.start_day
+            )
+        )
+    result = run_simulation(dataset, approach, sim_config, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.finalize(
+            fault_counts=result.fault_counts or {},
+            mean_error=float(result.mean_estimation_error),
+            total_cost=float(result.total_cost),
+        )
+        if args.trace_out is not None:
+            print(f"trace: {telemetry.tracer.event_count} events written to {args.trace_out}")
+        if args.metrics_out is not None:
+            print(f"metrics: written to {args.metrics_out}")
     print(f"{result.approach_name} on {result.dataset_name} "
           f"({dataset.n_users} users, {dataset.n_tasks} tasks, tau={args.tau:g})")
     print(f"{'day':>4}  {'error':>8}  {'cost':>8}  {'pairs':>6}  {'coverage':>8}")
@@ -399,6 +454,21 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.observability import read_trace, render_summary, summarize_trace
+
+    try:
+        records = read_trace(args.trace_path)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        print(render_summary(summarize_trace(records)))
+    except BrokenPipeError:  # summaries get piped to head/less
+        sys.stderr.close()  # suppress the interpreter's epilogue warning
+    return 0
+
+
 def _run_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -420,6 +490,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         return _run_figure(args)
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "report":
         return _run_report(args)
     raise AssertionError(f"unhandled command: {args.command}")  # pragma: no cover

@@ -139,6 +139,10 @@ class DynamicHierarchicalClustering:
     def point_count(self) -> int:
         return self._points.count
 
+    def cache_stats(self) -> dict:
+        """Distance-cache effectiveness (see ``GrowOnlyDistanceMatrix``)."""
+        return self._cache.cache_stats()
+
     @property
     def domain_ids(self) -> list:
         return sorted(self._domains)

@@ -34,6 +34,7 @@ from repro.core.expertise import ExpertiseMatrix
 from repro.core.robust import RobustConfig
 from repro.core.truth import estimate_truth
 from repro.core.update import ExpertiseUpdater
+from repro.observability.tracer import NULL_TRACER
 from repro.perf.timers import PHASES, PhaseTimer, merge_timings
 from repro.semantics.distance import semantics_for_descriptions
 from repro.semantics.embeddings.base import EmbeddingModel
@@ -226,6 +227,13 @@ class ETA2System:
         self.guard = None
         #: Completed warm-up/daily steps (drives checkpoint numbering).
         self.completed_steps = 0
+        # Telemetry (see enable_telemetry): the no-op tracer costs one
+        # attribute check per instrumentation point, so it stays attached.
+        self.tracer = NULL_TRACER
+        #: Optional :class:`~repro.observability.MetricsRegistry`.
+        self.metrics = None
+        #: Optional run manifest (repro.observability.run_manifest).
+        self.run_manifest = None
 
     @property
     def n_users(self) -> int:
@@ -322,8 +330,36 @@ class ETA2System:
         """
         from repro.reliability.guards import GuardConfig, InvariantGuard
 
-        self.guard = InvariantGuard(config if config is not None else GuardConfig(policy=policy))
+        self.guard = InvariantGuard(
+            config if config is not None else GuardConfig(policy=policy),
+            tracer=self.tracer,
+        )
         return self.guard
+
+    def enable_telemetry(self, tracer=None, metrics=None, manifest=None):
+        """Attach structured tracing and/or a metrics registry to the loop.
+
+        ``tracer`` is a :class:`~repro.observability.RunTracer` (None keeps
+        the no-op tracer), ``metrics`` a
+        :class:`~repro.observability.MetricsRegistry`, ``manifest`` the run
+        manifest stamped onto checkpoints.  Already-enabled subsystems
+        (guards, checkpointing) are re-pointed at the new telemetry, and
+        subsystems enabled later pick it up automatically — call order
+        does not matter.
+        """
+        if tracer is not None:
+            self.tracer = tracer
+        if metrics is not None:
+            self.metrics = metrics
+        if manifest is not None:
+            self.run_manifest = manifest
+        if self.guard is not None:
+            self.guard.tracer = self.tracer
+        if self._checkpoint is not None:
+            self._checkpoint.tracer = self.tracer
+            if self._checkpoint.manifest is None:
+                self._checkpoint.manifest = self.run_manifest
+        return self
 
     def _eligibility(self) -> "tuple[np.ndarray | None, tuple]":
         """Allocation eligibility mask and the users it excludes."""
@@ -357,9 +393,29 @@ class ETA2System:
     def _record_reputation(self, observations, truths, sigmas, task_expertise):
         if self.reputation is None:
             return None
-        return self.reputation.record_day(
+        summary = self.reputation.record_day(
             observations.mask, observations.values, truths, sigmas, task_expertise
         )
+        if self.tracer.enabled and summary is not None:
+            if summary.newly_quarantined:
+                self.tracer.emit(
+                    "reputation.quarantine",
+                    day=summary.day,
+                    users=list(summary.newly_quarantined),
+                )
+            if summary.newly_probation:
+                self.tracer.emit(
+                    "reputation.probation",
+                    day=summary.day,
+                    users=list(summary.newly_probation),
+                )
+            if summary.reinstated:
+                self.tracer.emit(
+                    "reputation.reinstate",
+                    day=summary.day,
+                    users=list(summary.reinstated),
+                )
+        return summary
 
     def enable_checkpointing(self, directory, keep: int = 3):
         """Checkpoint automatically after every completed warm-up/step.
@@ -369,7 +425,9 @@ class ETA2System:
         """
         from repro.reliability.checkpoint import CheckpointManager
 
-        self._checkpoint = CheckpointManager(directory, keep=keep)
+        self._checkpoint = CheckpointManager(
+            directory, keep=keep, manifest=self.run_manifest, tracer=self.tracer
+        )
         return self._checkpoint
 
     @property
@@ -408,7 +466,8 @@ class ETA2System:
         return system
 
     def _after_step(self, result: StepResult, kind: str) -> StepResult:
-        """End-of-step bookkeeping: convergence surfacing + checkpointing."""
+        """End-of-step bookkeeping: convergence surfacing, telemetry,
+        checkpointing."""
         merge_timings(self.phase_totals, result.timings)
         if not result.converged:
             _LOG.warning(
@@ -418,8 +477,25 @@ class ETA2System:
                 result.mle_iterations,
             )
         self.completed_steps += 1
+        if self.tracer.enabled:
+            if result.excluded_users:
+                self.tracer.emit(
+                    "allocation.excluded", users=list(result.excluded_users)
+                )
+            self.tracer.emit(
+                "step.end",
+                step=self.completed_steps,
+                kind=kind,
+                converged=bool(result.converged),
+                iterations=int(result.mle_iterations),
+                pairs=int(result.pair_count),
+                observations=int(result.observations.observation_count),
+                cost=float(result.allocation_cost),
+            )
+        if self.metrics is not None:
+            self._record_metrics(result, kind)
         if self._checkpoint is not None:
-            self._checkpoint.save(
+            path = self._checkpoint.save(
                 self,
                 self.completed_steps,
                 metadata={
@@ -429,7 +505,66 @@ class ETA2System:
                     "pair_count": int(result.pair_count),
                 },
             )
+            if self.metrics is not None:
+                nbytes = path.stat().st_size
+                self.metrics.counter(
+                    "repro_checkpoint_bytes_total",
+                    "Bytes written to checkpoint files.",
+                ).inc(nbytes)
+                self.metrics.gauge(
+                    "repro_checkpoint_last_bytes",
+                    "Size of the most recent checkpoint file.",
+                ).set(nbytes)
         return result
+
+    def _record_metrics(self, result: StepResult, kind: str) -> None:
+        """Fold one completed step into the metrics registry."""
+        metrics = self.metrics
+        metrics.counter(
+            "repro_steps_total", "Completed warm-up/daily steps."
+        ).inc(1, kind=kind)
+        metrics.counter(
+            "repro_observations_total", "Observations collected across all steps."
+        ).inc(int(result.observations.observation_count))
+        metrics.counter(
+            "repro_assigned_pairs_total", "User/task pairs assigned by the allocators."
+        ).inc(int(result.pair_count))
+        metrics.counter(
+            "repro_allocation_cost_total", "Cumulative allocation cost (Problem 2)."
+        ).inc(float(result.allocation_cost))
+        metrics.histogram(
+            "repro_mle_iterations",
+            "Iterations the Eq. 5-6 MLE took to converge, per step.",
+        ).observe(int(result.mle_iterations))
+        if not result.converged:
+            metrics.counter(
+                "repro_mle_non_convergence_total",
+                "Steps whose truth analysis exhausted its iteration budget.",
+            ).inc()
+        domains, counts = np.unique(result.task_domains, return_counts=True)
+        tasks_per_domain = metrics.counter(
+            "repro_tasks_total", "Tasks processed, by expertise domain."
+        )
+        for domain, count in zip(domains.tolist(), counts.tolist()):
+            tasks_per_domain.inc(int(count), domain=str(domain))
+        if result.excluded_users:
+            metrics.counter(
+                "repro_excluded_users_total",
+                "User-steps excluded from allocation by quarantine.",
+            ).inc(len(result.excluded_users))
+        if result.guard_report is not None and not result.guard_report.ok:
+            metrics.counter(
+                "repro_guard_violations_total", "Invariant-guard violations."
+            ).inc(int(result.guard_report.violation_count))
+        if self._clustering.is_fitted:
+            stats = self._clustering.cache_stats()
+            metrics.gauge(
+                "repro_distance_cache_hit_rate",
+                "Fraction of distance-matrix entries served from the grow-only cache.",
+            ).set(float(stats["hit_rate"]))
+        metrics.gauge(
+            "repro_domains", "Distinct expertise domains currently tracked."
+        ).set(len(self._updater.domain_ids))
 
     # ------------------------------------------------------------------ #
     # Domain identification (Module 1)
@@ -458,6 +593,15 @@ class ETA2System:
                 result = self._clustering.fit(vectors)
             for merge in result.merges:
                 self._updater.merge_domains(merge.kept, merge.deleted)
+            if self.tracer.enabled:
+                for domain in result.new_domains:
+                    self.tracer.emit("clustering.new_domain", domain=int(domain))
+                for merge in result.merges:
+                    self.tracer.emit(
+                        "clustering.merge",
+                        kept=int(merge.kept),
+                        deleted=int(merge.deleted),
+                    )
             return result.added_labels, result.merges, result.new_domains
         if any(with_text):
             raise ValueError("a batch must be all-text or all-preknown-domain tasks")
@@ -479,7 +623,14 @@ class ETA2System:
         if not tasks:
             raise ValueError("warm-up needs at least one task")
         observe = self._wrap_observe(observe)
-        timer = PhaseTimer()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "step.start",
+                step=self.completed_steps + 1,
+                kind="warm-up",
+                n_tasks=len(tasks),
+            )
+        timer = PhaseTimer(tracer=self.tracer)
         with timer.phase("identify"):
             domains, merges, new_domains = self._identify_domains(tasks)
         guard_reports = [self._check_partition(domains, new_domains)]
@@ -500,7 +651,12 @@ class ETA2System:
             )
 
         with timer.phase("truth"):
-            result = estimate_truth(observations, domains, robust=self._robust)
+            result = estimate_truth(
+                observations,
+                domains,
+                robust=self._robust,
+                tracer=self.tracer if self.tracer.enabled else None,
+            )
             if self.guard is not None:
                 truths, sigmas, truth_report = self.guard.check_truths(
                     result.truths, result.sigmas, observed=observations.mask.any(axis=0)
@@ -546,7 +702,14 @@ class ETA2System:
         if not tasks:
             raise ValueError("step needs at least one task")
         observe = self._wrap_observe(observe)
-        timer = PhaseTimer()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "step.start",
+                step=self.completed_steps + 1,
+                kind="daily",
+                n_tasks=len(tasks),
+            )
+        timer = PhaseTimer(tracer=self.tracer)
         with timer.phase("identify"):
             domains, merges, new_domains = self._identify_domains(tasks)
         guard_reports = [self._check_partition(domains, new_domains)]
@@ -586,7 +749,12 @@ class ETA2System:
                 excluded=excluded,
             )
         with timer.phase("truth"):
-            incorporate = self._updater.incorporate(observations, domains, robust=self._robust)
+            incorporate = self._updater.incorporate(
+                observations,
+                domains,
+                robust=self._robust,
+                tracer=self.tracer if self.tracer.enabled else None,
+            )
 
         self.iteration_log.append(incorporate.iterations)
         truths, sigmas = incorporate.truths, incorporate.sigmas
@@ -649,6 +817,10 @@ class ETA2System:
             "%s step collected zero observations for %d tasks; "
             "returning a degraded (all-NaN) result", kind, observations.n_tasks
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "step.degraded", kind=kind, n_tasks=int(observations.n_tasks)
+            )
         self.iteration_log.append(0)
         timings = timer.timings() if timer is not None else None
         if timings is not None:

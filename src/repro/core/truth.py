@@ -291,6 +291,7 @@ def estimate_truth(
     domain_ids: "tuple | None" = None,
     max_iterations: int = 100,
     robust: "RobustConfig | None" = None,
+    tracer=None,
 ) -> TruthAnalysisResult:
     """Run the Section 4.1 MLE over one batch of observations.
 
@@ -314,6 +315,12 @@ def estimate_truth(
         expertise pass deliberately stays *unweighted*: down-weighting an
         adversary's residuals there would hand them back a high expertise
         estimate, which is exactly the wrong direction.
+    tracer:
+        Optional :class:`~repro.observability.RunTracer`; when enabled it
+        receives one ``mle.iteration`` event per Eq. 5-6 sweep (with the
+        max relative truth delta) and a ``mle.converged`` /
+        ``mle.non_convergence`` / ``mle.fallback`` verdict.  The extra
+        delta computations are trace-only and never change the estimate.
     """
     task_domains = np.asarray(task_domains)
     if task_domains.shape != (observations.n_tasks,):
@@ -342,6 +349,8 @@ def estimate_truth(
     reweight = robust is not None and robust.method != "none"
     damping = 1.0 if robust is None else robust.damping
 
+    traced = tracer is not None and tracer.enabled
+
     truths = np.full(observations.n_tasks, np.nan)
     converged = False
     final_delta = float("nan")
@@ -359,13 +368,27 @@ def estimate_truth(
         expertise = sparse.expertise_pass(new_truths, sigmas)
         if iterations > 1:
             final_delta = _truth_delta(new_truths, truths)
+            if traced:
+                tracer.emit("mle.iteration", iteration=iterations, delta=final_delta)
             if _truths_converged(new_truths, truths):
                 truths = new_truths
                 converged = True
                 break
+        elif traced:
+            tracer.emit("mle.iteration", iteration=iterations, delta=None)
         truths = new_truths
 
+    if traced and converged:
+        tracer.emit("mle.converged", iterations=iterations, final_delta=final_delta)
     if not converged:
+        if traced:
+            tracer.emit(
+                "mle.non_convergence",
+                iterations=iterations,
+                final_delta=final_delta,
+                n_tasks=observations.n_tasks,
+                n_observations=observations.observation_count,
+            )
         # Surface degraded estimates instead of silently returning them:
         # an operator watching the logs can tell a bad day from a good one.
         _LOG.warning(
@@ -392,6 +415,13 @@ def estimate_truth(
         if diverged:
             truths, sigmas = sparse.fallback_truths(expertise)
             used_fallback = True
+            if traced:
+                tracer.emit(
+                    "mle.fallback",
+                    final_delta=final_delta,
+                    fallback_delta=robust.fallback_delta,
+                    n_tasks=observations.n_tasks,
+                )
             _LOG.warning(
                 "truth analysis diverged (relative change %.4g > %.4g); "
                 "using weighted-median fallback for %d tasks",

@@ -144,6 +144,7 @@ class ExpertiseUpdater:
         max_iterations: int = 100,
         commit: bool = True,
         robust: "RobustConfig | None" = None,
+        tracer=None,
     ) -> IncorporateResult:
         """Fold one time step's new observations into the expertise state.
 
@@ -161,6 +162,12 @@ class ExpertiseUpdater:
         damping, and weighted-median fallback (see
         :class:`~repro.core.robust.RobustConfig`); the Eq. 7-8 sums stay
         unweighted so misbehaving users keep earning low expertise.
+
+        ``tracer`` (an enabled :class:`~repro.observability.RunTracer`)
+        receives per-iteration ``mle.iteration`` deltas and the
+        convergence verdict; committed previews only — the allocator's
+        ``commit=False`` probes pass no tracer, keeping traces about the
+        day's actual update.
         """
         task_domains = np.asarray(task_domains)
         if task_domains.shape != (observations.n_tasks,):
@@ -177,6 +184,7 @@ class ExpertiseUpdater:
         base_d = {d: self._alpha * self._denominators[d] for d in distinct}
 
         damping = 1.0 if robust is None else robust.damping
+        traced = tracer is not None and tracer.enabled
 
         expertise = {d: self.expertise_column(d) for d in distinct}
         truths = np.full(observations.n_tasks, np.nan)
@@ -204,11 +212,18 @@ class ExpertiseUpdater:
             }
             if iterations > 1:
                 final_delta = self._truth_delta(new_truths, truths)
+                if traced:
+                    tracer.emit("mle.iteration", iteration=iterations, delta=final_delta)
                 if self._truths_converged(new_truths, truths):
                     truths = new_truths
                     converged = True
                     break
+            elif traced:
+                tracer.emit("mle.iteration", iteration=iterations, delta=None)
             truths = new_truths
+
+        if traced and converged:
+            tracer.emit("mle.converged", iterations=iterations, final_delta=final_delta)
 
         used_fallback = False
         if robust is not None and robust.fallback and not converged:
@@ -227,8 +242,23 @@ class ExpertiseUpdater:
                     d: self._column_from_sums(new_n[d], new_d[d]) for d in distinct
                 }
                 used_fallback = True
+                if traced:
+                    tracer.emit(
+                        "mle.fallback",
+                        final_delta=final_delta,
+                        fallback_delta=robust.fallback_delta,
+                        n_tasks=observations.n_tasks,
+                    )
 
         if not converged and commit:
+            if traced:
+                tracer.emit(
+                    "mle.non_convergence",
+                    iterations=iterations,
+                    final_delta=final_delta,
+                    n_tasks=observations.n_tasks,
+                    n_observations=observations.observation_count,
+                )
             _LOG.warning(
                 "expertise update did not converge within %d iterations "
                 "(final relative change %.4g, %d tasks, %d observations); "

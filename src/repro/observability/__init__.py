@@ -1,0 +1,105 @@
+"""Telemetry for the ETA² closed loop: tracing, metrics, run manifests.
+
+Three cooperating pieces:
+
+- :class:`RunTracer` — typed, ordered event records (day/step/phase spans,
+  per-iteration MLE deltas, clustering decisions, reputation transitions,
+  guard violations, checkpoints, faults) in a ring buffer plus an
+  optional JSONL sink.
+- :class:`MetricsRegistry` — counters/gauges/histograms with Prometheus
+  text and JSON exporters.
+- :func:`run_manifest` — the identifying record (versions, config hash,
+  seed) attached to every export and checkpoint.
+
+:class:`Telemetry` bundles all three for one run; the simulation engine
+threads it through the approach into ``ETA2System``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.observability.manifest import (
+    MANIFEST_VERSION,
+    config_hash,
+    config_to_dict,
+    run_manifest,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus_text,
+    validate_prometheus_text,
+)
+from repro.observability.summarize import read_trace, render_summary, summarize_trace
+from repro.observability.tracer import NULL_TRACER, NullTracer, RunTracer, canonical_json
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "NULL_TRACER",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullTracer",
+    "RunTracer",
+    "Telemetry",
+    "canonical_json",
+    "config_hash",
+    "config_to_dict",
+    "parse_prometheus_text",
+    "read_trace",
+    "render_summary",
+    "run_manifest",
+    "summarize_trace",
+    "validate_prometheus_text",
+]
+
+
+class Telemetry:
+    """One run's telemetry bundle: tracer + metrics registry + manifest.
+
+    ``Telemetry.create(trace_path=..., metrics_path=..., config=...,
+    seed=...)`` builds the bundle the CLI flags ask for;
+    :meth:`finalize` writes the metrics export and closes the trace sink
+    once the run ends.
+    """
+
+    def __init__(
+        self,
+        tracer: "RunTracer | NullTracer" = NULL_TRACER,
+        metrics: "MetricsRegistry | None" = None,
+        manifest: "dict | None" = None,
+        metrics_path: "str | Path | None" = None,
+    ):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.manifest = manifest
+        self.metrics_path = None if metrics_path is None else Path(metrics_path)
+
+    @classmethod
+    def create(
+        cls,
+        trace_path: "str | Path | None" = None,
+        metrics_path: "str | Path | None" = None,
+        config=None,
+        seed: "int | None" = None,
+        start_day: "int | None" = None,
+        capacity: int = 65536,
+        include_wall_time: bool = False,
+    ) -> "Telemetry":
+        manifest = run_manifest(config=config, seed=seed, start_day=start_day)
+        tracer = RunTracer(
+            capacity=capacity, sink=trace_path, include_wall_time=include_wall_time
+        )
+        metrics = MetricsRegistry(manifest=manifest)
+        tracer.emit("run.start", manifest=manifest)
+        return cls(
+            tracer=tracer, metrics=metrics, manifest=manifest, metrics_path=metrics_path
+        )
+
+    def finalize(self, **run_end_data) -> None:
+        """Emit ``run.end``, write the metrics export, close the sink."""
+        if self.tracer.enabled:
+            self.tracer.emit("run.end", **run_end_data)
+        if self.metrics is not None and self.metrics_path is not None:
+            self.metrics.write(self.metrics_path)
+        self.tracer.close()

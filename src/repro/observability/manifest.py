@@ -1,0 +1,93 @@
+"""Run manifests: what configuration produced this artifact?
+
+A trace, a metrics export, or a checkpoint is only auditable if it names
+the run that produced it.  :func:`run_manifest` captures the identifying
+facts — repro/python/numpy versions, the seed, the start day, and a
+canonical hash of the run configuration — as a small JSON-compatible
+dict that is attached to every telemetry export and checkpoint record.
+
+The config hash is the load-bearing part: ``CheckpointManager.restore``
+compares the stored hash against the resuming run's and warns on drift,
+catching the classic silent failure of resuming yesterday's state under
+today's edited configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import platform
+from typing import Any
+
+import numpy as np
+
+__all__ = ["config_to_dict", "config_hash", "run_manifest", "MANIFEST_VERSION"]
+
+MANIFEST_VERSION = 1
+
+
+def config_to_dict(config: Any) -> "dict | None":
+    """A JSON-compatible view of a run configuration.
+
+    Accepts a dataclass (e.g. ``SimulationConfig``, recursing into nested
+    dataclasses such as ``FaultProfile``), a plain dict, or None.
+    Values that JSON cannot carry are stringified — the manifest needs a
+    stable identity, not a round-trip.
+    """
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        config = dataclasses.asdict(config)
+    if not isinstance(config, dict):
+        raise TypeError("config must be a dataclass instance, dict, or None")
+    return _sanitize(config)
+
+
+def _sanitize(value):
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_sanitize(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _sanitize(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return str(value)
+
+
+def config_hash(config: Any) -> str:
+    """SHA-256 of the canonical JSON form of ``config`` (see above)."""
+    from repro.observability.tracer import canonical_json
+
+    payload = config_to_dict(config)
+    return hashlib.sha256(canonical_json({"config": payload}).encode("utf-8")).hexdigest()
+
+
+def run_manifest(
+    config: Any = None,
+    seed: "int | None" = None,
+    start_day: "int | None" = None,
+    extra: "dict | None" = None,
+) -> dict:
+    """The identifying record attached to every export and checkpoint."""
+    from repro import __version__
+
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "repro_version": __version__,
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "config": config_to_dict(config),
+        "config_hash": config_hash(config),
+        "seed": None if seed is None else int(seed),
+        "start_day": None if start_day is None else int(start_day),
+    }
+    if extra:
+        manifest.update({str(k): v for k, v in extra.items()})
+    return manifest

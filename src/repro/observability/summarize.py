@@ -1,0 +1,259 @@
+"""Render a per-day timeline from a JSONL trace.
+
+``repro trace summarize run.jsonl`` answers the questions the telemetry
+layer exists for — *which phases ran on which day, how the MLE converged,
+what the clusterer decided, who was quarantined and when* — from the
+trace alone, with no access to the run's in-memory objects.
+
+The renderer is deliberately tolerant: unknown event types are counted
+but never fatal, so traces from newer emitters still summarize.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["read_trace", "summarize_trace", "render_summary"]
+
+
+def read_trace(path: "str | Path") -> list:
+    """Load a JSONL trace file into a list of event records.
+
+    Raises :class:`ValueError` with the offending line number on corrupt
+    lines (a truncated *final* line — the crash case — is tolerated and
+    skipped with a note in the summary instead).
+    """
+    records: list = []
+    lines = Path(path).read_text().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                records.append({"type": "trace.truncated", "data": {"line": lineno}})
+                break
+            raise ValueError(f"trace line {lineno} is not valid JSON") from None
+    return records
+
+
+def _data(record: dict) -> dict:
+    return record.get("data") or {}
+
+
+class _DaySummary:
+    """Accumulator for one day's (or the preamble's) events."""
+
+    def __init__(self, day: "int | None" = None):
+        self.day = day
+        self.kind: "str | None" = None
+        self.n_tasks: "int | None" = None
+        self.phases: list = []
+        self.mle_iterations = 0
+        self.final_delta: "float | None" = None
+        self.converged: "bool | None" = None
+        self.used_fallback = False
+        self.degraded = False
+        self.new_domains: list = []
+        self.merges: list = []
+        self.quarantined: list = []
+        self.probation: list = []
+        self.reinstated: list = []
+        self.excluded: list = []
+        self.guard_violations: list = []
+        self.checkpoints: list = []
+        self.error: "float | None" = None
+        self.cost: "float | None" = None
+
+    def lines(self) -> list:
+        out: list = []
+        header = f"day {self.day}" if self.day is not None else "preamble"
+        if self.kind:
+            header += f" ({self.kind})"
+        if self.n_tasks is not None:
+            header += f": {self.n_tasks} tasks"
+        if self.error is not None:
+            header += f", error {self.error:.4f}"
+        if self.cost is not None:
+            header += f", cost {self.cost:.1f}"
+        out.append(header)
+        if self.phases:
+            out.append(f"  phases: {' -> '.join(self.phases)}")
+        if self.mle_iterations:
+            verdict = "converged" if self.converged else "NOT CONVERGED"
+            if self.converged is None:
+                verdict = "unknown"
+            detail = "" if self.final_delta is None else f", final delta {self.final_delta:.4g}"
+            fallback = ", weighted-median fallback" if self.used_fallback else ""
+            out.append(f"  mle: {self.mle_iterations} iterations, {verdict}{detail}{fallback}")
+        if self.degraded:
+            out.append("  DEGRADED: zero observations collected")
+        if self.new_domains:
+            out.append(f"  clustering: new domains {self.new_domains}")
+        for kept, deleted in self.merges:
+            out.append(f"  clustering: domain {deleted} merged into {kept} (Eqs. 7-9 carry-over)")
+        if self.quarantined:
+            out.append(f"  reputation: quarantined {self.quarantined}")
+        if self.probation:
+            out.append(f"  reputation: to probation {self.probation}")
+        if self.reinstated:
+            out.append(f"  reputation: reinstated {self.reinstated}")
+        if self.excluded:
+            out.append(f"  allocation: excluded quarantined users {self.excluded}")
+        for check, phase, count in self.guard_violations:
+            out.append(f"  guard: {phase}/{check} x{count}")
+        for step, nbytes in self.checkpoints:
+            size = "" if nbytes is None else f" ({nbytes} bytes)"
+            out.append(f"  checkpoint: saved step {step}{size}")
+        return out
+
+
+def summarize_trace(records: list) -> dict:
+    """Fold trace records into a structured summary.
+
+    Returns ``{"manifest": ..., "days": [per-day dicts of _DaySummary],
+    "anomalies": [...], "fault_counts": ..., "event_count": N,
+    "unknown_types": {...}}``.  Use :func:`render_summary` for text.
+    """
+    manifest = None
+    fault_counts = None
+    days: list = []
+    current = _DaySummary()
+    preamble = current
+    anomalies: list = []
+    unknown: dict = {}
+    truncated = False
+
+    def day_label():
+        return "warm-up/preamble" if current.day is None else f"day {current.day}"
+
+    for record in records:
+        rtype = record.get("type", "")
+        data = _data(record)
+        if rtype == "run.start":
+            manifest = data.get("manifest")
+        elif rtype == "run.end":
+            fault_counts = data.get("fault_counts")
+        elif rtype == "day.start":
+            current = _DaySummary(day=data.get("day"))
+            current.n_tasks = data.get("n_tasks")
+            days.append(current)
+        elif rtype == "day.end":
+            current.error = data.get("error")
+            current.cost = data.get("cost")
+        elif rtype == "step.start":
+            current.kind = data.get("kind")
+            if current.n_tasks is None:
+                current.n_tasks = data.get("n_tasks")
+        elif rtype == "step.end":
+            if data.get("converged") is not None:
+                current.converged = bool(data.get("converged"))
+            if data.get("iterations") is not None:
+                current.mle_iterations = int(data.get("iterations"))
+        elif rtype == "step.degraded":
+            current.degraded = True
+            anomalies.append(f"{day_label()}: degraded (zero observations)")
+        elif rtype == "phase.start":
+            name = data.get("phase")
+            if name and (not current.phases or current.phases[-1] != name):
+                current.phases.append(name)
+        elif rtype == "phase.end":
+            pass
+        elif rtype == "mle.iteration":
+            current.mle_iterations = max(current.mle_iterations, int(data.get("iteration", 0)))
+            if data.get("delta") is not None:
+                current.final_delta = float(data["delta"])
+        elif rtype == "mle.converged":
+            current.converged = True
+            current.mle_iterations = int(data.get("iterations", current.mle_iterations))
+            if data.get("final_delta") is not None:
+                current.final_delta = float(data["final_delta"])
+        elif rtype == "mle.non_convergence":
+            current.converged = False
+            current.mle_iterations = int(data.get("iterations", current.mle_iterations))
+            if data.get("final_delta") is not None:
+                current.final_delta = float(data["final_delta"])
+            anomalies.append(
+                f"{day_label()}: MLE did not converge "
+                f"(final delta {current.final_delta}, {current.mle_iterations} iterations)"
+            )
+        elif rtype == "mle.fallback":
+            current.used_fallback = True
+            anomalies.append(f"{day_label()}: weighted-median fallback engaged")
+        elif rtype == "clustering.new_domain":
+            current.new_domains.append(data.get("domain"))
+        elif rtype == "clustering.merge":
+            current.merges.append((data.get("kept"), data.get("deleted")))
+        elif rtype == "reputation.quarantine":
+            current.quarantined.extend(data.get("users", []))
+            anomalies.append(f"{day_label()}: quarantined users {data.get('users', [])}")
+        elif rtype == "reputation.probation":
+            current.probation.extend(data.get("users", []))
+        elif rtype == "reputation.reinstate":
+            current.reinstated.extend(data.get("users", []))
+        elif rtype == "allocation.excluded":
+            current.excluded.extend(data.get("users", []))
+        elif rtype == "guard.violation":
+            current.guard_violations.append(
+                (data.get("check"), data.get("phase"), data.get("count", 1))
+            )
+            anomalies.append(
+                f"{day_label()}: guard violation {data.get('phase')}/{data.get('check')}"
+            )
+        elif rtype == "checkpoint.save":
+            current.checkpoints.append((data.get("step"), data.get("bytes")))
+        elif rtype == "checkpoint.config_drift":
+            anomalies.append(
+                f"{day_label()}: config drift vs checkpoint "
+                f"(stored {data.get('stored')}, current {data.get('current')})"
+            )
+        elif rtype == "trace.truncated":
+            truncated = True
+        elif rtype.startswith(("fault.", "observer.", "clustering.", "run.")):
+            pass
+        else:
+            unknown[rtype] = unknown.get(rtype, 0) + 1
+
+    return {
+        "manifest": manifest,
+        "preamble": preamble,
+        "days": days,
+        "anomalies": anomalies,
+        "fault_counts": fault_counts,
+        "event_count": len(records),
+        "unknown_types": unknown,
+        "truncated": truncated,
+    }
+
+
+def render_summary(summary: dict) -> str:
+    """Human-readable timeline text for one :func:`summarize_trace` result."""
+    out: list = []
+    manifest = summary.get("manifest")
+    if manifest:
+        config = manifest.get("config_hash", "")
+        out.append(
+            f"run: repro {manifest.get('repro_version', '?')}, "
+            f"seed {manifest.get('seed')}, config {config[:12]}…"
+        )
+    preamble = summary["preamble"]
+    if preamble.phases or preamble.mle_iterations:
+        out.extend(preamble.lines())
+    for day in summary["days"]:
+        out.extend(day.lines())
+    fault_counts = summary.get("fault_counts")
+    if fault_counts:
+        injected = ", ".join(f"{kind}={count}" for kind, count in fault_counts.items() if count)
+        out.append(f"injected faults: {injected or 'none'}")
+    anomalies = summary["anomalies"]
+    if anomalies:
+        out.append(f"anomalies ({len(anomalies)}):")
+        out.extend(f"  - {entry}" for entry in anomalies)
+    else:
+        out.append("anomalies: none")
+    if summary.get("truncated"):
+        out.append("note: trace ends mid-line (crashed run); final event dropped")
+    out.append(f"events: {summary['event_count']}")
+    return "\n".join(out)

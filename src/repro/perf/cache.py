@@ -83,6 +83,8 @@ class GrowOnlyDistanceMatrix:
         self._buffer: "np.ndarray | None" = None
         self._count = 0
         self._max = 0.0
+        self._computed_entries = 0
+        self._naive_entries = 0
 
     @property
     def count(self) -> int:
@@ -92,6 +94,31 @@ class GrowOnlyDistanceMatrix:
     def current_max(self) -> float:
         """Largest distance seen so far (0.0 while empty)."""
         return self._max
+
+    @property
+    def computed_entries(self) -> int:
+        """Matrix entries ever *written* (as opposed to served from cache)."""
+        return self._computed_entries
+
+    def cache_stats(self) -> dict:
+        """Cache effectiveness of the grow-only scheme.
+
+        ``hit_rate`` compares the entries actually written against what a
+        from-scratch recompute on every batch would have written (n² per
+        batch): ``1 − computed / naive``.  It is 0 after the warm-up block
+        (nothing cached yet) and approaches 1 as the history outgrows the
+        daily arrival batch.
+        """
+        return {
+            "points": self._count,
+            "computed_entries": self._computed_entries,
+            "naive_entries": self._naive_entries,
+            "hit_rate": (
+                0.0
+                if self._naive_entries == 0
+                else 1.0 - self._computed_entries / self._naive_entries
+            ),
+        }
 
     def view(self) -> np.ndarray:
         """The live ``(n, n)`` block (a view — do not mutate)."""
@@ -110,6 +137,8 @@ class GrowOnlyDistanceMatrix:
         self._buffer[:n, :n] = block
         self._count = n
         self._max = float(block.max()) if n else 0.0
+        self._computed_entries += n * n
+        self._naive_entries += n * n
 
     def append(self, cross: np.ndarray, inner: np.ndarray) -> None:
         """Add one batch: ``cross`` is ``(n_old, m)``, ``inner`` is ``(m, m)``."""
@@ -134,6 +163,8 @@ class GrowOnlyDistanceMatrix:
         self._buffer[n:total, :n] = cross.T
         self._buffer[n:total, n:total] = inner
         self._count = total
+        self._computed_entries += 2 * cross.size + inner.size
+        self._naive_entries += total * total
         if cross.size:
             self._max = max(self._max, float(cross.max()))
         if inner.size:

@@ -29,18 +29,46 @@ class PhaseTimer:
     phases themselves (see :meth:`now` + :meth:`add`).
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(self, clock: Callable[[], float] = time.perf_counter, tracer=None):
         self._clock = clock
         self._seconds: dict = {}
+        # A RunTracer (repro.observability) turns each phase block into a
+        # phase.start/phase.end span; None keeps the timer telemetry-free.
+        self.tracer = tracer
 
     @contextmanager
     def phase(self, name: str):
-        """Time the enclosed block under ``name`` (exception-safe)."""
+        """Time the enclosed block under ``name`` (exception-safe).
+
+        With a tracer attached, the block is also recorded as a
+        ``phase.start``/``phase.end`` span; wall-clock seconds are added
+        to the end event only when the tracer opts into wall time
+        (``include_wall_time``), keeping traces replay-deterministic.
+        """
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            tracer.emit("phase.start", phase=name)
         start = self._clock()
         try:
             yield
-        finally:
-            self.add(name, self._clock() - start)
+        except BaseException as error:
+            elapsed = self._clock() - start
+            self.add(name, elapsed)
+            if traced:
+                self._emit_end(tracer, name, elapsed, error=type(error).__name__)
+            raise
+        else:
+            elapsed = self._clock() - start
+            self.add(name, elapsed)
+            if traced:
+                self._emit_end(tracer, name, elapsed)
+
+    @staticmethod
+    def _emit_end(tracer, name: str, elapsed: float, **extra) -> None:
+        if getattr(tracer, "include_wall_time", False):
+            extra["wall_seconds"] = max(0.0, float(elapsed))
+        tracer.emit("phase.end", phase=name, **extra)
 
     def wrap(self, name: str, func: Callable) -> Callable:
         """Return ``func`` with every call timed under ``name``."""

@@ -52,7 +52,14 @@ def _checksum(state: dict) -> str:
 class CheckpointManager:
     """Write, rotate, validate, and restore system checkpoints."""
 
-    def __init__(self, directory: "str | Path", keep: int = 3, prefix: str = "checkpoint"):
+    def __init__(
+        self,
+        directory: "str | Path",
+        keep: int = 3,
+        prefix: str = "checkpoint",
+        manifest: "dict | None" = None,
+        tracer=None,
+    ):
         if keep < 1:
             raise ValueError("keep must be at least 1")
         if not re.fullmatch(r"[A-Za-z0-9_.-]+", prefix):
@@ -61,6 +68,11 @@ class CheckpointManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = int(keep)
         self.prefix = prefix
+        # The run manifest (repro.observability.run_manifest) is stamped
+        # into every save's metadata; restore compares its config_hash
+        # against the stored one and warns on drift.
+        self.manifest = manifest
+        self.tracer = tracer
         self._pattern = re.compile(rf"^{re.escape(prefix)}-(\d{{8}})\.json$")
 
     # ------------------------------------------------------------------ #
@@ -88,16 +100,27 @@ class CheckpointManager:
         from repro.core.serialization import atomic_write_text, system_state_to_dict
 
         state = system_state_to_dict(system)
+        merged = dict(metadata or {})
+        if self.manifest is not None and "manifest" not in merged:
+            merged["manifest"] = self.manifest
         record = {
             "checkpoint_version": CHECKPOINT_VERSION,
             "step": int(step),
-            "metadata": dict(metadata or {}),
+            "metadata": merged,
             "checksum": _checksum(state),
             "state": state,
         }
         path = self.path_for(step)
-        atomic_write_text(path, json.dumps(record), writer=_writer)
+        text = json.dumps(record)
+        atomic_write_text(path, text, writer=_writer)
         self._rotate()
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            # File *name* only (not the tmp-dir-dependent full path) so
+            # same-seed traces stay byte-identical across machines.
+            tracer.emit(
+                "checkpoint.save", step=int(step), file=path.name, bytes=len(text)
+            )
         return path
 
     def _rotate(self) -> None:
@@ -180,6 +203,43 @@ class CheckpointManager:
         if found is None:
             return None
         path, record = found
+        self._check_drift(path, record)
         apply_system_state(system, record["state"])
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit("checkpoint.restore", step=int(record["step"]), file=path.name)
         _LOG.info("restored checkpoint %s (step %d)", path.name, record["step"])
         return int(record["step"])
+
+    def _check_drift(self, path: Path, record: dict) -> None:
+        """Warn when the checkpoint was written under a different config.
+
+        Resuming yesterday's state under today's edited configuration is
+        the classic silent failure this catches: the comparison is on the
+        manifests' ``config_hash``.  No-op when either side lacks a
+        manifest (pre-telemetry checkpoints stay restorable).
+        """
+        if self.manifest is None:
+            return
+        stored = record.get("metadata", {}).get("manifest")
+        if not isinstance(stored, dict):
+            return
+        stored_hash = stored.get("config_hash")
+        current_hash = self.manifest.get("config_hash")
+        if stored_hash is None or current_hash is None or stored_hash == current_hash:
+            return
+        _LOG.warning(
+            "checkpoint %s was written under a different configuration "
+            "(stored config hash %s…, current %s…); resuming anyway",
+            path.name,
+            str(stored_hash)[:12],
+            str(current_hash)[:12],
+        )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "checkpoint.config_drift",
+                file=path.name,
+                stored=stored_hash,
+                current=current_hash,
+            )

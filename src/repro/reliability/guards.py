@@ -123,8 +123,11 @@ class GuardReport:
 class InvariantGuard:
     """Checks the loop's phase-boundary invariants under one policy."""
 
-    def __init__(self, config: "GuardConfig | None" = None):
+    def __init__(self, config: "GuardConfig | None" = None, tracer=None):
         self.config = config if config is not None else GuardConfig()
+        # An enabled RunTracer receives one guard.violation event per
+        # violation (check name, phase, count) alongside the log warning.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
@@ -132,6 +135,17 @@ class InvariantGuard:
         report = GuardReport(violations=tuple(violations), repaired=repaired)
         if not violations:
             return report
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            for violation in violations:
+                tracer.emit(
+                    "guard.violation",
+                    check=violation.check,
+                    phase=violation.phase,
+                    count=violation.count,
+                    detail=violation.detail,
+                    repaired=repaired,
+                )
         message = "; ".join(f"{v.phase}/{v.check}: {v.detail}" for v in violations)
         if self.config.policy == "raise":
             raise InvariantViolationError(message)

@@ -56,6 +56,14 @@ class Approach(abc.ABC):
     def begin(self, dataset, seed) -> None:
         """Reset internal state for a fresh simulation run."""
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Accept the run's :class:`~repro.observability.Telemetry` bundle.
+
+        Called by the engine before :meth:`begin`.  The base class ignores
+        it (baselines have no internals worth tracing); ETA2 approaches
+        thread it into their :class:`ETA2System`.
+        """
+
     @abc.abstractmethod
     def run_day(
         self,
@@ -131,6 +139,16 @@ class ETA2Approach(Approach):
         self._guards = guards
         self._system: "ETA2System | None" = None
         self._labels: list = []
+        self._telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        self._telemetry = telemetry
+        if self._system is not None:
+            self._system.enable_telemetry(
+                tracer=telemetry.tracer,
+                metrics=telemetry.metrics,
+                manifest=telemetry.manifest,
+            )
 
     def begin(self, dataset, seed) -> None:
         self._dataset = dataset
@@ -154,6 +172,14 @@ class ETA2Approach(Approach):
             robust=self._robust,
             seed=seed,
         )
+        if self._telemetry is not None:
+            # Before the other subsystems so guards/checkpointing pick the
+            # telemetry up as they are enabled.
+            self._system.enable_telemetry(
+                tracer=self._telemetry.tracer,
+                metrics=self._telemetry.metrics,
+                manifest=self._telemetry.manifest,
+            )
         if self._reputation:
             self._system.enable_reputation(
                 None if self._reputation is True else self._reputation

@@ -108,6 +108,10 @@ class DayRecord:
     #: Per-phase wall-clock seconds from the approach's pipeline (ETA2
     #: approaches only; None for the baselines).
     timings: "dict | None" = None
+    #: Handle on the run's :class:`~repro.observability.RunTracer` (None
+    #: when the run was not traced): ``record.trace.events("mle.iteration")``
+    #: etc. reads the run's event stream without reaching into the engine.
+    trace: "object | None" = None
     #: Users the allocators excluded this day under reputation quarantine.
     excluded_users: tuple = ()
     #: The day's reputation summary / merged guard report (None when the
@@ -187,11 +191,20 @@ def run_simulation(
     dataset,
     approach: Approach,
     config: SimulationConfig = SimulationConfig(),
+    telemetry=None,
 ) -> SimulationResult:
     """Run one approach over one dataset for ``config.n_days`` days.
 
     ``dataset`` is a :class:`repro.datasets.base.CrowdsourcingDataset`
     (imported lazily here to keep the package import graph acyclic).
+
+    ``telemetry`` is an optional :class:`~repro.observability.Telemetry`
+    bundle: the engine emits ``day.start``/``day.end`` events, hands the
+    bundle to the approach (which threads it into its ``ETA2System``),
+    attaches the chaos layer's virtual clock to the tracer so timestamps
+    are deterministic, and puts the tracer handle on every
+    :class:`DayRecord`.  The caller keeps ownership: call
+    ``telemetry.finalize()`` after the run to flush exports.
     """
     from repro.datasets.base import evenly_distributed_days
 
@@ -241,6 +254,15 @@ def run_simulation(
             "clock": clock,
             "report": ObserverReport(),
         }
+    tracer = None
+    if telemetry is not None:
+        tracer = telemetry.tracer if telemetry.tracer.enabled else None
+    if tracer is not None and resilience is not None:
+        # Virtual time, not wall time: timestamps advance with injected
+        # latency and replay byte-identically.
+        tracer.set_clock(resilience["clock"])
+    if telemetry is not None:
+        approach.attach_telemetry(telemetry)
     approach.begin(dataset, seed=approach_seed)
 
     true_values = world.true_values()
@@ -296,11 +318,32 @@ def run_simulation(
                 sleep=lambda _seconds: None,
                 report=resilience["report"],
             )
+        if tracer is not None:
+            tracer.emit("day.start", day=day, n_tasks=int(task_indices.size))
         outcome = approach.run_day(day, day_tasks, collect)
         world.advance_day()
         error = normalized_estimation_error(
             outcome.truths, true_values[task_indices], base_numbers[task_indices]
         )
+        if tracer is not None:
+            observed = outcome.observations.mask.any(axis=0)
+            tracer.emit(
+                "day.end",
+                day=day,
+                error=float(error),
+                cost=float(outcome.allocation_cost),
+                pairs=int(outcome.assignment.pair_count),
+                coverage=float(np.mean(observed)) if observed.size else 0.0,
+            )
+        if telemetry is not None and telemetry.metrics is not None:
+            telemetry.metrics.counter(
+                "repro_days_total", "Simulated days completed."
+            ).inc()
+            if np.isfinite(error):
+                telemetry.metrics.gauge(
+                    "repro_estimation_error",
+                    "Normalized estimation error of the most recent day.",
+                ).set(float(error))
         day_records.append(
             DayRecord(
                 day=day,
@@ -311,6 +354,7 @@ def run_simulation(
                 observations=outcome.observations,
                 truths=np.asarray(outcome.truths, dtype=float),
                 timings=outcome.timings,
+                trace=tracer,
                 excluded_users=outcome.excluded_users,
                 reputation=outcome.reputation,
                 guard_report=outcome.guard_report,

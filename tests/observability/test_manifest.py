@@ -1,0 +1,56 @@
+"""Run manifests: config hashing and identity capture."""
+
+import numpy as np
+
+import repro
+from repro.observability import config_hash, config_to_dict, run_manifest
+from repro.simulation import SimulationConfig
+
+
+class TestConfigToDict:
+    def test_dataclass_config_recurses(self):
+        from repro.reliability.faults import FaultProfile
+
+        config = SimulationConfig(n_days=3, seed=7, faults=FaultProfile(drop_rate=0.1))
+        payload = config_to_dict(config)
+        assert payload["n_days"] == 3
+        assert payload["faults"]["drop_rate"] == 0.1
+
+    def test_numpy_values_become_plain_json(self):
+        payload = config_to_dict({"a": np.int64(3), "b": np.float64(0.5), "c": np.arange(2)})
+        assert payload == {"a": 3, "b": 0.5, "c": [0, 1]}
+
+    def test_none_passes_through(self):
+        assert config_to_dict(None) is None
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_differs_on_any_value_change(self):
+        base = SimulationConfig(n_days=3, seed=7)
+        assert config_hash(base) != config_hash(SimulationConfig(n_days=4, seed=7))
+        assert config_hash(base) != config_hash(SimulationConfig(n_days=3, seed=8))
+
+    def test_none_config_still_hashes(self):
+        assert len(config_hash(None)) == 64
+
+
+class TestRunManifest:
+    def test_captures_versions_seed_and_hash(self):
+        manifest = run_manifest(config={"x": 1}, seed=11, start_day=2)
+        assert manifest["repro_version"] == repro.__version__
+        assert manifest["numpy_version"] == np.__version__
+        assert manifest["seed"] == 11
+        assert manifest["start_day"] == 2
+        assert manifest["config_hash"] == config_hash({"x": 1})
+
+    def test_extra_fields_merge(self):
+        manifest = run_manifest(extra={"dataset": "synthetic"})
+        assert manifest["dataset"] == "synthetic"
+
+    def test_json_serialisable(self):
+        import json
+
+        json.dumps(run_manifest(config=SimulationConfig(seed=1), seed=1))

@@ -1,0 +1,165 @@
+"""MetricsRegistry: metric semantics, exporters, and the CI validator."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    run_manifest,
+    validate_prometheus_text,
+)
+
+
+class TestMetricTypes:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_things_total", "things")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_counter_labelled_series_are_independent(self):
+        counter = MetricsRegistry().counter("repro_tasks_total")
+        counter.inc(3, domain="0")
+        counter.inc(4, domain="1")
+        assert counter.value(domain="0") == 3
+        assert counter.value(domain="1") == 4
+        assert counter.value(domain="2") == 0
+
+    def test_gauge_sets_and_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5.0)
+        gauge.inc(-2.0)
+        assert gauge.value() == 3.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1, 5, 10))
+        for value in (0.5, 3, 7, 20):
+            histogram.observe(value)
+        state = histogram.value()
+        assert state["counts"] == [1, 2, 3]  # le=1, le=5, le=10
+        assert state["count"] == 4
+        assert state["sum"] == pytest.approx(30.5)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(5, 1))
+
+    def test_invalid_metric_and_label_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total").inc(1, **{"0bad": "x"})
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total") is registry.counter("c_total")
+
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+
+class TestExporters:
+    def _registry(self):
+        registry = MetricsRegistry(manifest=run_manifest(config={"a": 1}, seed=3))
+        registry.counter("repro_obs_total", "Observations.").inc(7)
+        registry.gauge("repro_err", "Error.").set(0.25)
+        hist = registry.histogram("repro_iters", "Iterations.", buckets=(1, 5))
+        hist.observe(3)
+        registry.counter("repro_tasks_total").inc(2, domain="0")
+        return registry
+
+    def test_prometheus_text_round_trips_through_parser(self):
+        text = self._registry().to_prometheus_text()
+        types, samples = parse_prometheus_text(text)
+        assert types["repro_obs_total"] == "counter"
+        assert types["repro_iters"] == "histogram"
+        by_name = {(name, tuple(sorted(labels.items()))): v for name, labels, v in samples}
+        assert by_name[("repro_obs_total", ())] == 7
+        assert by_name[("repro_err", ())] == 0.25
+        assert by_name[("repro_iters_count", ())] == 1
+        assert by_name[("repro_tasks_total", (("domain", "0"),))] == 2
+
+    def test_prometheus_text_carries_build_info(self):
+        text = self._registry().to_prometheus_text()
+        _, samples = parse_prometheus_text(text)
+        info = [labels for name, labels, _ in samples if name == "repro_build_info"]
+        assert len(info) == 1
+        assert info[0]["seed"] == "3"
+        assert len(info[0]["config_hash"]) == 64
+
+    def test_export_passes_the_ci_validator(self):
+        validate_prometheus_text(self._registry().to_prometheus_text())
+
+    def test_json_export_embeds_manifest(self):
+        dump = self._registry().to_json()
+        assert dump["manifest"]["seed"] == 3
+        names = [entry["name"] for entry in dump["metrics"]]
+        assert "repro_obs_total" in names and "repro_iters" in names
+        json.dumps(dump)  # fully JSON-serialisable
+
+    def test_write_picks_format_from_suffix(self, tmp_path):
+        registry = self._registry()
+        json_path = registry.write(tmp_path / "m.json")
+        prom_path = registry.write(tmp_path / "m.prom")
+        assert json.loads(json_path.read_text())["manifest"]["seed"] == 3
+        validate_prometheus_text(prom_path.read_text())
+
+
+class TestValidator:
+    def test_rejects_duplicate_samples(self):
+        text = "# TYPE c counter\nc 1\nc 2\n"
+        with pytest.raises(ValueError, match="duplicate sample"):
+            validate_prometheus_text(text)
+
+    def test_rejects_duplicate_type_declarations(self):
+        text = "# TYPE c counter\n# TYPE c counter\n"
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            validate_prometheus_text(text)
+
+    def test_rejects_negative_counter(self):
+        text = "# TYPE c counter\nc -1\n"
+        with pytest.raises(ValueError, match="negative"):
+            validate_prometheus_text(text)
+
+    def test_rejects_non_monotone_histogram_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 10\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="non-monotone"):
+            validate_prometheus_text(text)
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 3\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            validate_prometheus_text(text)
+
+    def test_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus_text("not a metric line at all!\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_prometheus_text("c abc\n")

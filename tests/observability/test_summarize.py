@@ -1,0 +1,115 @@
+"""Trace summarisation: timeline reconstruction from records alone."""
+
+import pytest
+
+from repro.observability import read_trace, render_summary, summarize_trace
+from repro.observability.tracer import RunTracer, canonical_json
+
+
+def _sample_records():
+    return [
+        {"seq": 0, "type": "run.start", "data": {"manifest": {
+            "repro_version": "1.0.0", "seed": 7, "config_hash": "ab" * 32}}},
+        {"seq": 1, "type": "day.start", "data": {"day": 0, "n_tasks": 10}},
+        {"seq": 2, "type": "step.start", "data": {"kind": "warm-up", "step": 1}},
+        {"seq": 3, "type": "phase.start", "data": {"phase": "identify"}},
+        {"seq": 4, "type": "phase.end", "data": {"phase": "identify"}},
+        {"seq": 5, "type": "phase.start", "data": {"phase": "truth"}},
+        {"seq": 6, "type": "mle.iteration", "data": {"iteration": 1, "delta": None}},
+        {"seq": 7, "type": "mle.iteration", "data": {"iteration": 2, "delta": 0.2}},
+        {"seq": 8, "type": "mle.converged", "data": {"iterations": 2, "final_delta": 0.2}},
+        {"seq": 9, "type": "phase.end", "data": {"phase": "truth"}},
+        {"seq": 10, "type": "clustering.new_domain", "data": {"domain": 3}},
+        {"seq": 11, "type": "reputation.quarantine", "data": {"day": 0, "users": [4, 9]}},
+        {"seq": 12, "type": "guard.violation",
+         "data": {"check": "finite_truths", "phase": "truth", "count": 2}},
+        {"seq": 13, "type": "checkpoint.save",
+         "data": {"step": 1, "file": "checkpoint-00000001.json", "bytes": 512}},
+        {"seq": 14, "type": "step.end", "data": {"step": 1, "converged": True, "iterations": 2}},
+        {"seq": 15, "type": "day.end", "data": {"day": 0, "error": 0.3, "cost": 12.0}},
+        {"seq": 16, "type": "run.end", "data": {"fault_counts": {"drop": 3}}},
+    ]
+
+
+class TestSummarizeTrace:
+    def test_reconstructs_day_timeline(self):
+        summary = summarize_trace(_sample_records())
+        assert summary["manifest"]["seed"] == 7
+        (day,) = summary["days"]
+        assert day.day == 0
+        assert day.kind == "warm-up"
+        assert day.phases == ["identify", "truth"]
+        assert day.mle_iterations == 2
+        assert day.converged is True
+        assert day.final_delta == pytest.approx(0.2)
+        assert day.new_domains == [3]
+        assert day.quarantined == [4, 9]
+        assert day.guard_violations == [("finite_truths", "truth", 2)]
+        assert day.checkpoints == [(1, 512)]
+        assert day.error == pytest.approx(0.3)
+        assert summary["fault_counts"] == {"drop": 3}
+
+    def test_anomalies_collect_quarantines_and_violations(self):
+        summary = summarize_trace(_sample_records())
+        text = "\n".join(summary["anomalies"])
+        assert "quarantined users [4, 9]" in text
+        assert "guard violation truth/finite_truths" in text
+
+    def test_non_convergence_is_an_anomaly(self):
+        records = [
+            {"seq": 0, "type": "day.start", "data": {"day": 2}},
+            {"seq": 1, "type": "mle.non_convergence",
+             "data": {"iterations": 100, "final_delta": 0.9}},
+        ]
+        summary = summarize_trace(records)
+        assert summary["days"][0].converged is False
+        assert any("did not converge" in entry for entry in summary["anomalies"])
+
+    def test_unknown_types_are_counted_not_fatal(self):
+        summary = summarize_trace([{"seq": 0, "type": "future.event"}])
+        assert summary["unknown_types"] == {"future.event": 1}
+
+
+class TestRenderSummary:
+    def test_renders_manifest_days_and_anomalies(self):
+        text = render_summary(summarize_trace(_sample_records()))
+        assert "run: repro 1.0.0, seed 7" in text
+        assert "day 0 (warm-up): 10 tasks" in text
+        assert "phases: identify -> truth" in text
+        assert "mle: 2 iterations, converged" in text
+        assert "quarantined [4, 9]" in text
+        assert "injected faults: drop=3" in text
+        assert "anomalies (2):" in text
+
+    def test_clean_run_reports_no_anomalies(self):
+        text = render_summary(summarize_trace([
+            {"seq": 0, "type": "day.start", "data": {"day": 0}},
+            {"seq": 1, "type": "day.end", "data": {"day": 0, "error": 0.1}},
+        ]))
+        assert "anomalies: none" in text
+
+
+class TestReadTrace:
+    def test_reads_tracer_output(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with RunTracer(sink=path) as tracer:
+            tracer.emit("day.start", day=0)
+            tracer.emit("day.end", day=0)
+        records = read_trace(path)
+        assert [r["type"] for r in records] == ["day.start", "day.end"]
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = canonical_json({"seq": 0, "type": "day.start", "data": {"day": 0}})
+        path.write_text(good + "\n" + '{"seq": 1, "type": "day.e')
+        records = read_trace(path)
+        assert records[-1]["type"] == "trace.truncated"
+        summary = summarize_trace(records)
+        assert summary["truncated"] is True
+        assert "crashed run" in render_summary(summary)
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('not json\n{"seq": 0, "type": "x"}\n')
+        with pytest.raises(ValueError, match="line 1"):
+            read_trace(path)

@@ -1,0 +1,145 @@
+"""RunTracer: ordering, determinism, ring buffer, sink, spans."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.observability import NULL_TRACER, RunTracer, canonical_json
+from repro.observability.tracer import NullTracer
+
+
+class TestEmit:
+    def test_seq_is_monotone_and_dense(self):
+        tracer = RunTracer()
+        for _ in range(5):
+            tracer.emit("tick")
+        assert [r["seq"] for r in tracer.events()] == [0, 1, 2, 3, 4]
+        assert tracer.event_count == 5
+
+    def test_no_timestamp_without_clock(self):
+        tracer = RunTracer()
+        tracer.emit("tick")
+        assert "ts" not in tracer.events()[0]
+
+    def test_explicit_clock_supplies_timestamp(self):
+        ticks = iter([1.5, 2.5])
+        tracer = RunTracer(clock=lambda: next(ticks))
+        tracer.emit("a")
+        tracer.emit("b")
+        assert [r["ts"] for r in tracer.events()] == [1.5, 2.5]
+
+    def test_set_clock_attaches_and_detaches(self):
+        tracer = RunTracer()
+        tracer.set_clock(lambda: 9.0)
+        tracer.emit("a")
+        tracer.set_clock(None)
+        tracer.emit("b")
+        records = tracer.events()
+        assert records[0]["ts"] == 9.0
+        assert "ts" not in records[1]
+
+    def test_data_payload_coerces_numpy(self):
+        tracer = RunTracer()
+        tracer.emit("x", count=np.int64(3), delta=np.float64(0.5), arr=np.array([1, 2]))
+        data = tracer.events()[0]["data"]
+        assert data == {"count": 3, "delta": 0.5, "arr": [1, 2]}
+        json.dumps(data)  # must be JSON-serialisable
+
+    def test_events_filter_by_type(self):
+        tracer = RunTracer()
+        tracer.emit("a")
+        tracer.emit("b")
+        tracer.emit("a")
+        assert len(tracer.events("a")) == 2
+        assert tracer.events("missing") == []
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        tracer = RunTracer(capacity=3)
+        for i in range(10):
+            tracer.emit("tick", i=i)
+        buffered = tracer.events()
+        assert len(buffered) == 3
+        assert [r["data"]["i"] for r in buffered] == [7, 8, 9]
+        assert tracer.event_count == 10  # eviction does not forget the count
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RunTracer(capacity=0)
+
+
+class TestSpan:
+    def test_span_emits_start_and_end(self):
+        tracer = RunTracer()
+        with tracer.span("step", kind="daily"):
+            tracer.emit("inner")
+        types = [r["type"] for r in tracer.events()]
+        assert types == ["step.start", "inner", "step.end"]
+        assert tracer.events("step.end")[0]["data"] == {"kind": "daily"}
+
+    def test_span_end_records_exception_class(self):
+        tracer = RunTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("step"):
+                raise RuntimeError("boom")
+        end = tracer.events("step.end")[0]
+        assert end["data"]["error"] == "RuntimeError"
+
+
+class TestSink:
+    def test_sink_writes_canonical_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with RunTracer(sink=path) as tracer:
+            tracer.emit("a", x=1)
+            tracer.emit("b")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert lines[0] == canonical_json({"seq": 0, "type": "a", "data": {"x": 1}})
+        assert json.loads(lines[1]) == {"seq": 1, "type": "b"}
+
+    def test_sink_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "deep" / "trace.jsonl"
+        tracer = RunTracer(sink=path)
+        tracer.emit("a")
+        tracer.close()
+        assert path.exists()
+
+    def test_sink_is_line_buffered_before_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = RunTracer(sink=path)
+        tracer.emit("a")
+        # A crashed run never calls close(); the event must already be on disk.
+        assert path.read_text().count("\n") == 1
+        tracer.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = RunTracer(sink=tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.close()
+
+    def test_identical_emission_sequences_are_byte_identical(self, tmp_path):
+        paths = []
+        for name in ("one", "two"):
+            path = tmp_path / f"{name}.jsonl"
+            with RunTracer(sink=path) as tracer:
+                tracer.emit("day.start", day=0)
+                with tracer.span("phase", phase="truth"):
+                    tracer.emit("mle.iteration", iteration=2, delta=0.25)
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+class TestNullTracer:
+    def test_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit("anything", x=1)
+        with NULL_TRACER.span("s"):
+            pass
+        assert NULL_TRACER.events() == []
+        NULL_TRACER.set_clock(lambda: 0.0)
+        NULL_TRACER.close()
+
+    def test_shared_singleton(self):
+        assert isinstance(NULL_TRACER, NullTracer)

@@ -53,10 +53,47 @@ def test_phase_records_on_exception():
     assert timer.get("allocate") == 1.0
 
 
+def test_wrap_records_time_when_the_call_raises():
+    clock = FakeClock()
+    timer = PhaseTimer(clock=clock)
+
+    def explode():
+        clock.t += 2.0
+        raise ValueError("boom")
+
+    timed = timer.wrap("truth", explode)
+    try:
+        timed()
+    except ValueError:
+        pass
+    assert timer.get("truth") == 2.0
+
+
+def test_wrap_exception_propagates_unchanged():
+    timer = PhaseTimer(clock=FakeClock())
+
+    def explode():
+        raise KeyError("original")
+
+    timed = timer.wrap("collect", explode)
+    import pytest
+
+    with pytest.raises(KeyError, match="original"):
+        timed()
+
+
 def test_add_clamps_negative_spans():
     timer = PhaseTimer()
     timer.add("allocate", -0.5)
     assert timer.get("allocate") == 0.0
+
+
+def test_add_clamps_negative_spans_without_touching_positives():
+    timer = PhaseTimer()
+    timer.add("truth", 1.0)
+    timer.add("truth", -5.0)  # clock skew: clamp, do not subtract
+    assert timer.get("truth") == 1.0
+    assert timer.total == 1.0
 
 
 def test_timings_always_lists_canonical_phases():
@@ -71,6 +108,67 @@ def test_merge_timings_folds_in_place():
     merge_timings(totals, {"identify": 0.5, "truth": 2.0})
     assert totals == {"identify": 1.5, "truth": 2.0}
     assert merge_timings(totals, None) is totals
+
+
+def test_merge_timings_disjoint_keys_union():
+    totals = {"identify": 1.0}
+    merge_timings(totals, {"allocate": 2.0, "collect": 0.5})
+    assert totals == {"identify": 1.0, "allocate": 2.0, "collect": 0.5}
+
+
+def test_merge_timings_overlapping_keys_sum():
+    totals = {"identify": 1.0, "truth": 3.0}
+    merge_timings(totals, {"identify": 2.0, "truth": 0.25})
+    assert totals == {"identify": 3.0, "truth": 3.25}
+
+
+def test_merge_timings_empty_update_is_noop():
+    totals = {"identify": 1.0}
+    assert merge_timings(totals, {}) == {"identify": 1.0}
+
+
+def test_phase_emits_trace_spans():
+    from repro.observability import RunTracer
+
+    clock = FakeClock()
+    tracer = RunTracer()
+    timer = PhaseTimer(clock=clock, tracer=tracer)
+    with timer.phase("truth"):
+        clock.t += 2.0
+    types = [r["type"] for r in tracer.events()]
+    assert types == ["phase.start", "phase.end"]
+    end = tracer.events("phase.end")[0]["data"]
+    assert end == {"phase": "truth"}
+    # Wall-clock durations stay out of the trace unless explicitly opted in,
+    # so same-seed runs stay byte-identical.
+    assert timer.get("truth") == 2.0
+
+
+def test_phase_trace_span_records_exception_class():
+    from repro.observability import RunTracer
+
+    tracer = RunTracer()
+    timer = PhaseTimer(clock=FakeClock(), tracer=tracer)
+    try:
+        with timer.phase("allocate"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    end = tracer.events("phase.end")[0]["data"]
+    assert end["phase"] == "allocate"
+    assert end["error"] == "RuntimeError"
+
+
+def test_phase_wall_time_opt_in():
+    from repro.observability import RunTracer
+
+    clock = FakeClock()
+    tracer = RunTracer(include_wall_time=True)
+    timer = PhaseTimer(clock=clock, tracer=tracer)
+    with timer.phase("collect"):
+        clock.t += 1.0
+    end = tracer.events("phase.end")[0]["data"]
+    assert end["wall_seconds"] == 1.0
 
 
 def test_simulation_day_records_carry_timings():

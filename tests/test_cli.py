@@ -169,6 +169,98 @@ def test_simulate_reputation_ignored_for_baselines(capsys):
     assert "--reputation/--guards/--robust are ignored" in capsys.readouterr().out
 
 
+def test_simulate_trace_and_metrics_out(tmp_path, capsys):
+    import json
+
+    from repro.observability import read_trace, validate_prometheus_text
+
+    trace_path = tmp_path / "run.jsonl"
+    metrics_path = tmp_path / "metrics.prom"
+    args = [
+        "simulate", "--days", "2", "--seed", "3",
+        "--trace-out", str(trace_path), "--metrics-out", str(metrics_path),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out and "metrics:" in out
+
+    records = read_trace(trace_path)
+    types = [r["type"] for r in records]
+    assert types[0] == "run.start"
+    assert types[-1] == "run.end"
+    assert types.count("day.start") == 2
+    manifest = records[0]["data"]["manifest"]
+    assert manifest["seed"] == 3
+    validate_prometheus_text(metrics_path.read_text())
+
+    # JSON metrics via suffix.
+    json_path = tmp_path / "metrics.json"
+    assert main(args[:-1] + [str(json_path)]) == 0
+    capsys.readouterr()
+    assert json.loads(json_path.read_text())["manifest"]["seed"] == 3
+
+
+def test_simulate_same_seed_traces_byte_identical(tmp_path, capsys):
+    paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+    for path in paths:
+        assert main(["simulate", "--days", "2", "--seed", "9", "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+def test_trace_summarize_reconstructs_timeline(tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    assert (
+        main(
+            [
+                "simulate", "--days", "3", "--seed", "3",
+                "--fault-drops", "0.1", "--reputation", "--guards", "warn",
+                "--trace-out", str(trace_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["trace", "summarize", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "seed 3" in out
+    assert "day 0 (warm-up)" in out
+    assert "day 1 (daily)" in out
+    assert "day 2 (daily)" in out
+    assert "identify -> allocate -> collect -> truth" in out
+    assert "events:" in out
+
+
+def test_simulate_checkpoint_manifest_without_telemetry_flags(tmp_path, caplog):
+    import json
+    import logging
+
+    # Even with no --trace-out/--metrics-out, checkpoints carry the run
+    # manifest so a config-drifted --resume warns.
+    assert main(["simulate", "--days", "2", "--seed", "3", "--checkpoint-dir", str(tmp_path)]) == 0
+    newest = sorted(tmp_path.glob("checkpoint-*.json"))[-1]
+    manifest = json.loads(newest.read_text())["metadata"]["manifest"]
+    assert manifest["seed"] == 3
+    assert len(manifest["config_hash"]) == 64
+
+    with caplog.at_level(logging.WARNING, logger="repro.reliability.checkpoint"):
+        args = ["simulate", "--days", "2", "--seed", "4", "--resume", "--checkpoint-dir", str(tmp_path)]
+        assert main(args) == 0
+    assert any("different configuration" in r.message for r in caplog.records)
+
+
+def test_trace_summarize_missing_file_fails(tmp_path, capsys):
+    assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+    assert "No such file" in capsys.readouterr().err
+
+
+def test_trace_summarize_corrupt_file_fails(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n{}\n")
+    assert main(["trace", "summarize", str(bad)]) == 2
+    assert "line 1" in capsys.readouterr().err
+
+
 def test_simulate_resume_requires_checkpoint_dir(capsys):
     assert main(["simulate", "--days", "2", "--resume"]) == 2
     assert "requires a checkpoint_dir" in capsys.readouterr().err
