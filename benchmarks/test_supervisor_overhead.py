@@ -1,0 +1,76 @@
+"""Supervised-execution overhead: the fault-free path must be near-free.
+
+The acceptance bar from the supervised-sweep issue: running a sweep through
+:class:`~repro.reliability.supervisor.SupervisedExecutor` with no faults,
+no journal, and no timeouts must cost <5% over bare serial ``run_jobs``.
+Per job the supervisor adds one SHA-256 fingerprint, attempt bookkeeping,
+and a couple of branches — nothing against a real ``run_simulation`` cell.
+
+Same methodology as ``test_reliability_overhead.py``: paired back-to-back
+rounds cancel drift, and the min ratio across rounds is the cleanest
+observation of the true overhead.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.perf.sweep import ApproachSpec, replication_jobs, run_jobs
+from repro.reliability.supervisor import SupervisedExecutor, SupervisorConfig
+
+ROUNDS = 5
+
+
+def _jobs():
+    config = ExperimentConfig(
+        replications=3, n_days=2, seed=31, synthetic_tasks=40, synthetic_users=12
+    )
+    return replication_jobs("synthetic", ApproachSpec.eta2(gamma=0.3, alpha=0.5), config)
+
+
+def _paired_round_ratios(jobs):
+    ratios = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run_jobs(jobs)
+        bare = time.perf_counter() - start
+        start = time.perf_counter()
+        run_jobs(jobs, supervisor=SupervisorConfig())
+        supervised = time.perf_counter() - start
+        ratios.append(supervised / bare)
+    return ratios
+
+
+def test_fault_free_supervised_overhead_under_5_percent():
+    jobs = _jobs()
+    # Warm-up pass so neither side pays first-call costs (imports, caches).
+    run_jobs(jobs)
+    run_jobs(jobs, supervisor=SupervisorConfig())
+
+    ratios = _paired_round_ratios(jobs)
+    overhead = min(ratios) - 1.0
+    assert overhead < 0.05, (
+        f"fault-free supervised overhead {overhead:.2%} exceeds the 5% budget "
+        f"(per-round supervised/bare ratios: {[f'{r:.3f}' for r in ratios]})"
+    )
+
+
+def test_supervised_results_identical_on_fault_free_path():
+    jobs = _jobs()
+    bare = run_jobs(jobs)
+    supervised = run_jobs(jobs, supervisor=SupervisorConfig())
+    for a, b in zip(bare, supervised):
+        np.testing.assert_array_equal(a.errors_by_day(), b.errors_by_day())
+        assert a.total_cost == b.total_cost
+
+
+def test_sweep_bare_serial(benchmark):
+    jobs = _jobs()
+    benchmark(lambda: run_jobs(jobs))
+
+
+def test_sweep_supervised_serial(benchmark):
+    jobs = _jobs()
+    executor = SupervisedExecutor(n_jobs=None)
+    benchmark(lambda: executor.run(jobs))

@@ -37,25 +37,29 @@ from repro.truthdiscovery import AverageLog, HubsAuthorities, TruthFinder
 __all__ = ["main", "build_parser"]
 
 #: Figure id -> (runner, needs_dataset_argument, description).  Runners take
-#: (config, dataset, jobs); only the embarrassingly-parallel sweep figures
-#: (4, 5, 6) fan out across --jobs worker processes.
+#: (config, dataset, jobs, supervisor); only the embarrassingly-parallel
+#: sweep figures (4, 5, 6) fan out across --jobs worker processes and honour
+#: the supervised-execution flags (--retry/--job-timeout/--journal/...).
 FIGURES = {
-    "fig2": (lambda cfg, ds, jobs: fig2_error_distribution(cfg), False, "observation-error distribution vs N(0,1)"),
-    "table1": (lambda cfg, ds, jobs: table1_normality(cfg), False, "chi-square normality non-rejection rates"),
-    "fig4": (lambda cfg, ds, jobs: fig4_parameter_sweep(ds or "survey", cfg, jobs=jobs), True, "(alpha, gamma) parameter sweep"),
-    "fig5": (lambda cfg, ds, jobs: fig5_error_over_days(ds or "survey", cfg, jobs=jobs), True, "estimation error by day, all approaches"),
-    "fig6": (lambda cfg, ds, jobs: fig6_capability_sweep(ds or "survey", cfg, jobs=jobs), True, "error vs processing capability"),
-    "fig7": (lambda cfg, ds, jobs: fig7_expertise_vs_error(cfg, dataset_name=ds or "sfv"), True, "observation error vs user expertise"),
-    "fig8": (lambda cfg, ds, jobs: fig8_bias_robustness(cfg), False, "robustness to non-normal observations"),
+    "fig2": (lambda cfg, ds, jobs, sup: fig2_error_distribution(cfg), False, "observation-error distribution vs N(0,1)"),
+    "table1": (lambda cfg, ds, jobs, sup: table1_normality(cfg), False, "chi-square normality non-rejection rates"),
+    "fig4": (lambda cfg, ds, jobs, sup: fig4_parameter_sweep(ds or "survey", cfg, jobs=jobs, supervisor=sup), True, "(alpha, gamma) parameter sweep"),
+    "fig5": (lambda cfg, ds, jobs, sup: fig5_error_over_days(ds or "survey", cfg, jobs=jobs, supervisor=sup), True, "estimation error by day, all approaches"),
+    "fig6": (lambda cfg, ds, jobs, sup: fig6_capability_sweep(ds or "survey", cfg, jobs=jobs, supervisor=sup), True, "error vs processing capability"),
+    "fig7": (lambda cfg, ds, jobs, sup: fig7_expertise_vs_error(cfg, dataset_name=ds or "sfv"), True, "observation error vs user expertise"),
+    "fig8": (lambda cfg, ds, jobs, sup: fig8_bias_robustness(cfg), False, "robustness to non-normal observations"),
     "fig9-10": (
-        lambda cfg, ds, jobs: fig9_fig10_mincost_comparison(ds or "synthetic", cfg),
+        lambda cfg, ds, jobs, sup: fig9_fig10_mincost_comparison(ds or "synthetic", cfg),
         True,
         "ETA2 vs ETA2-mc: error and cost vs tau",
     ),
-    "fig11": (lambda cfg, ds, jobs: fig11_expertise_accuracy(cfg), False, "expertise estimation accuracy"),
-    "fig12": (lambda cfg, ds, jobs: fig12_convergence_cdf(cfg), False, "CDF of MLE convergence iterations"),
-    "table2": (lambda cfg, ds, jobs: table2_allocation_audit(cfg), False, "users-per-task allocation audit"),
+    "fig11": (lambda cfg, ds, jobs, sup: fig11_expertise_accuracy(cfg), False, "expertise estimation accuracy"),
+    "fig12": (lambda cfg, ds, jobs, sup: fig12_convergence_cdf(cfg), False, "CDF of MLE convergence iterations"),
+    "table2": (lambda cfg, ds, jobs, sup: table2_allocation_audit(cfg), False, "users-per-task allocation audit"),
 }
+
+#: Figure ids that execute through run_jobs and honour supervised execution.
+SWEEP_FIGURES = ("fig4", "fig5", "fig6")
 
 APPROACHES = {
     "eta2": lambda args: ETA2Approach(
@@ -141,6 +145,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the sweep figures (fig4/5/6); "
         "-1 = one per CPU; results are identical to the serial run",
+    )
+    supervised = figure.add_argument_group(
+        "supervised execution",
+        "crash-tolerant sweeps (fig4/5/6): retries, per-job deadlines, and a "
+        "resumable journal (repro.reliability.supervisor)",
+    )
+    supervised.add_argument(
+        "--retry",
+        type=_positive_int,
+        default=None,
+        help="max attempts per sweep job before it is dead-lettered (default 3)",
+    )
+    supervised.add_argument(
+        "--job-timeout",
+        type=_positive_float,
+        default=None,
+        dest="job_timeout",
+        help="per-job deadline in seconds, enforced inside workers",
+    )
+    supervised.add_argument(
+        "--journal",
+        default=None,
+        help="append a JSONL run journal here (one record per job outcome)",
+    )
+    supervised.add_argument(
+        "--resume-journal",
+        default=None,
+        dest="resume_journal",
+        help="skip jobs already completed in this journal from a prior run "
+        "(implies --journal at the same path unless one is given)",
     )
 
     simulate = sub.add_parser("simulate", help="run one simulation and print per-day results")
@@ -309,11 +343,52 @@ def _run_list() -> int:
     return 0
 
 
+def _build_supervisor(args: argparse.Namespace):
+    """SupervisorConfig (or None) from the figure subcommand's flags."""
+    if (
+        args.retry is None
+        and args.job_timeout is None
+        and args.journal is None
+        and args.resume_journal is None
+    ):
+        return None
+    from repro.reliability.retry import RetryPolicy
+    from repro.reliability.supervisor import SupervisorConfig
+
+    journal = args.journal
+    if journal is None and args.resume_journal is not None:
+        journal = args.resume_journal  # keep appending to the resumed journal
+    return SupervisorConfig(
+        retry=RetryPolicy(max_attempts=args.retry if args.retry is not None else 3),
+        job_timeout=args.job_timeout,
+        journal=journal,
+        resume_journal=args.resume_journal,
+    )
+
+
 def _run_figure(args: argparse.Namespace) -> int:
     runner, _, _ = FIGURES[args.figure_id]
     config = ExperimentConfig(replications=args.replications, seed=args.seed)
-    result = runner(config, args.dataset, args.jobs)
+    supervisor = _build_supervisor(args)
+    if supervisor is not None and args.figure_id not in SWEEP_FIGURES:
+        print(
+            f"note: --retry/--job-timeout/--journal are ignored for "
+            f"{args.figure_id} (supervision applies to {', '.join(SWEEP_FIGURES)})"
+        )
+        supervisor = None
+    result = runner(config, args.dataset, args.jobs, supervisor)
     print(result.render())
+    if supervisor is not None and supervisor.journal is not None:
+        from repro.reliability.supervisor import read_journal
+
+        records = read_journal(supervisor.journal)
+        completed = sum(1 for r in records if r.get("type") == "job.complete")
+        dead = sum(1 for r in records if r.get("type") == "job.dead_letter")
+        retries = sum(1 for r in records if r.get("type") == "job.retry")
+        line = f"journal: {supervisor.journal} — {completed} completed, {retries} retries"
+        if dead:
+            line += f", {dead} DEAD-LETTERED"
+        print(line)
     return 0
 
 

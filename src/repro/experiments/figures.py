@@ -227,12 +227,16 @@ def fig4_parameter_sweep(
     alphas: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
     gammas: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.7),
     jobs: "int | None" = None,
+    supervisor=None,
 ) -> Fig4Result:
     """Fig. 4: mean estimation error over the parameter grid.
 
     Every (grid point, replication) cell is an independent simulation, so
     the whole grid fans out across ``jobs`` worker processes at once;
     results are identical to the serial sweep for any ``jobs``.
+    ``supervisor`` (a :class:`~repro.reliability.supervisor.SupervisorConfig`)
+    adds crash/retry supervision; dead-lettered cells are skipped when the
+    grid is averaged.
     """
     probe = dataset_factory(dataset_name, config, seed=0)
     use_gamma = not probe.domains_known
@@ -248,10 +252,12 @@ def fig4_parameter_sweep(
                     tag=(i, j),
                 )
             )
-    grouped = group_by_tag(job_list, run_jobs(job_list, n_jobs=jobs))
+    grouped = group_by_tag(job_list, run_jobs(job_list, n_jobs=jobs, supervisor=supervisor))
     errors = np.full((len(alphas), len(gamma_grid)), np.nan)
     for (i, j), results in grouped.items():
-        errors[i, j] = float(np.nanmean([r.mean_estimation_error for r in results]))
+        values = [r.mean_estimation_error for r in results if r is not None]
+        if values:
+            errors[i, j] = float(np.nanmean(values))
     return Fig4Result(
         dataset_name=dataset_name,
         alphas=tuple(alphas),
@@ -284,13 +290,14 @@ def fig5_error_over_days(
     dataset_name: str,
     config: ExperimentConfig = ExperimentConfig(),
     jobs: "int | None" = None,
+    supervisor=None,
 ) -> Fig5Result:
     """Fig. 5: per-day estimation error for ETA2 and the four baselines."""
     specs = _approach_specs(dataset_name, config)
     job_list = []
     for name in COMPARISON_APPROACHES:
         job_list.extend(replication_jobs(dataset_name, specs[name], config, tag=name))
-    grouped = group_by_tag(job_list, run_jobs(job_list, n_jobs=jobs))
+    grouped = group_by_tag(job_list, run_jobs(job_list, n_jobs=jobs, supervisor=supervisor))
     series = {name: average_day_errors(grouped[name]).tolist() for name in COMPARISON_APPROACHES}
     days = tuple(range(1, config.n_days + 1))
     return Fig5Result(dataset_name=dataset_name, days=days, series=series)
@@ -321,6 +328,7 @@ def fig6_capability_sweep(
     config: ExperimentConfig = ExperimentConfig(),
     taus: Sequence[float] = (6.0, 9.0, 12.0, 15.0, 18.0),
     jobs: "int | None" = None,
+    supervisor=None,
 ) -> Fig6Result:
     """Fig. 6: mean estimation error as tau varies."""
     job_list = []
@@ -331,13 +339,14 @@ def fig6_capability_sweep(
             job_list.extend(
                 replication_jobs(dataset_name, specs[name], tau_config, tag=(name, tau))
             )
-    grouped = group_by_tag(job_list, run_jobs(job_list, n_jobs=jobs))
+    grouped = group_by_tag(job_list, run_jobs(job_list, n_jobs=jobs, supervisor=supervisor))
+
+    def _cell(name, tau):
+        values = [r.mean_estimation_error for r in grouped[(name, tau)] if r is not None]
+        return float(np.nanmean(values)) if values else float("nan")
+
     series = {
-        name: [
-            float(np.nanmean([r.mean_estimation_error for r in grouped[(name, tau)]]))
-            for tau in taus
-        ]
-        for name in COMPARISON_APPROACHES
+        name: [_cell(name, tau) for tau in taus] for name in COMPARISON_APPROACHES
     }
     return Fig6Result(dataset_name=dataset_name, taus=tuple(taus), series=series)
 

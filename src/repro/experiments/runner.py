@@ -19,6 +19,7 @@ def replicate(
     config: ExperimentConfig,
     bias_fraction: float = 0.0,
     jobs: "int | None" = None,
+    supervisor=None,
 ) -> list:
     """Run ``config.replications`` independent simulations.
 
@@ -29,7 +30,10 @@ def replicate(
     *fresh* approach object, or a picklable
     :class:`~repro.perf.sweep.ApproachSpec`.  ``jobs`` fans replications
     across worker processes (specs only — closures don't pickle); results
-    are identical to the serial path either way.
+    are identical to the serial path either way.  ``supervisor`` (a
+    :class:`~repro.reliability.supervisor.SupervisorConfig`) adds
+    crash/hang/retry supervision with a resumable journal; dead-lettered
+    replications come back as ``None``.
     """
     from repro.perf.sweep import ApproachSpec, replication_jobs, run_jobs
 
@@ -37,10 +41,12 @@ def replicate(
         return run_jobs(
             replication_jobs(dataset_name, approach_factory, config, bias_fraction=bias_fraction),
             n_jobs=jobs,
+            supervisor=supervisor,
         )
-    if jobs not in (None, 0, 1):
+    if jobs not in (None, 0, 1) or supervisor is not None:
         raise TypeError(
-            "parallel replication needs a picklable ApproachSpec, not a factory callable"
+            "parallel or supervised replication needs a picklable ApproachSpec, "
+            "not a factory callable"
         )
     results: list = []
     rngs = spawn_rngs(config.seed, config.replications)
@@ -56,8 +62,13 @@ def replicate(
     return results
 
 
-def average_day_errors(results: Sequence[SimulationResult]) -> np.ndarray:
-    """Mean per-day estimation error across replications (NaN-safe)."""
+def average_day_errors(results: Sequence["SimulationResult | None"]) -> np.ndarray:
+    """Mean per-day estimation error across replications (NaN-safe).
+
+    ``None`` entries (dead-lettered supervised replications) are skipped;
+    averaging requires at least one real result.
+    """
+    results = [result for result in results if result is not None]
     if not results:
         raise ValueError("no results to average")
     stacked = np.vstack([result.errors_by_day() for result in results])

@@ -147,20 +147,46 @@ def _run_job(job: SimulationJob) -> SimulationResult:
     return job.run()
 
 
-def run_jobs(jobs: Sequence[SimulationJob], n_jobs: "int | None" = None) -> list:
+def run_jobs(
+    jobs: Sequence[SimulationJob],
+    n_jobs: "int | None" = None,
+    supervisor=None,
+) -> list:
     """Run jobs serially (``n_jobs`` in (None, 0, 1)) or across processes.
 
     Results come back in submission order either way, and every job's seeds
     are self-contained, so the two modes are numerically identical.
     ``n_jobs`` < 0 means "one worker per CPU".
+
+    ``supervisor`` — a :class:`~repro.reliability.supervisor.SupervisorConfig`
+    or a prebuilt :class:`~repro.reliability.supervisor.SupervisedExecutor`
+    — routes execution through the crash-tolerant supervised layer (worker
+    crash/hang recovery, retries, dead-letter quarantine, resumable run
+    journal).  Non-dead-lettered results stay bit-identical to the bare
+    path; dead-lettered jobs leave ``None`` holes in the returned list.
     """
     jobs = list(jobs)
     if n_jobs is not None and n_jobs < 0:
         n_jobs = os.cpu_count() or 1
+    if supervisor is not None:
+        from repro.reliability.supervisor import SupervisedExecutor, SupervisorConfig
+
+        if isinstance(supervisor, SupervisorConfig):
+            supervisor = supervisor.executor(n_jobs=n_jobs)
+        elif not isinstance(supervisor, SupervisedExecutor):
+            raise TypeError("supervisor must be a SupervisorConfig or SupervisedExecutor")
+        return supervisor.run(jobs).results
     if n_jobs in (None, 0, 1) or len(jobs) <= 1:
         return [job.run() for job in jobs]
     with ProcessPoolExecutor(max_workers=min(n_jobs, len(jobs))) as pool:
-        return list(pool.map(_run_job, jobs))
+        try:
+            return list(pool.map(_run_job, jobs))
+        except BaseException:
+            # KeyboardInterrupt (or a worker exception) mid-map used to
+            # leave queued child work running after the parent unwound;
+            # cancel it so the pool's workers exit instead of orphaning.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
 
 def group_by_tag(jobs: Sequence[SimulationJob], results: Sequence[SimulationResult]) -> dict:

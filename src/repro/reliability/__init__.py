@@ -28,6 +28,13 @@ makes every one of those failures survivable:
 - :mod:`repro.reliability.guards` — :class:`InvariantGuard`, phase-boundary
   invariant checks (finite truths, positive sigmas, bounded expertise,
   valid partitions) with warn / raise / repair policies.
+- :mod:`repro.reliability.retry` — the shared deterministic
+  backoff-with-jitter :class:`RetryPolicy` used by the observer and the
+  sweep supervisor.
+- :mod:`repro.reliability.supervisor` — :class:`SupervisedExecutor`,
+  crash-tolerant sweep execution: worker-crash resubmission, in-worker
+  deadlines with a hung-worker watchdog, retries, dead-letter quarantine,
+  graceful SIGINT/SIGTERM drain, and a resumable JSONL run journal.
 """
 
 from repro.reliability.chaos import ChaosWorld
@@ -40,13 +47,25 @@ from repro.reliability.faults import (
     FaultyObserver,
     SimulatedCrash,
     VirtualClock,
+    WorkerFaultProfile,
     crashing_writer,
+)
+from repro.reliability.retry import RetryPolicy
+from repro.reliability.supervisor import (
+    DeadLetter,
+    JobTimeout,
+    SupervisedExecutor,
+    SupervisedResult,
+    SupervisorConfig,
+    SweepInterrupted,
+    job_key,
+    load_journal_results,
+    read_journal,
 )
 from repro.reliability.observer import (
     CircuitBreaker,
     ObserverReport,
     ResilientObserver,
-    RetryPolicy,
 )
 from repro.reliability.guards import (
     GuardConfig,
@@ -68,6 +87,7 @@ __all__ = [
     "CheckpointError",
     "CheckpointManager",
     "CircuitBreaker",
+    "DeadLetter",
     "FaultError",
     "FaultInjector",
     "FaultProfile",
@@ -78,6 +98,7 @@ __all__ = [
     "GuardViolation",
     "InvariantGuard",
     "InvariantViolationError",
+    "JobTimeout",
     "ObservationSanitizer",
     "ObserverReport",
     "ReputationConfig",
@@ -88,6 +109,14 @@ __all__ = [
     "RetryPolicy",
     "SanitizeReport",
     "SimulatedCrash",
+    "SupervisedExecutor",
+    "SupervisedResult",
+    "SupervisorConfig",
+    "SweepInterrupted",
     "VirtualClock",
+    "WorkerFaultProfile",
     "crashing_writer",
+    "job_key",
+    "load_journal_results",
+    "read_journal",
 ]

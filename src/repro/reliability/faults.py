@@ -7,6 +7,9 @@ responses, NaN payloads, gross-outlier payloads, and mid-write crashes —
 *deterministically*, from a seeded RNG, so chaos tests are reproducible.
 
 - :class:`FaultProfile` — the knobs (all rates in [0, 1]).
+- :class:`WorkerFaultProfile` — process-level kill / hang / raise faults
+  drawn per (job, attempt) inside sweep worker processes, for chaos-testing
+  the :class:`~repro.reliability.supervisor.SupervisedExecutor`.
 - :class:`FaultInjector` — draws faults from a seeded stream; shared by the
   observer wrapper and the simulation's :class:`~repro.reliability.chaos.ChaosWorld`.
 - :class:`FaultyObserver` — wraps an ``observe(pairs)`` callback with
@@ -19,6 +22,7 @@ responses, NaN payloads, gross-outlier payloads, and mid-write crashes —
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
@@ -32,6 +36,7 @@ __all__ = [
     "FaultTimeout",
     "SimulatedCrash",
     "FaultProfile",
+    "WorkerFaultProfile",
     "VirtualClock",
     "FaultInjector",
     "FaultyObserver",
@@ -109,6 +114,74 @@ class FaultProfile:
             or self.pair_fault_rate > 0.0
             or (self.latency_rate > 0.0 and self.latency > 0.0)
         )
+
+
+@dataclass(frozen=True)
+class WorkerFaultProfile:
+    """Process-level faults injected *inside* sweep worker processes.
+
+    Where :class:`FaultProfile` corrupts the data a transport delivers,
+    this profile breaks the worker running a sweep job — the failure modes
+    the :class:`~repro.reliability.supervisor.SupervisedExecutor` exists to
+    survive:
+
+    - ``kill_rate`` — the worker dies via ``os._exit`` (OOM-killer /
+      segfault stand-in; breaks the whole process pool);
+    - ``hang_rate`` / ``hang_seconds`` — the worker stalls.  A *soft* hang
+      is interruptible by the in-worker deadline alarm; with
+      ``hard_hang=True`` the worker blocks ``SIGALRM`` first, so only the
+      parent-side watchdog can reclaim it;
+    - ``raise_rate`` — the job raises :class:`FaultError` instead of
+      running.
+
+    Draws are *stateless and deterministic*: each ``(job key, attempt)``
+    pair hashes — with ``seed`` — to one uniform draw, so the same job
+    fails the same way on every replay regardless of worker identity or
+    scheduling, and a retried attempt rolls a fresh (but reproducible)
+    draw.  ``fault_attempts`` bounds injection to the first N attempts of
+    each job; the default 1 means "every fault clears on retry", which
+    keeps chaos sweeps completing deterministically.
+    """
+
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    raise_rate: float = 0.0
+    hang_seconds: float = 3600.0
+    hard_hang: bool = False
+    seed: int = 0
+    fault_attempts: int = 1
+
+    def __post_init__(self):
+        for name in ("kill_rate", "hang_rate", "raise_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if self.kill_rate + self.hang_rate + self.raise_rate > 1.0:
+            raise ValueError("kill_rate + hang_rate + raise_rate must not exceed 1")
+        if self.hang_seconds <= 0.0:
+            raise ValueError("hang_seconds must be positive")
+        if self.fault_attempts < 0:
+            raise ValueError("fault_attempts must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return self.kill_rate + self.hang_rate + self.raise_rate > 0.0
+
+    def action(self, job_key: str, attempt: int) -> "str | None":
+        """The fault (``"kill"``/``"hang"``/``"raise"``/None) for one attempt."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        if attempt > self.fault_attempts or not self.active:
+            return None
+        digest = hashlib.sha256(f"{self.seed}:{job_key}:{attempt}".encode("utf-8")).digest()
+        roll = int.from_bytes(digest[:8], "big") / 2.0**64
+        if roll < self.kill_rate:
+            return "kill"
+        if roll < self.kill_rate + self.hang_rate:
+            return "hang"
+        if roll < self.kill_rate + self.hang_rate + self.raise_rate:
+            return "raise"
+        return None
 
 
 class VirtualClock:

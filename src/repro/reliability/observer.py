@@ -31,47 +31,19 @@ from __future__ import annotations
 
 import logging
 import time
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.reliability.retry import RetryPolicy
 from repro.reliability.sanitize import ObservationSanitizer
 
+# RetryPolicy moved to repro.reliability.retry (shared with the sweep
+# supervisor) and stays importable from here.
 __all__ = ["RetryPolicy", "CircuitBreaker", "ObserverReport", "ResilientObserver"]
 
 _LOG = logging.getLogger(__name__)
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Exponential-backoff retry schedule for failed ``observe()`` calls.
-
-    ``max_attempts`` counts the first try: 3 means one call plus at most two
-    retries.  The delay before retry *n* (1-based) is
-    ``base_delay * backoff_factor ** (n - 1)``, capped at ``max_delay``.
-    """
-
-    max_attempts: int = 3
-    base_delay: float = 0.05
-    backoff_factor: float = 2.0
-    max_delay: float = 2.0
-
-    def __post_init__(self):
-        if self.max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
-        if self.base_delay < 0.0:
-            raise ValueError("base_delay must be non-negative")
-        if self.backoff_factor < 1.0:
-            raise ValueError("backoff_factor must be at least 1")
-        if self.max_delay < self.base_delay:
-            raise ValueError("max_delay must be at least base_delay")
-
-    def delay(self, retry_number: int) -> float:
-        """Backoff delay (seconds) before the ``retry_number``-th retry."""
-        if retry_number < 1:
-            raise ValueError("retry_number is 1-based")
-        return min(self.base_delay * self.backoff_factor ** (retry_number - 1), self.max_delay)
 
 
 class CircuitBreaker:

@@ -1,0 +1,74 @@
+"""Shared deterministic retry/backoff policy.
+
+One backoff implementation serves every retrying component in the repo —
+the :class:`~repro.reliability.observer.ResilientObserver` (transient
+``observe()`` failures) and the
+:class:`~repro.reliability.supervisor.SupervisedExecutor` (crashed, hung,
+or raising sweep jobs).  It lives in its own module so neither consumer
+imports the other; ``repro.reliability.observer.RetryPolicy`` remains a
+backward-compatible re-export.
+
+The optional *jitter* is deterministic: instead of drawing from a global
+RNG (which would make retry timing — and therefore chaos-test traces —
+depend on call order), the jitter fraction is derived by hashing an
+opaque caller-supplied token (e.g. a job key) together with the retry
+number.  Equal inputs always produce equal delays; distinct jobs still
+decorrelate their retry storms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+def _jitter_fraction(token, retry_number: int) -> float:
+    """A deterministic uniform-[0, 1) draw from ``(token, retry_number)``."""
+    digest = hashlib.sha256(f"{token}:{retry_number}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry schedule for failed calls or jobs.
+
+    ``max_attempts`` counts the first try: 3 means one call plus at most two
+    retries.  The delay before retry *n* (1-based) is
+    ``base_delay * backoff_factor ** (n - 1)``, capped at ``max_delay``.
+    ``jitter`` (a fraction in [0, 1]) deterministically shrinks each delay
+    by up to that fraction, keyed on the ``token`` passed to :meth:`delay`.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0.0:
+            raise ValueError("base_delay must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be at least base_delay")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+
+    def delay(self, retry_number: int, token=None) -> float:
+        """Backoff delay (seconds) before the ``retry_number``-th retry.
+
+        ``token`` seeds the deterministic jitter; callers retrying many
+        independent units (the sweep supervisor retrying jobs) pass a
+        per-unit key so their delays decorrelate while staying replayable.
+        """
+        if retry_number < 1:
+            raise ValueError("retry_number is 1-based")
+        delay = min(self.base_delay * self.backoff_factor ** (retry_number - 1), self.max_delay)
+        if self.jitter > 0.0:
+            delay *= 1.0 - self.jitter * _jitter_fraction(token, retry_number)
+        return delay

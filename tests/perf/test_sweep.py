@@ -1,5 +1,8 @@
 """Determinism and plumbing of the parallel sweep runner."""
 
+import time
+from dataclasses import dataclass
+
 import numpy as np
 import pytest
 
@@ -86,6 +89,47 @@ def test_group_by_tag_preserves_job_order(tiny_config):
 def test_replicate_rejects_parallel_factories(tiny_config):
     with pytest.raises(TypeError, match="ApproachSpec"):
         replicate("synthetic", lambda: MeanApproach(), tiny_config, jobs=2)
+
+
+@dataclass(frozen=True)
+class _InterruptingJob:
+    """Raises KeyboardInterrupt inside a worker (picklable, module-level)."""
+
+    value: int
+
+    def run(self):
+        if self.value == 0:
+            raise KeyboardInterrupt("operator hit ^C inside a worker")
+        time.sleep(0.05)
+        return self.value
+
+
+@pytest.mark.timeout(60)
+def test_run_jobs_interrupt_cancels_queued_work():
+    """A mid-map interrupt re-raises promptly instead of orphaning workers.
+
+    Before the fix, queued jobs kept running in child processes after the
+    parent unwound; with cancel_futures the pool drains within the test
+    timeout and the original exception propagates.
+    """
+    jobs = [_InterruptingJob(v) for v in range(20)]
+    start = time.monotonic()
+    with pytest.raises(KeyboardInterrupt):
+        run_jobs(jobs, n_jobs=2)
+    # 20 jobs x 0.05s serially would be ~1s; cancellation must beat the
+    # full queue by a wide margin (the bound is loose for slow CI).
+    assert time.monotonic() - start < 30.0
+
+
+def test_run_jobs_supervised_matches_bare(tiny_config):
+    from repro.reliability.supervisor import SupervisorConfig
+
+    jobs = replication_jobs("synthetic", ApproachSpec(kind="mean"), tiny_config)
+    bare = run_jobs(jobs)
+    supervised = run_jobs(jobs, supervisor=SupervisorConfig())
+    for a, b in zip(bare, supervised):
+        np.testing.assert_array_equal(a.errors_by_day(), b.errors_by_day())
+        assert a.total_cost == b.total_cost
 
 
 def test_fig4_parallel_identical_to_serial():

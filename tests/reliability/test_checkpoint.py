@@ -118,6 +118,49 @@ class TestValidation:
 
 
 class TestRecovery:
+    def test_latest_valid_skips_corrupt_newest(self, tmp_path):
+        """latest_valid itself (not just restore) walks past bad files."""
+        system, _, _ = _warmed_system()
+        manager = CheckpointManager(tmp_path, keep=3)
+        older = manager.save(system, step=1)
+        newest = manager.save(system, step=2)
+        record = json.loads(newest.read_text())
+        record["state"]["iteration_log"] = [999]  # checksum now mismatches
+        newest.write_text(json.dumps(record))
+
+        found = manager.latest_valid()
+        assert found is not None
+        path, loaded = found
+        assert path == older
+        assert loaded["step"] == 1
+        # The corrupt file is skipped, not deleted — rotation still sees it.
+        assert newest.exists()
+
+    def test_latest_valid_none_when_all_corrupt(self, tmp_path):
+        system, _, _ = _warmed_system()
+        manager = CheckpointManager(tmp_path, keep=3)
+        for step in (1, 2):
+            path = manager.save(system, step=step)
+            path.write_text(path.read_text()[:25])  # truncate both
+        assert manager.latest_valid() is None
+
+    def test_restore_after_latest_valid_fallback(self, tmp_path):
+        """restore applies the fallback record's state, not the corrupt one."""
+        system, rng, true_u = _warmed_system()
+        manager = CheckpointManager(tmp_path, keep=3)
+        manager.save(system, step=1)
+        expected = system.expertise_matrix()
+        system.step(_day_tasks(rng), _observer(rng, true_u))
+        newest = manager.save(system, step=2)
+        newest.write_text(newest.read_text()[:-40])
+
+        fresh = _make_system(seed=99)
+        assert manager.restore(fresh) == 1
+        restored = fresh.expertise_matrix()
+        assert expected.domain_ids == restored.domain_ids
+        for domain_id in expected.domain_ids:
+            assert np.allclose(expected.column(domain_id), restored.column(domain_id))
+
     def test_corrupt_newest_falls_back_to_older(self, tmp_path):
         system, _, _ = _warmed_system()
         manager = CheckpointManager(tmp_path, keep=3)

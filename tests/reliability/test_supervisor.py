@@ -1,0 +1,566 @@
+"""Tests for crash-tolerant supervised sweep execution.
+
+Covers the full failure taxonomy — in-job exceptions, deadline timeouts,
+abrupt worker kills, soft and hard hangs, signal-driven drains — plus the
+run journal (write, truncation tolerance, checksum rejection, resume) and
+the headline guarantee: non-dead-lettered results are bit-identical to
+serial ``run_jobs``.
+"""
+
+import json
+import pickle
+import signal
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.observability.metrics import MetricsRegistry
+from repro.perf.sweep import ApproachSpec, replication_jobs, run_jobs
+from repro.reliability.faults import FaultError, WorkerFaultProfile
+from repro.reliability.retry import RetryPolicy
+from repro.reliability.supervisor import (
+    DeadLetter,
+    JobTimeout,
+    SupervisedExecutor,
+    SupervisorConfig,
+    SweepInterrupted,
+    job_key,
+    load_journal_results,
+    read_journal,
+)
+
+
+# --------------------------------------------------------------------- #
+# Picklable toy jobs (must be module-level to cross process boundaries)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SquareJob:
+    value: int
+
+    def run(self):
+        return self.value * self.value
+
+
+@dataclass(frozen=True)
+class ExplodingJob:
+    value: int
+
+    def run(self):
+        raise RuntimeError(f"job {self.value} always explodes")
+
+
+@dataclass(frozen=True)
+class SlowJob:
+    seconds: float
+    value: int
+
+    def run(self):
+        time.sleep(self.seconds)
+        return self.value
+
+
+class _RecordingTracer:
+    """Minimal RunTracer stand-in: records events, optional completion hook."""
+
+    enabled = True
+
+    def __init__(self, on_complete=None):
+        self.events = []
+        self._on_complete = on_complete
+
+    def emit(self, type, **data):
+        self.events.append({"type": type, **data})
+        if type == "job.complete" and self._on_complete is not None:
+            self._on_complete(data)
+
+    def types(self):
+        return [event["type"] for event in self.events]
+
+
+def _no_sleep(_seconds):
+    pass
+
+
+# --------------------------------------------------------------------- #
+# Shared retry policy
+# --------------------------------------------------------------------- #
+
+
+class TestRetryPolicy:
+    def test_reexported_from_observer(self):
+        """Satellite 1: the observer's RetryPolicy is the shared class."""
+        from repro.reliability.observer import RetryPolicy as ObserverRetryPolicy
+        from repro.reliability.retry import RetryPolicy as SharedRetryPolicy
+
+        assert ObserverRetryPolicy is SharedRetryPolicy
+
+    def test_exported_from_reliability_package(self):
+        from repro.reliability import RetryPolicy as PackageRetryPolicy
+
+        assert PackageRetryPolicy is RetryPolicy
+
+    def test_exponential_backoff_capped(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, backoff_factor=2.0, max_delay=0.3)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped
+        assert policy.delay(4) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_per_token(self):
+        policy = RetryPolicy(base_delay=1.0, backoff_factor=1.0, jitter=0.5)
+        a = policy.delay(1, token="job-a")
+        b = policy.delay(1, token="job-b")
+        assert a != b  # different tokens spread out
+        assert a == policy.delay(1, token="job-a")  # same token replays
+        assert 0.5 <= a <= 1.0  # jitter only shrinks, bounded by the fraction
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+
+# --------------------------------------------------------------------- #
+# Job identity
+# --------------------------------------------------------------------- #
+
+
+class TestJobKey:
+    def test_stable_and_field_sensitive(self):
+        assert job_key(SquareJob(3)) == job_key(SquareJob(3))
+        assert job_key(SquareJob(3)) != job_key(SquareJob(4))
+        assert len(job_key(SquareJob(3))) == 16
+
+    def test_simulation_jobs_distinct_by_replication(self):
+        config = ExperimentConfig(replications=2, n_days=2, seed=5)
+        jobs = replication_jobs("synthetic", ApproachSpec(kind="mean"), config)
+        keys = [job_key(job) for job in jobs]
+        assert len(set(keys)) == len(keys)
+
+
+# --------------------------------------------------------------------- #
+# Fault profile
+# --------------------------------------------------------------------- #
+
+
+class TestWorkerFaultProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kill_rate"):
+            WorkerFaultProfile(kill_rate=1.5)
+        with pytest.raises(ValueError, match="must not exceed 1"):
+            WorkerFaultProfile(kill_rate=0.6, hang_rate=0.6)
+        with pytest.raises(ValueError, match="hang_seconds"):
+            WorkerFaultProfile(hang_rate=0.1, hang_seconds=0.0)
+
+    def test_action_is_deterministic(self):
+        profile = WorkerFaultProfile(kill_rate=0.3, hang_rate=0.3, raise_rate=0.3, seed=1)
+        actions = [profile.action(f"job-{i}", 1) for i in range(50)]
+        assert actions == [profile.action(f"job-{i}", 1) for i in range(50)]
+        assert {"kill", "hang", "raise"} <= set(actions) | {None, *actions}
+
+    def test_fault_attempts_bounds_injection(self):
+        profile = WorkerFaultProfile(raise_rate=1.0, seed=0, fault_attempts=1)
+        assert profile.action("k", 1) == "raise"
+        assert profile.action("k", 2) is None
+        with pytest.raises(ValueError, match="1-based"):
+            profile.action("k", 0)
+
+
+# --------------------------------------------------------------------- #
+# Serial supervision
+# --------------------------------------------------------------------- #
+
+
+class TestSerialSupervision:
+    def test_matches_bare_run_jobs(self):
+        jobs = [SquareJob(v) for v in range(5)]
+        supervised = SupervisedExecutor(n_jobs=None)
+        outcome = supervised.run(jobs)
+        assert outcome.results == [job.run() for job in jobs]
+        assert outcome.ok
+        assert outcome.stats.completed == 5
+        assert outcome.stats.retries == 0
+
+    def test_retry_then_dead_letter(self):
+        jobs = [SquareJob(1), ExplodingJob(7), SquareJob(2)]
+        executor = SupervisedExecutor(
+            n_jobs=None, retry=RetryPolicy(max_attempts=3, base_delay=0.01), sleep=_no_sleep
+        )
+        outcome = executor.run(jobs)
+        assert outcome.results == [1, None, 4]  # dead letter leaves a None hole
+        assert not outcome.ok
+        assert outcome.stats.dead_lettered == 1
+        assert outcome.stats.retries == 2
+        (letter,) = outcome.dead_letters
+        assert isinstance(letter, DeadLetter)
+        assert letter.index == 1
+        assert letter.error_class == "RuntimeError"
+        assert "always explodes" in letter.message
+        assert "always explodes" in letter.traceback
+        assert [a.outcome for a in letter.attempts] == ["error", "error", "error"]
+        assert [a.number for a in letter.attempts] == [1, 2, 3]
+
+    def test_cooperative_timeout_in_serial_mode(self):
+        """Serial deadlines are checked after return (no SIGALRM clobbering)."""
+        jobs = [SlowJob(seconds=0.05, value=9)]
+        executor = SupervisedExecutor(
+            n_jobs=None,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+            job_timeout=0.01,
+            sleep=_no_sleep,
+        )
+        outcome = executor.run(jobs)
+        assert outcome.results == [None]
+        assert outcome.stats.timeouts == 2
+        assert outcome.dead_letters[0].error_class == "JobTimeout"
+
+    def test_injected_faults_apply_in_serial_mode(self):
+        faults = WorkerFaultProfile(raise_rate=1.0, seed=0, fault_attempts=1)
+        executor = SupervisedExecutor(
+            n_jobs=None,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+            worker_faults=faults,
+            sleep=_no_sleep,
+        )
+        outcome = executor.run([SquareJob(3)])
+        assert outcome.results == [9]  # fault cleared on attempt 2
+        assert outcome.stats.retries == 1
+        assert outcome.ok
+
+    def test_telemetry_events_and_counters(self):
+        tracer = _RecordingTracer()
+        metrics = MetricsRegistry()
+        executor = SupervisedExecutor(
+            n_jobs=None,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+            tracer=tracer,
+            metrics=metrics,
+            sleep=_no_sleep,
+        )
+        executor.run([SquareJob(1), ExplodingJob(2)])
+        types = tracer.types()
+        assert types.count("job.start") == 3  # 1 + 2 attempts
+        assert types.count("job.complete") == 1
+        assert types.count("job.retry") == 1
+        assert types.count("job.dead_letter") == 1
+        assert metrics.counter("repro_sweep_jobs_completed_total").value() == 1.0
+        assert metrics.counter("repro_sweep_retries_total").value() == 1.0
+        assert metrics.counter("repro_sweep_dead_letters_total").value() == 1.0
+
+
+# --------------------------------------------------------------------- #
+# Pool supervision and crash recovery
+# --------------------------------------------------------------------- #
+
+
+class TestPoolSupervision:
+    def test_pool_matches_serial(self):
+        jobs = [SquareJob(v) for v in range(6)]
+        serial = SupervisedExecutor(n_jobs=None).run(jobs)
+        pooled = SupervisedExecutor(n_jobs=2).run(jobs)
+        assert pooled.results == serial.results
+        assert pooled.stats.completed == 6
+
+    def test_raise_faults_recovered_in_pool(self):
+        jobs = [SquareJob(v) for v in range(6)]
+        faults = WorkerFaultProfile(raise_rate=0.8, seed=2, fault_attempts=1)
+        executor = SupervisedExecutor(
+            n_jobs=2,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+            worker_faults=faults,
+        )
+        outcome = executor.run(jobs)
+        assert outcome.ok
+        assert outcome.results == [v * v for v in range(6)]
+        assert outcome.stats.retries > 0
+
+    @pytest.mark.timeout(90)
+    def test_worker_kill_breaks_pool_and_recovers(self):
+        jobs = [SquareJob(v) for v in range(6)]
+        faults = WorkerFaultProfile(kill_rate=0.5, seed=3, fault_attempts=1)
+        executor = SupervisedExecutor(
+            n_jobs=2,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.01),
+            worker_faults=faults,
+        )
+        outcome = executor.run(jobs)
+        assert outcome.ok
+        assert outcome.results == [v * v for v in range(6)]
+        assert outcome.stats.worker_restarts >= 1
+        assert outcome.stats.crashes >= 1
+
+    @pytest.mark.timeout(90)
+    def test_soft_hang_reclaimed_by_in_worker_alarm(self):
+        jobs = [SquareJob(v) for v in range(4)]
+        faults = WorkerFaultProfile(hang_rate=0.9, hang_seconds=60.0, seed=1, fault_attempts=1)
+        executor = SupervisedExecutor(
+            n_jobs=2,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+            job_timeout=0.5,
+            watchdog_grace=5.0,  # generous: the in-worker alarm should win
+            worker_faults=faults,
+        )
+        outcome = executor.run(jobs)
+        assert outcome.ok
+        assert outcome.results == [v * v for v in range(4)]
+        assert outcome.stats.timeouts >= 1
+        assert outcome.stats.worker_restarts == 0  # no watchdog kill needed
+
+    @pytest.mark.timeout(90)
+    def test_hard_hang_reclaimed_by_watchdog(self):
+        jobs = [SquareJob(v) for v in range(3)]
+        faults = WorkerFaultProfile(
+            hang_rate=0.9, hang_seconds=120.0, hard_hang=True, seed=3, fault_attempts=1
+        )
+        executor = SupervisedExecutor(
+            n_jobs=2,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+            job_timeout=0.5,
+            watchdog_grace=0.5,
+            worker_faults=faults,
+        )
+        outcome = executor.run(jobs)
+        assert outcome.ok
+        assert outcome.results == [v * v for v in range(3)]
+        assert outcome.stats.worker_restarts >= 1  # SIGALRM was blocked; parent killed
+
+    def test_run_jobs_accepts_supervisor_config(self):
+        jobs = [SquareJob(v) for v in range(4)]
+        results = run_jobs(jobs, supervisor=SupervisorConfig())
+        assert results == [v * v for v in range(4)]
+        with pytest.raises(TypeError, match="SupervisorConfig"):
+            run_jobs(jobs, supervisor="not-a-config")
+
+    def test_supervisor_config_validation(self):
+        with pytest.raises(ValueError, match="job_timeout"):
+            SupervisorConfig(job_timeout=0.0)
+        with pytest.raises(ValueError, match="watchdog_grace"):
+            SupervisorConfig(watchdog_grace=-1.0)
+
+
+# --------------------------------------------------------------------- #
+# Journal
+# --------------------------------------------------------------------- #
+
+
+class TestJournal:
+    def _run_with_journal(self, tmp_path, jobs, **kwargs):
+        journal = tmp_path / "run.jsonl"
+        executor = SupervisedExecutor(n_jobs=None, journal=journal, sleep=_no_sleep, **kwargs)
+        return journal, executor.run(jobs)
+
+    def test_records_every_outcome(self, tmp_path):
+        journal, outcome = self._run_with_journal(
+            tmp_path,
+            [SquareJob(1), ExplodingJob(2)],
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+        )
+        records = read_journal(journal)
+        types = [record["type"] for record in records]
+        assert types[0] == "run.start"
+        assert types.count("job.complete") == 1
+        assert types.count("job.retry") == 1
+        assert types.count("job.dead_letter") == 1
+        start = records[0]
+        assert start["journal_version"] == 1
+        assert start["total_jobs"] == 2
+        letter = next(r for r in records if r["type"] == "job.dead_letter")
+        assert letter["error_class"] == "RuntimeError"
+        assert len(letter["attempts"]) == 2
+
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        jobs = [SquareJob(v) for v in range(4)]
+        journal, first = self._run_with_journal(tmp_path, jobs)
+        assert first.stats.completed == 4
+        executor = SupervisedExecutor(n_jobs=None, resume_journal=journal)
+        resumed = executor.run(jobs)
+        assert resumed.results == first.results
+        assert resumed.stats.resumed == 4
+        assert resumed.stats.completed == 0  # nothing re-ran
+
+    def test_partial_resume_runs_only_missing_jobs(self, tmp_path):
+        jobs = [SquareJob(v) for v in range(4)]
+        journal, _ = self._run_with_journal(tmp_path, jobs[:2])
+        executor = SupervisedExecutor(n_jobs=None, journal=journal, resume_journal=journal)
+        outcome = executor.run(jobs)
+        assert outcome.results == [0, 1, 4, 9]
+        assert outcome.stats.resumed == 2
+        assert outcome.stats.completed == 2
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        jobs = [SquareJob(v) for v in range(3)]
+        journal, _ = self._run_with_journal(tmp_path, jobs)
+        text = journal.read_text()
+        journal.write_text(text[: len(text) - 20])  # SIGKILL mid-append
+        records = read_journal(journal)
+        assert records[-1]["type"] == "journal.truncated"
+        completed = load_journal_results(journal)
+        assert len(completed) == 2  # the torn record is dropped, others load
+        executor = SupervisedExecutor(n_jobs=None, resume_journal=journal)
+        outcome = executor.run(jobs)
+        assert outcome.results == [0, 1, 4]
+        assert outcome.stats.resumed == 2 and outcome.stats.completed == 1
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        journal.write_text('{"type": "run.start"}\nGARBAGE\n{"type": "x"}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_journal(journal)
+
+    def test_checksum_mismatch_record_is_rerun(self, tmp_path):
+        jobs = [SquareJob(5)]
+        journal, _ = self._run_with_journal(tmp_path, jobs)
+        records = [json.loads(line) for line in journal.read_text().splitlines()]
+        for record in records:
+            if record["type"] == "job.complete":
+                record["sha256"] = "0" * 64  # silent bit rot
+        journal.write_text("".join(json.dumps(r) + "\n" for r in records))
+        assert load_journal_results(journal) == {}
+        outcome = SupervisedExecutor(n_jobs=None, resume_journal=journal).run(jobs)
+        assert outcome.results == [25]
+        assert outcome.stats.resumed == 0 and outcome.stats.completed == 1
+
+    def test_resume_results_unpickle_faithfully(self, tmp_path):
+        jobs = [SquareJob(v) for v in range(3)]
+        journal, first = self._run_with_journal(tmp_path, jobs)
+        loaded = load_journal_results(journal)
+        flat = [loaded[job_key(job)][0] for job in jobs]
+        assert flat == first.results
+        assert pickle.loads(pickle.dumps(flat)) == flat
+
+    def test_missing_resume_journal_runs_cold(self, tmp_path):
+        executor = SupervisedExecutor(n_jobs=None, resume_journal=tmp_path / "absent.jsonl")
+        outcome = executor.run([SquareJob(2)])
+        assert outcome.results == [4]
+        assert outcome.stats.resumed == 0
+
+
+# --------------------------------------------------------------------- #
+# Graceful shutdown
+# --------------------------------------------------------------------- #
+
+
+class TestGracefulShutdown:
+    def test_drain_then_resume_completes_identically(self, tmp_path):
+        jobs = [SquareJob(v) for v in range(6)]
+        journal = tmp_path / "run.jsonl"
+        executor = SupervisedExecutor(n_jobs=None, journal=journal)
+        tracer = _RecordingTracer(
+            on_complete=lambda data: executor.request_shutdown() if data["index"] >= 2 else None
+        )
+        executor._tracer = tracer  # noqa: SLF001 — hook installed post-construction
+        with pytest.raises(SweepInterrupted) as excinfo:
+            executor.run(jobs)
+        partial = excinfo.value.partial
+        assert partial.stats.completed == 3
+        assert partial.results[:3] == [0, 1, 4]
+        assert partial.results[3:] == [None, None, None]
+
+        resumed = SupervisedExecutor(n_jobs=None, resume_journal=journal).run(jobs)
+        assert resumed.results == [v * v for v in range(6)]
+        assert resumed.stats.resumed == 3 and resumed.stats.completed == 3
+
+    def test_signal_handler_drains_then_aborts(self):
+        executor = SupervisedExecutor(n_jobs=None)
+        executor._handle_signal(signal.SIGINT, None)  # noqa: SLF001
+        assert executor._shutdown  # noqa: SLF001 — first signal: drain
+        with pytest.raises(KeyboardInterrupt):
+            executor._handle_signal(signal.SIGINT, None)  # noqa: SLF001 — second: abort
+
+    def test_sweep_interrupted_is_a_keyboard_interrupt(self):
+        outcome = SupervisedExecutor(n_jobs=None).run([SquareJob(1)])
+        error = SweepInterrupted(outcome)
+        assert isinstance(error, KeyboardInterrupt)
+        assert error.partial is outcome
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="job_timeout"):
+            SupervisedExecutor(job_timeout=-1.0)
+        with pytest.raises(ValueError, match="watchdog_grace"):
+            SupervisedExecutor(watchdog_grace=-0.1)
+
+
+# --------------------------------------------------------------------- #
+# Acceptance: chaos sweeps over real simulation jobs
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def sim_jobs():
+    config = ExperimentConfig(
+        replications=6, n_days=2, seed=11, synthetic_tasks=30, synthetic_users=10
+    )
+    return replication_jobs("synthetic", ApproachSpec.eta2(gamma=0.3, alpha=0.5), config)
+
+
+@pytest.fixture(scope="module")
+def serial_results(sim_jobs):
+    return run_jobs(sim_jobs)
+
+
+class TestChaosAcceptance:
+    @pytest.mark.timeout(180)
+    def test_chaos_sweep_bit_identical_to_serial(self, sim_jobs, serial_results):
+        """The headline guarantee: kill/hang/raise chaos, identical numbers."""
+        faults = WorkerFaultProfile(
+            kill_rate=0.3, hang_rate=0.2, raise_rate=0.3, hang_seconds=60.0, seed=7
+        )
+        executor = SupervisedExecutor(
+            n_jobs=2,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.01),
+            job_timeout=5.0,  # a soft hang waits this out in real time
+            watchdog_grace=5.0,
+            worker_faults=faults,
+        )
+        outcome = executor.run(sim_jobs)
+        assert outcome.ok, [letter.as_dict() for letter in outcome.dead_letters]
+        assert outcome.stats.retries > 0  # chaos actually happened
+        for survived, expected in zip(outcome.results, serial_results):
+            np.testing.assert_array_equal(survived.errors_by_day(), expected.errors_by_day())
+            np.testing.assert_array_equal(
+                survived.observation_errors, expected.observation_errors
+            )
+            assert survived.total_cost == expected.total_cost
+
+    @pytest.mark.timeout(180)
+    def test_killed_sweep_resumes_to_identical_results(self, tmp_path, sim_jobs, serial_results):
+        """Drain mid-sweep, then resume: only unfinished jobs re-run."""
+        journal = tmp_path / "sweep.jsonl"
+        executor = SupervisedExecutor(n_jobs=None, journal=journal)
+        tracer = _RecordingTracer(
+            on_complete=lambda data: executor.request_shutdown()
+            if sum(1 for e in tracer.events if e["type"] == "job.complete") >= 3
+            else None
+        )
+        executor._tracer = tracer  # noqa: SLF001
+        with pytest.raises(SweepInterrupted):
+            executor.run(sim_jobs)
+        assert sum(1 for r in read_journal(journal) if r["type"] == "job.complete") == 3
+
+        resumed = SupervisedExecutor(
+            n_jobs=2, journal=journal, resume_journal=journal
+        ).run(sim_jobs)
+        assert resumed.stats.resumed == 3
+        assert resumed.stats.completed == 3  # only the remainder ran
+        for survived, expected in zip(resumed.results, serial_results):
+            np.testing.assert_array_equal(survived.errors_by_day(), expected.errors_by_day())
+            assert survived.total_cost == expected.total_cost
+
+    def test_supervised_replicate_matches_plain(self, serial_results, sim_jobs):
+        from repro.experiments.runner import replicate
+
+        config = sim_jobs[0].config
+        results = replicate(
+            "synthetic",
+            ApproachSpec.eta2(gamma=0.3, alpha=0.5),
+            config,
+            supervisor=SupervisorConfig(),
+        )
+        for supervised, expected in zip(results, serial_results):
+            np.testing.assert_array_equal(
+                supervised.errors_by_day(), expected.errors_by_day()
+            )
