@@ -5,6 +5,9 @@
 - :mod:`repro.core.allocation.max_quality` — the greedy efficiency heuristic
   (Algorithm 1) plus the cardinality-greedy extra pass that restores the
   1/2-approximation guarantee,
+- :mod:`repro.core.allocation.lazy_greedy` — the CELF priority-queue kernel
+  the greedy runs on: lazy re-evaluation with staleness epochs,
+  bit-identical picks to the exhaustive scan,
 - :mod:`repro.core.allocation.min_cost` — the iterative min-cost allocator
   (Algorithm 2) with the Fisher-information quality check,
 - :mod:`repro.core.allocation.exact` — exhaustive and dynamic-programming
@@ -22,12 +25,15 @@ from repro.core.allocation.base import (
 )
 from repro.core.allocation.baselines import RandomAllocator, ReliabilityGreedyAllocator
 from repro.core.allocation.exact import exhaustive_max_quality, single_user_knapsack
+from repro.core.allocation.lazy_greedy import GreedyOutcome, GreedyStats, lazy_greedy_allocate
 from repro.core.allocation.max_quality import MaxQualityAllocator, greedy_allocate
 from repro.core.allocation.min_cost import MinCostAllocator, MinCostOutcome, MinCostRound
 
 __all__ = [
     "AllocationProblem",
     "Assignment",
+    "GreedyOutcome",
+    "GreedyStats",
     "MaxQualityAllocator",
     "MinCostAllocator",
     "MinCostOutcome",
@@ -38,5 +44,6 @@ __all__ = [
     "allocation_objective",
     "exhaustive_max_quality",
     "greedy_allocate",
+    "lazy_greedy_allocate",
     "single_user_knapsack",
 ]

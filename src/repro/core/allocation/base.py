@@ -239,10 +239,27 @@ class Assignment:
         return Assignment(matrix=self.matrix | other.matrix)
 
 
-def allocation_objective(problem: AllocationProblem, assignment: Assignment) -> float:
-    """Eq. 12: ``sum_j [1 - prod_{i assigned} (1 - p_ij)]``."""
+def allocation_objective(
+    problem: AllocationProblem,
+    assignment: Assignment,
+    accuracy: "np.ndarray | None" = None,
+) -> float:
+    """Eq. 12: ``sum_j [1 - prod_{i assigned} (1 - p_ij)]``.
+
+    ``accuracy`` accepts a precomputed ``problem.accuracy_matrix()`` so
+    callers scoring several assignments against one problem (the greedy
+    passes, the exact solver's enumeration) pay for the ``erf`` once.
+    """
     if assignment.matrix.shape != (problem.n_users, problem.n_tasks):
         raise ValueError("assignment shape does not match the problem")
-    p = problem.accuracy_matrix()
-    miss = np.where(assignment.matrix, 1.0 - p, 1.0)
-    return float(np.sum(1.0 - np.prod(miss, axis=0)))
+    p = problem.accuracy_matrix() if accuracy is None else accuracy
+    # Sparse evaluation: multiply only the assigned pairs into each task's
+    # miss product instead of materialising the dense ``np.where`` matrix.
+    # np.nonzero yields pairs in ascending-user order — the same sequential
+    # order ``np.prod(..., axis=0)`` multiplies in — and the skipped
+    # factors are exactly 1.0, so the result is bit-identical to the dense
+    # product.
+    users, tasks = np.nonzero(assignment.matrix)
+    miss = np.ones(problem.n_tasks, dtype=float)
+    np.multiply.at(miss, tasks, 1.0 - p[users, tasks])
+    return float(np.sum(1.0 - miss))

@@ -72,21 +72,32 @@ class ReliabilityGreedyAllocator:
     def allocate(self, problem: AllocationProblem) -> Assignment:
         if self._reliabilities.shape != (problem.n_users,):
             raise ValueError("reliabilities must have one entry per user")
+        n_users = problem.n_users
         times = problem.pair_times()
         remaining = problem.capacities.astype(float).copy()
         eligible = problem.eligible_mask()
-        matrix = np.zeros((problem.n_users, problem.n_tasks), dtype=bool)
+        matrix = np.zeros((n_users, problem.n_tasks), dtype=bool)
         # Shortest-first by each task's mean time across users.
         task_order = np.argsort(times.mean(axis=0), kind="stable")
-        user_order = [u for u in np.argsort(-self._reliabilities, kind="stable") if eligible[u]]
+        # Each user's rank in the descending-reliability order; ineligible
+        # users rank +inf so a masked argmin below returns exactly the user
+        # a first-feasible scan down the reliability order would.
+        rank = np.empty(n_users, dtype=float)
+        rank[np.argsort(-self._reliabilities, kind="stable")] = np.arange(n_users)
+        rank[~eligible] = np.inf
         progressed = True
         while progressed:
             progressed = False
             for task in task_order:
-                for user in user_order:
-                    if not matrix[user, task] and times[user, task] <= remaining[user] + 1e-12:
-                        matrix[user, task] = True
-                        remaining[user] -= times[user, task]
-                        progressed = True
-                        break
+                feasible = (
+                    ~matrix[:, task]
+                    & eligible
+                    & (times[:, task] <= remaining + 1e-12)
+                )
+                if not np.any(feasible):
+                    continue
+                user = int(np.argmin(np.where(feasible, rank, np.inf)))
+                matrix[user, task] = True
+                remaining[user] -= times[user, task]
+                progressed = True
         return Assignment(matrix=matrix)

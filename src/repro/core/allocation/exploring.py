@@ -34,6 +34,8 @@ class ExploringMaxQualityAllocator:
         self._rate = float(exploration_rate)
         self._extra_pass = bool(extra_pass)
         self._rng = ensure_rng(seed)
+        #: Merged lazy-kernel counters of the most recent allocate() call.
+        self.last_stats = None
 
     @property
     def exploration_rate(self) -> float:
@@ -61,10 +63,21 @@ class ExploringMaxQualityAllocator:
 
     def allocate(self, problem: AllocationProblem) -> Assignment:
         exploration = self._explore(problem)
-        efficiency = greedy_allocate(problem, initial=exploration, divide_by_time=True)
+        accuracy = problem.accuracy_matrix()
+        efficiency = greedy_allocate(
+            problem, initial=exploration, divide_by_time=True, accuracy=accuracy
+        )
         if not self._extra_pass:
+            self.last_stats = efficiency.stats
             return efficiency.assignment
-        cardinality = greedy_allocate(problem, initial=exploration, divide_by_time=False)
+        cardinality = greedy_allocate(
+            problem, initial=exploration, divide_by_time=False, accuracy=accuracy
+        )
+        self.last_stats = (
+            efficiency.stats.merged(cardinality.stats)
+            if efficiency.stats is not None
+            else cardinality.stats
+        )
         if cardinality.objective > efficiency.objective:
             return cardinality.assignment
         return efficiency.assignment

@@ -1,0 +1,270 @@
+"""Lazy-greedy (CELF) evaluation of Algorithm 1's efficiency greedy.
+
+The eager greedy loop re-evaluates, after every pick, *every* task whose
+cached best user just lost capacity, then takes a full ``np.argmax`` over
+all tasks — O(n_tasks · n_users) interpreter-level work per pick when one
+strong user is the cached best for a whole expertise domain.  But the
+Eq. 12 objective is monotone submodular: a task's coverage miss
+``prod (1 - p_ij)`` only shrinks as users are added, remaining capacities
+only shrink, and therefore every task's best marginal efficiency only ever
+*decreases* over the run.  That monotonicity is exactly the CELF
+(cost-effective lazy forward selection) precondition: a stale cached
+efficiency is always an **upper bound** on the current one, so stale
+entries can sit untouched in a max-heap and only the entry that surfaces
+at the top ever needs re-evaluation.
+
+The kernel keeps one heap entry per task, tagged with staleness epochs:
+
+- ``miss_epoch[task]`` advances whenever the task's coverage changes
+  (it received an assignment), and
+- ``cap_epoch[user]`` advances whenever that user's remaining capacity
+  shrinks.
+
+A popped entry is *fresh* when both epochs still match what the entry was
+evaluated under; every other change provably cannot alter the task's
+masked argmax (a non-best user dropping out of feasibility only removes
+candidates that were already dominated — ``np.argmax`` returns the first
+maximum, and the cached best user is by construction the lowest-indexed
+one).  A fresh top-of-heap entry is therefore the true global maximum,
+and re-evaluation is a single vectorised masked-argmax over users.
+
+**Bit-identical picks.**  Heap entries order by ``(-efficiency, task)``,
+so ties in efficiency break toward the lowest task index — exactly
+``np.argmax`` over the per-task efficiency array — and the per-task
+re-evaluation performs the same element-wise operations in the same order
+as the eager loop's ``best_for_task``, so every efficiency value is
+bit-identical too.  ``tests/perf/test_allocation_equivalence.py`` fuzzes
+the kernel against the frozen eager copy
+(:func:`repro.perf.reference.reference_greedy_allocate`) across spatial
+pair-times, eligibility masks, cost budgets, warm starts, tie-heavy
+expertise and zero-capacity users.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation.base import AllocationProblem, Assignment, allocation_objective
+
+__all__ = ["GreedyStats", "GreedyOutcome", "lazy_greedy_allocate"]
+
+
+@dataclass(frozen=True)
+class GreedyStats:
+    """Work counters of one lazy-greedy run (telemetry + CELF audits).
+
+    ``evaluations`` counts vectorised per-task masked-argmax evaluations
+    after the initial build (the build itself evaluates all ``n_tasks``
+    columns in one shot); the eager reference instead re-evaluates every
+    task sharing the picked user after every pick, so
+    ``evaluations / picks`` staying near 2 is the laziness actually
+    paying off.  ``max_refresh_delta`` is the largest ``fresh - stale``
+    efficiency observed when re-evaluating a stale entry; submodularity
+    guarantees it is never positive, and the CELF invariant test asserts
+    exactly that.
+    """
+
+    picks: int = 0
+    pops: int = 0
+    evaluations: int = 0
+    max_refresh_delta: float = float("-inf")
+
+    def merged(self, other: "GreedyStats | None") -> "GreedyStats":
+        """Combine counters across greedy passes (extra pass, min-cost rounds)."""
+        if other is None:
+            return self
+        return GreedyStats(
+            picks=self.picks + other.picks,
+            pops=self.pops + other.pops,
+            evaluations=self.evaluations + other.evaluations,
+            max_refresh_delta=max(self.max_refresh_delta, other.max_refresh_delta),
+        )
+
+
+@dataclass(frozen=True)
+class GreedyOutcome:
+    """Result of one greedy pass."""
+
+    assignment: Assignment
+    added_pairs: tuple
+    objective: float
+    spent_cost: float
+    #: Lazy-kernel work counters (None for outcomes built elsewhere).
+    stats: "GreedyStats | None" = None
+
+
+def lazy_greedy_allocate(
+    problem: AllocationProblem,
+    initial: "Assignment | None" = None,
+    divide_by_time: bool = True,
+    cost_budget: "float | None" = None,
+    active_tasks: "np.ndarray | None" = None,
+    accuracy: "np.ndarray | None" = None,
+    pair_times: "np.ndarray | None" = None,
+) -> GreedyOutcome:
+    """Run the Algorithm 1 greedy loop via the CELF priority queue.
+
+    Parameters mirror the public
+    :func:`~repro.core.allocation.max_quality.greedy_allocate`;
+    ``accuracy`` and ``pair_times`` accept the precomputed Eq. 11 matrix
+    and the broadcast processing times so callers that run several passes
+    over one problem (extra pass, min-cost rounds) pay for them once.
+    """
+    n_users, n_tasks = problem.n_users, problem.n_tasks
+    p = problem.accuracy_matrix() if accuracy is None else accuracy
+    times = problem.pair_times() if pair_times is None else pair_times
+    costs = problem.costs
+    eligible = problem.eligible_mask()
+
+    if initial is None:
+        assigned = np.zeros((n_users, n_tasks), dtype=bool)
+    else:
+        if initial.matrix.shape != (n_users, n_tasks):
+            raise ValueError("initial assignment shape does not match the problem")
+        assigned = initial.matrix.copy()
+    remaining = problem.capacities - (assigned * times).sum(axis=1)
+    if np.any(remaining < -1e-9):
+        raise ValueError("initial assignment already exceeds capacities")
+    miss = np.prod(np.where(assigned, 1.0 - p, 1.0), axis=0)
+
+    if active_tasks is None:
+        active = np.ones(n_tasks, dtype=bool)
+    else:
+        active = np.asarray(active_tasks, dtype=bool)
+        if active.shape != (n_tasks,):
+            raise ValueError("active_tasks must have one flag per task")
+        active = active.copy()
+
+    spent = 0.0
+    budget_blocked = np.zeros(n_tasks, dtype=bool)
+
+    # Column-access layout for the per-task re-evaluations: Fortran order
+    # makes ``[:, task]`` slices contiguous (a broadcast per-task time row —
+    # stride 0 — is already free to slice), ``avail`` folds the fixed
+    # eligibility into the assignment complement, and ``remaining_eps``
+    # keeps ``remaining + 1e-12`` maintained incrementally.  Scratch buffers
+    # avoid per-call allocations.  All of it is value-identical to the
+    # frozen eager loop: boolean algebra is exact, and ``x * True`` /
+    # ``x * False`` equal ``np.where``'s ``x`` / ``0.0`` for these finite
+    # non-negative gains.
+    p_f = np.asfortranarray(p)
+    times_f = times if times.ndim == 2 and times.strides[0] == 0 else np.asfortranarray(times)
+    avail = np.asfortranarray(~assigned & eligible[:, None])
+    remaining_eps = remaining + 1e-12
+    feas_buf = np.empty(n_users, dtype=bool)
+    gain_buf = np.empty(n_users, dtype=float)
+
+    def evaluate(task: int) -> "tuple[float, int]":
+        # Same operations (element-wise, in the same order) as the frozen
+        # eager loop's best_for_task — efficiencies must stay bit-identical.
+        if not active[task] or budget_blocked[task]:
+            return (0.0, -1)
+        feasible = np.less_equal(times_f[:, task], remaining_eps, out=feas_buf)
+        feasible &= avail[:, task]
+        if not feasible.any():
+            return (0.0, -1)
+        gain = np.multiply(p_f[:, task], miss[task], out=gain_buf)
+        if divide_by_time:
+            gain /= times_f[:, task]
+        np.multiply(gain, feasible, out=gain)
+        user = int(np.argmax(gain))
+        return (float(gain[user]), user)
+
+    # Initial build: one vectorised masked-argmax over the whole matrix.
+    # Element-wise, these are the same operations evaluate() performs per
+    # column, so the initial efficiencies are bit-identical as well.
+    feasible = (~assigned) & eligible[:, None] & (times <= remaining[:, None] + 1e-12)
+    gain = p * miss[None, :]
+    if divide_by_time:
+        gain = gain / times
+    gain = np.where(feasible, gain, 0.0)
+    build_user = np.argmax(gain, axis=0)
+    build_eff = gain[build_user, np.arange(n_tasks)]
+
+    # Staleness epochs: a heap entry is current iff the task's coverage and
+    # its cached best user's capacity are both unchanged since evaluation.
+    # Plain lists, not ndarrays — the pop loop reads these one scalar at a
+    # time, where list indexing is several times cheaper.
+    miss_epoch = [0] * n_tasks
+    cap_epoch = [0] * n_users
+    cached_user = [-1] * n_tasks
+    entry_miss_epoch = [0] * n_tasks
+    entry_cap_epoch = [0] * n_tasks
+
+    heap: list = []
+    for task in np.flatnonzero(active & (build_eff > 0.0)).tolist():
+        cached_user[task] = int(build_user[task])
+        heap.append((-build_eff[task], task))
+    heapq.heapify(heap)
+
+    picks = 0
+    pops = 0
+    evaluations = 0
+    max_refresh_delta = float("-inf")
+
+    def refresh(task: int, stale_value: float) -> None:
+        """Re-evaluate a stale entry and re-insert it if still promising."""
+        nonlocal evaluations, max_refresh_delta
+        value, user = evaluate(task)
+        evaluations += 1
+        delta = value - stale_value
+        if delta > max_refresh_delta:
+            max_refresh_delta = delta
+        if value > 0.0:
+            cached_user[task] = user
+            entry_miss_epoch[task] = miss_epoch[task]
+            entry_cap_epoch[task] = cap_epoch[user]
+            heapq.heappush(heap, (-value, task))
+
+    added: list = []
+    while heap:
+        neg_value, task = heapq.heappop(heap)
+        pops += 1
+        user = cached_user[task]
+        if (
+            entry_miss_epoch[task] != miss_epoch[task]
+            or entry_cap_epoch[task] != cap_epoch[user]
+        ):
+            refresh(task, -neg_value)
+            continue
+        # Fresh top of heap == the eager loop's np.argmax winner.
+        if cost_budget is not None and spent + costs[task] > cost_budget + 1e-12:
+            # Cost only grows, so this task can never be afforded again.
+            budget_blocked[task] = True
+            continue
+        assigned[user, task] = True
+        avail[user, task] = False
+        remaining[user] -= times_f[user, task]
+        remaining_eps[user] = remaining[user] + 1e-12
+        cap_epoch[user] += 1
+        miss[task] *= 1.0 - p_f[user, task]
+        miss_epoch[task] += 1
+        spent += costs[task]
+        added.append((user, task))
+        picks += 1
+        # The picked task is stale by construction; re-evaluating it now
+        # saves the pop-and-refresh round trip it would otherwise cost.
+        value, next_user = evaluate(task)
+        evaluations += 1
+        if value > 0.0:
+            cached_user[task] = next_user
+            entry_miss_epoch[task] = miss_epoch[task]
+            entry_cap_epoch[task] = cap_epoch[next_user]
+            heapq.heappush(heap, (-value, task))
+
+    assignment = Assignment(matrix=assigned)
+    return GreedyOutcome(
+        assignment=assignment,
+        added_pairs=tuple(added),
+        objective=allocation_objective(problem, assignment, accuracy=p),
+        spent_cost=spent,
+        stats=GreedyStats(
+            picks=picks,
+            pops=pops,
+            evaluations=evaluations,
+            max_refresh_delta=max_refresh_delta,
+        ),
+    )

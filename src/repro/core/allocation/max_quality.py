@@ -16,6 +16,13 @@ classic 1/2-approximation guarantee.
 
 The same greedy core also serves Algorithm 2 (min-cost), which adds a
 per-round cost budget and restricts attention to the not-yet-satisfied tasks.
+
+Since the objective is monotone submodular, the greedy runs on the
+lazy-evaluation (CELF) priority-queue kernel of
+:mod:`repro.core.allocation.lazy_greedy` — picks are bit-identical to the
+exhaustive per-pick scan (frozen as
+:func:`repro.perf.reference.reference_greedy_allocate`), but stale tasks
+are only re-evaluated when they surface at the top of the heap.
 """
 
 from __future__ import annotations
@@ -24,19 +31,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.allocation.base import AllocationProblem, Assignment, allocation_objective
+from repro.core.allocation.base import AllocationProblem, Assignment
+from repro.core.allocation.lazy_greedy import GreedyOutcome, GreedyStats, lazy_greedy_allocate
 
-__all__ = ["GreedyOutcome", "greedy_allocate", "MaxQualityAllocator"]
-
-
-@dataclass(frozen=True)
-class GreedyOutcome:
-    """Result of one greedy pass."""
-
-    assignment: Assignment
-    added_pairs: tuple
-    objective: float
-    spent_cost: float
+__all__ = ["GreedyOutcome", "GreedyStats", "greedy_allocate", "MaxQualityAllocator"]
 
 
 def greedy_allocate(
@@ -45,8 +43,10 @@ def greedy_allocate(
     divide_by_time: bool = True,
     cost_budget: "float | None" = None,
     active_tasks: "np.ndarray | None" = None,
+    accuracy: "np.ndarray | None" = None,
+    pair_times: "np.ndarray | None" = None,
 ) -> GreedyOutcome:
-    """Run the Algorithm 1 greedy loop.
+    """Run the Algorithm 1 greedy loop (lazy CELF evaluation).
 
     Parameters
     ----------
@@ -63,83 +63,21 @@ def greedy_allocate(
     active_tasks:
         Boolean mask of tasks eligible for new assignments (min-cost skips
         tasks whose quality requirement is already met).
+    accuracy:
+        Precomputed ``problem.accuracy_matrix()`` (Eq. 11) — pass it when
+        running several greedy passes over one problem so the ``erf`` over
+        ``n_users x n_tasks`` is paid once.
+    pair_times:
+        Precomputed ``problem.pair_times()`` broadcast, same idea.
     """
-    n_users, n_tasks = problem.n_users, problem.n_tasks
-    p = problem.accuracy_matrix()
-    times = problem.pair_times()  # (n_users, n_tasks); per-task t_j broadcast
-    costs = problem.costs
-    eligible = problem.eligible_mask()
-
-    if initial is None:
-        assigned = np.zeros((n_users, n_tasks), dtype=bool)
-    else:
-        if initial.matrix.shape != (n_users, n_tasks):
-            raise ValueError("initial assignment shape does not match the problem")
-        assigned = initial.matrix.copy()
-    remaining = problem.capacities - (assigned * times).sum(axis=1)
-    if np.any(remaining < -1e-9):
-        raise ValueError("initial assignment already exceeds capacities")
-    miss = np.prod(np.where(assigned, 1.0 - p, 1.0), axis=0)
-
-    if active_tasks is None:
-        active = np.ones(n_tasks, dtype=bool)
-    else:
-        active = np.asarray(active_tasks, dtype=bool)
-        if active.shape != (n_tasks,):
-            raise ValueError("active_tasks must have one flag per task")
-        active = active.copy()
-
-    spent = 0.0
-    budget_blocked = np.zeros(n_tasks, dtype=bool)
-
-    def best_for_task(task: int) -> "tuple[float, int]":
-        if not active[task] or budget_blocked[task]:
-            return (0.0, -1)
-        feasible = (~assigned[:, task]) & eligible & (times[:, task] <= remaining + 1e-12)
-        if not np.any(feasible):
-            return (0.0, -1)
-        gain = p[:, task] * miss[task]
-        if divide_by_time:
-            gain = gain / times[:, task]
-        gain = np.where(feasible, gain, 0.0)
-        user = int(np.argmax(gain))
-        return (float(gain[user]), user)
-
-    best_eff = np.zeros(n_tasks, dtype=float)
-    best_user = np.full(n_tasks, -1, dtype=int)
-    for task in range(n_tasks):
-        best_eff[task], best_user[task] = best_for_task(task)
-
-    added: list = []
-    while True:
-        task = int(np.argmax(best_eff))
-        if best_eff[task] <= 0.0:
-            break
-        if cost_budget is not None and spent + costs[task] > cost_budget + 1e-12:
-            # Cost only grows, so this task can never be afforded again.
-            budget_blocked[task] = True
-            best_eff[task], best_user[task] = 0.0, -1
-            continue
-        user = best_user[task]
-        assigned[user, task] = True
-        remaining[user] -= times[user, task]
-        miss[task] *= 1.0 - p[user, task]
-        spent += costs[task]
-        added.append((user, task))
-        # Stale entries: the chosen task (its coverage changed) and every
-        # task whose cached best user was the one whose capacity shrank.
-        stale = np.flatnonzero(best_user == user)
-        best_eff[task], best_user[task] = best_for_task(task)
-        for other in stale:
-            if other != task:
-                best_eff[other], best_user[other] = best_for_task(int(other))
-
-    assignment = Assignment(matrix=assigned)
-    return GreedyOutcome(
-        assignment=assignment,
-        added_pairs=tuple(added),
-        objective=allocation_objective(problem, assignment),
-        spent_cost=spent,
+    return lazy_greedy_allocate(
+        problem,
+        initial=initial,
+        divide_by_time=divide_by_time,
+        cost_budget=cost_budget,
+        active_tasks=active_tasks,
+        accuracy=accuracy,
+        pair_times=pair_times,
     )
 
 
@@ -149,20 +87,31 @@ class MaxQualityAllocator:
 
     With ``extra_pass=True`` (the default, per the end of Section 5.1.2) the
     time-divided greedy and the cardinality greedy both run and the higher-
-    objective solution wins.
+    objective solution wins.  The Eq. 11 accuracy matrix is computed once
+    per :meth:`allocate` and threaded through both passes and the objective.
     """
 
     extra_pass: bool = True
     #: Populated after each allocate() call: which pass won ("efficiency" or
     #: "cardinality").  Exposed for the ablation benchmarks.
     last_winner: str = field(default="", init=False)
+    #: Merged lazy-kernel work counters of the most recent allocate() call
+    #: (both passes), for telemetry.
+    last_stats: "GreedyStats | None" = field(default=None, init=False)
 
     def allocate(self, problem: AllocationProblem) -> Assignment:
-        efficiency = greedy_allocate(problem, divide_by_time=True)
+        accuracy = problem.accuracy_matrix()
+        efficiency = greedy_allocate(problem, divide_by_time=True, accuracy=accuracy)
         if not self.extra_pass:
             self.last_winner = "efficiency"
+            self.last_stats = efficiency.stats
             return efficiency.assignment
-        cardinality = greedy_allocate(problem, divide_by_time=False)
+        cardinality = greedy_allocate(problem, divide_by_time=False, accuracy=accuracy)
+        self.last_stats = (
+            efficiency.stats.merged(cardinality.stats)
+            if efficiency.stats is not None
+            else cardinality.stats
+        )
         if cardinality.objective > efficiency.objective:
             self.last_winner = "cardinality"
             return cardinality.assignment

@@ -25,11 +25,12 @@ simulation engine and against recorded datasets:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.allocation.base import AllocationProblem, Assignment
+from repro.core.allocation.lazy_greedy import GreedyStats
 from repro.core.allocation.max_quality import greedy_allocate
 from repro.core.truth import update_truths_for_expertise
 from repro.stats.confidence import mle_truth_confidence_interval
@@ -58,6 +59,9 @@ class MinCostOutcome:
     satisfied: np.ndarray
     rounds: tuple
     total_cost: float
+    #: Merged lazy-kernel work counters across every round's greedy passes
+    #: (None when no greedy pass ran).
+    greedy_stats: "GreedyStats | None" = None
 
     @property
     def all_satisfied(self) -> bool:
@@ -111,15 +115,21 @@ class MinCostAllocator:
         if estimate is None:
             estimate = self._default_estimator(problem)
 
+        # The problem is fixed across rounds: the Eq. 11 accuracy matrix (a
+        # full erf over n_users x n_tasks) and the pair-times broadcast are
+        # computed once here and threaded through every round's greedy.
+        accuracy = problem.accuracy_matrix()
+        pair_times = problem.pair_times()
+
         assignment = Assignment.empty(n_users, n_tasks)
         values = np.zeros((n_users, n_tasks), dtype=float)
         mask = np.zeros((n_users, n_tasks), dtype=bool)
         satisfied = np.zeros(n_tasks, dtype=bool)
         truths = np.full(n_tasks, np.nan)
         sigmas = np.full(n_tasks, np.nan)
-        task_expertise = problem.expertise
         rounds: list = []
         total_cost = 0.0
+        greedy_stats: "GreedyStats | None" = None
 
         for _ in range(self._max_rounds):
             outcome = greedy_allocate(
@@ -128,7 +138,11 @@ class MinCostAllocator:
                 divide_by_time=True,
                 cost_budget=self._round_budget,
                 active_tasks=~satisfied,
+                accuracy=accuracy,
+                pair_times=pair_times,
             )
+            if outcome.stats is not None:
+                greedy_stats = outcome.stats.merged(greedy_stats)
             if self._extra_pass:
                 cardinality = greedy_allocate(
                     problem,
@@ -136,7 +150,11 @@ class MinCostAllocator:
                     divide_by_time=False,
                     cost_budget=self._round_budget,
                     active_tasks=~satisfied,
+                    accuracy=accuracy,
+                    pair_times=pair_times,
                 )
+                if cardinality.stats is not None:
+                    greedy_stats = cardinality.stats.merged(greedy_stats)
                 if cardinality.objective > outcome.objective:
                     outcome = cardinality
             if not outcome.added_pairs:
@@ -148,6 +166,7 @@ class MinCostAllocator:
             observed = np.asarray(observed, dtype=float)
             if observed.shape != (len(outcome.added_pairs),):
                 raise ValueError("observe() must return one value per new pair")
+            touched: set = set()
             for (user, task), value in zip(outcome.added_pairs, observed):
                 if not np.isfinite(value):
                     # Dropout or corrupt (non-finite) payload: the recruiting
@@ -157,10 +176,21 @@ class MinCostAllocator:
                     continue
                 values[user, task] = value
                 mask[user, task] = True
+                touched.add(int(task))
 
             observations = ObservationMatrix(values=values, mask=mask)
             truths, sigmas, task_expertise = estimate(observations)
-            satisfied = self._check_quality(assignment, truths, sigmas, task_expertise)
+            # Only tasks with new usable observations can newly pass the
+            # Line 12-15 check; satisfied tasks are latched (they were
+            # removed from active_tasks and receive no further data).
+            satisfied = self._check_quality(
+                assignment,
+                truths,
+                sigmas,
+                task_expertise,
+                satisfied=satisfied,
+                recheck=sorted(touched),
+            )
             rounds.append(
                 MinCostRound(
                     added_pairs=outcome.added_pairs,
@@ -179,6 +209,7 @@ class MinCostAllocator:
             satisfied=satisfied,
             rounds=tuple(rounds),
             total_cost=total_cost,
+            greedy_stats=greedy_stats,
         )
 
     def _check_quality(
@@ -187,11 +218,22 @@ class MinCostAllocator:
         truths: np.ndarray,
         sigmas: np.ndarray,
         task_expertise: np.ndarray,
+        satisfied: "np.ndarray | None" = None,
+        recheck: "Sequence | None" = None,
     ) -> np.ndarray:
-        """Line 12-15 of Algorithm 2: the per-task confidence-interval test."""
+        """Line 12-15 of Algorithm 2: the per-task confidence-interval test.
+
+        ``satisfied`` carries the previous round's verdicts and ``recheck``
+        the tasks that received new usable observations this round — only
+        those are re-tested, every other task keeps its status.  Omitting
+        both re-checks the full task set (the cold-start behaviour).
+        """
         n_tasks = assignment.n_tasks
-        satisfied = np.zeros(n_tasks, dtype=bool)
-        for task in range(n_tasks):
+        satisfied = (
+            np.zeros(n_tasks, dtype=bool) if satisfied is None else satisfied.copy()
+        )
+        tasks = range(n_tasks) if recheck is None else recheck
+        for task in tasks:
             users = assignment.users_of_task(task)
             if users.size == 0 or np.isnan(truths[task]):
                 continue

@@ -517,6 +517,32 @@ class ETA2System:
                 ).set(nbytes)
         return result
 
+    def _record_allocation_stats(self, stats) -> None:
+        """Surface the lazy-greedy kernel's work counters (tracer + metrics).
+
+        ``stats`` is a :class:`~repro.core.allocation.lazy_greedy.GreedyStats`
+        merged across this step's greedy passes (None when the step ran no
+        greedy, e.g. during warm-up's random allocation).
+        """
+        if stats is None:
+            return
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "allocation.greedy",
+                picks=int(stats.picks),
+                pops=int(stats.pops),
+                evaluations=int(stats.evaluations),
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_allocation_picks_total",
+                "Pairs picked by the lazy-greedy allocation kernel.",
+            ).inc(int(stats.picks))
+            self.metrics.counter(
+                "repro_allocation_reevaluations_total",
+                "Stale heap entries re-evaluated by the lazy-greedy kernel.",
+            ).inc(int(stats.evaluations))
+
     def _record_metrics(self, result: StepResult, kind: str) -> None:
         """Fold one completed step into the metrics registry."""
         metrics = self.metrics
@@ -721,6 +747,7 @@ class ETA2System:
         if self._allocator_kind == "max-quality":
             with timer.phase("allocate"):
                 assignment = self._max_quality.allocate(problem)
+            self._record_allocation_stats(self._max_quality.last_stats)
             with timer.phase("collect"):
                 observations = self._collect(assignment, observe)
         else:
@@ -738,6 +765,7 @@ class ETA2System:
             span = timer.now() - start
             nested = (timer.get("collect") - collected_before) + (timer.get("truth") - truth_before)
             timer.add("allocate", span - nested)
+            self._record_allocation_stats(outcome.greedy_stats)
             assignment = outcome.assignment
             observations = outcome.observations
         if observations.observation_count == 0:

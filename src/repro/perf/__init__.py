@@ -11,9 +11,11 @@ import them without cycles:
 - :mod:`repro.perf.sweep` — a deterministic ``ProcessPoolExecutor`` sweep
   runner fanning ``run_simulation`` configurations across cores,
 - :mod:`repro.perf.baseline` — the benchmark-regression harness that
-  writes and compares ``BENCH_core.json``,
+  writes and compares ``BENCH_core.json`` (clustering, MLE, and the
+  lazy-greedy allocation kernel),
 - :mod:`repro.perf.reference` — frozen copies of the pre-optimisation
-  kernels, kept as the equivalence and speedup yardstick.
+  kernels (including the eager Algorithm 1 greedy), kept as the
+  equivalence and speedup yardstick.
 """
 
 from repro.perf.cache import GrowOnlyDistanceMatrix, GrowOnlyRowBuffer

@@ -10,7 +10,11 @@ layer replaced:
   ``(n_users, n_tasks)`` products every coordinate iteration),
 - :class:`ReferenceDynamicHierarchicalClustering` — dynamic clustering that
   rebuilds the entire pairwise distance matrix from scratch on every
-  arrival batch instead of using the grow-only cache.
+  arrival batch instead of using the grow-only cache,
+- :func:`reference_greedy_allocate` — the eager Algorithm 1 greedy that
+  re-evaluates every stale task after every pick (the loop the CELF
+  lazy-greedy kernel in :mod:`repro.core.allocation.lazy_greedy`
+  replaced; picks must stay bit-identical).
 
 They exist so that (a) ``tests/perf/test_equivalence.py`` can prove the
 optimised kernels produce identical clusters and ``allclose`` truths, and
@@ -39,8 +43,107 @@ __all__ = [
     "reference_linkage_sums",
     "reference_labels_from_clusters",
     "reference_estimate_truth",
+    "reference_greedy_allocate",
     "ReferenceDynamicHierarchicalClustering",
 ]
+
+
+def reference_greedy_allocate(
+    problem,
+    initial=None,
+    divide_by_time: bool = True,
+    cost_budget: "float | None" = None,
+    active_tasks: "np.ndarray | None" = None,
+):
+    """The seed Algorithm 1 greedy loop (see
+    :func:`repro.core.allocation.max_quality.greedy_allocate`).
+
+    Eager evaluation: after every pick it immediately re-evaluates the
+    chosen task and every task whose cached best user just lost capacity,
+    then takes a full ``np.argmax`` over all tasks for the next pick.
+    """
+    from repro.core.allocation.base import allocation_objective
+    from repro.core.allocation.lazy_greedy import GreedyOutcome
+
+    n_users, n_tasks = problem.n_users, problem.n_tasks
+    p = problem.accuracy_matrix()
+    times = problem.pair_times()  # (n_users, n_tasks); per-task t_j broadcast
+    costs = problem.costs
+    eligible = problem.eligible_mask()
+
+    if initial is None:
+        assigned = np.zeros((n_users, n_tasks), dtype=bool)
+    else:
+        if initial.matrix.shape != (n_users, n_tasks):
+            raise ValueError("initial assignment shape does not match the problem")
+        assigned = initial.matrix.copy()
+    remaining = problem.capacities - (assigned * times).sum(axis=1)
+    if np.any(remaining < -1e-9):
+        raise ValueError("initial assignment already exceeds capacities")
+    miss = np.prod(np.where(assigned, 1.0 - p, 1.0), axis=0)
+
+    if active_tasks is None:
+        active = np.ones(n_tasks, dtype=bool)
+    else:
+        active = np.asarray(active_tasks, dtype=bool)
+        if active.shape != (n_tasks,):
+            raise ValueError("active_tasks must have one flag per task")
+        active = active.copy()
+
+    spent = 0.0
+    budget_blocked = np.zeros(n_tasks, dtype=bool)
+
+    def best_for_task(task: int) -> "tuple[float, int]":
+        if not active[task] or budget_blocked[task]:
+            return (0.0, -1)
+        feasible = (~assigned[:, task]) & eligible & (times[:, task] <= remaining + 1e-12)
+        if not np.any(feasible):
+            return (0.0, -1)
+        gain = p[:, task] * miss[task]
+        if divide_by_time:
+            gain = gain / times[:, task]
+        gain = np.where(feasible, gain, 0.0)
+        user = int(np.argmax(gain))
+        return (float(gain[user]), user)
+
+    best_eff = np.zeros(n_tasks, dtype=float)
+    best_user = np.full(n_tasks, -1, dtype=int)
+    for task in range(n_tasks):
+        best_eff[task], best_user[task] = best_for_task(task)
+
+    added: list = []
+    while True:
+        task = int(np.argmax(best_eff))
+        if best_eff[task] <= 0.0:
+            break
+        if cost_budget is not None and spent + costs[task] > cost_budget + 1e-12:
+            # Cost only grows, so this task can never be afforded again.
+            budget_blocked[task] = True
+            best_eff[task], best_user[task] = 0.0, -1
+            continue
+        user = best_user[task]
+        assigned[user, task] = True
+        remaining[user] -= times[user, task]
+        miss[task] *= 1.0 - p[user, task]
+        spent += costs[task]
+        added.append((user, task))
+        # Stale entries: the chosen task (its coverage changed) and every
+        # task whose cached best user was the one whose capacity shrank.
+        stale = np.flatnonzero(best_user == user)
+        best_eff[task], best_user[task] = best_for_task(task)
+        for other in stale:
+            if other != task:
+                best_eff[other], best_user[other] = best_for_task(int(other))
+
+    from repro.core.allocation.base import Assignment
+
+    assignment = Assignment(matrix=assigned)
+    return GreedyOutcome(
+        assignment=assignment,
+        added_pairs=tuple(added),
+        objective=allocation_objective(problem, assignment),
+        spent_cost=spent,
+    )
 
 
 def reference_linkage_sums(base: np.ndarray, groups: Sequence[Sequence[int]]) -> np.ndarray:

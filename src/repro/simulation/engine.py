@@ -281,15 +281,18 @@ def run_simulation(
         day_tasks = [dataset.tasks[j] for j in task_indices]
 
         def observe(pairs, _indices=task_indices):
-            global_pairs = [(user, int(_indices[task])) for user, task in pairs]
+            # Day-local -> global task translation via one fancy-index pass
+            # rather than a per-pair Python comprehension.
+            pairs_arr = np.asarray(list(pairs), dtype=int).reshape(-1, 2)
+            users = pairs_arr[:, 0]
+            tasks = _indices[pairs_arr[:, 1]]
+            global_pairs = list(zip(users.tolist(), tasks.tolist()))
             values = np.asarray(world.observe_pairs(global_pairs), dtype=float)
             if config.dropout_rate > 0.0:
                 dropped = dropout_rng.random(len(values)) < config.dropout_rate
                 values = np.where(dropped, np.nan, values)
             delivered = ~np.isnan(values)
             if np.any(delivered):
-                users = np.fromiter((user for user, _ in global_pairs), dtype=int, count=len(global_pairs))
-                tasks = np.fromiter((task for _, task in global_pairs), dtype=int, count=len(global_pairs))
                 du, dt, dv = users[delivered], tasks[delivered], values[delivered]
                 pair_expertise_chunks.append(
                     np.fromiter(
