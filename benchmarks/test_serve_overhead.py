@@ -1,0 +1,170 @@
+"""Serving-layer overhead: the fault-free ingest path must be near-free.
+
+The acceptance bar: pushing a day's traffic through the full
+:class:`~repro.serve.service.IngestionService` stack — admission
+control, checksummed WAL appends, commit markers, and the service-owned
+checkpoint — must cost <5% over the *direct durable baseline*: calling
+``ETA2System.step_from_batch`` with the same reports and checkpointing
+after every day.  The baseline checkpoints because any deployment that
+survives a restart pays that cost with or without the serving layer;
+leaving it out would bill the service for durability the comparison
+target also needs.
+
+What the ratio covers and deliberately excludes:
+
+- **Covered** — every per-record cost of serving: canonical-JSON WAL
+  composition + SHA-256 checksums, per-batch admission decisions and
+  health bookkeeping, day open/commit markers, and the exactly-once
+  rollover plumbing.
+- **Excluded** — one-time setup (system + service construction, first
+  WAL segment creation) which a long-running service amortises to zero,
+  and ``fsync`` latency, which is a storage-hardware property the
+  ``sync`` policy knob already makes explicit (``"commit"``
+  group-commits exactly twice per day; the bar runs under ``"none"``).
+  The ``test_serve_day_cycle`` benchmark entry records the ``"commit"``
+  policy's absolute cost, construction included, alongside the other
+  microbenchmarks.
+
+Measured with the repo's paired-round pattern (adjacent raw / served
+timings so slow machine-wide drift cancels; *min* ratio across rounds,
+the observation least polluted by scheduler noise).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ETA2System
+from repro.reliability.checkpoint import CheckpointManager
+from repro.serve import IngestionService
+from repro.simulation.engine import generate_traffic
+
+ROUNDS = 9
+# Shape chosen so the learning step carries realistic weight relative to
+# traffic volume: many domains make the per-day EM + clustering work
+# dominate, as it does at paper scale, while 20 submitters x 3 days keeps
+# the ingest path fully exercised (60 batches, 360 reports, 120 tasks).
+N_USERS = 20
+N_TASKS = 120
+N_DAYS = 3
+N_DOMAINS = 20
+
+
+def _trace():
+    return generate_traffic(
+        n_users=N_USERS,
+        n_tasks=N_TASKS,
+        n_days=N_DAYS,
+        n_domains=N_DOMAINS,
+        seed=5,
+    )
+
+
+def _system(trace):
+    return ETA2System(
+        n_users=trace.n_users, capacities=np.asarray(trace.capacities), seed=9
+    )
+
+
+def _run_raw(trace, system, checkpoints):
+    """Direct durable baseline: step each day, checkpoint each day."""
+    for ordinal, day in enumerate(trace.days):
+        reports = [r for batch in day.batches for r in batch.reports]
+        system.step_from_batch(day.tasks, reports)
+        checkpoints.save(system, ordinal)
+    return system
+
+
+def _run_served(trace, service):
+    """The same traffic through the full serving stack."""
+    for day in trace.days:
+        service.open_day(day.day, day.tasks)
+        for batch in day.batches:
+            service.submit(batch)
+        service.seal_day()
+    return service
+
+
+def test_fault_free_serve_overhead_under_5_percent(tmp_path):
+    trace = _trace()
+    # Warm-up: imports, numpy first-call costs, file-system caches.
+    _run_raw(trace, _system(trace), CheckpointManager(tmp_path / "warm-ck", keep=3))
+    warm = IngestionService(_system(trace), tmp_path / "warm-wal", sync="none")
+    _run_served(trace, warm)
+    warm.close()
+
+    ratios = []
+    for round_no in range(ROUNDS):
+        raw_system = _system(trace)
+        checkpoints = CheckpointManager(tmp_path / f"ck-{round_no}", keep=3)
+        service = IngestionService(
+            _system(trace), tmp_path / f"wal-{round_no}", sync="none"
+        )
+        start = time.perf_counter()
+        _run_raw(trace, raw_system, checkpoints)
+        raw = time.perf_counter() - start
+        start = time.perf_counter()
+        _run_served(trace, service)
+        served = time.perf_counter() - start
+        service.close()
+        ratios.append(served / raw)
+    overhead = min(ratios) - 1.0
+    assert overhead < 0.05, (
+        f"fault-free serving overhead {overhead:.2%} exceeds the 5% budget "
+        f"(per-round served/raw ratios: {[f'{r:.3f}' for r in ratios]})"
+    )
+
+
+def test_served_state_identical_to_raw(tmp_path):
+    """The overhead comparison is honest: both paths do the same learning."""
+    from repro.core.serialization import state_fingerprint
+
+    trace = _trace()
+    raw = _run_raw(
+        trace, _system(trace), CheckpointManager(tmp_path / "ck", keep=3)
+    )
+    service = IngestionService(_system(trace), tmp_path / "wal", sync="none")
+    for day in trace.days:
+        service.open_day(day.day, day.tasks)
+        for batch in day.batches:
+            assert service.submit(batch).accepted, "a shed batch would skew the ratio"
+        service.seal_day()
+    service.close()
+    assert service.state_fingerprint() == state_fingerprint(raw)
+
+
+def test_serve_day_cycle(benchmark, tmp_path):
+    """Absolute cost of one full served run under the default commit policy.
+
+    Unlike the ratio test this includes construction and real fsyncs —
+    the number an operator budgeting a deployment should look at.
+    """
+    trace = _trace()
+    counter = {"n": 0}
+
+    def cycle():
+        counter["n"] += 1
+        service = IngestionService(
+            _system(trace), tmp_path / f"bench-{counter['n']}", sync="commit"
+        )
+        _run_served(trace, service)
+        service.close()
+
+    benchmark(cycle)
+
+
+def test_step_from_batch_raw(benchmark, tmp_path):
+    """Absolute cost of the direct durable baseline (step + checkpoint)."""
+    trace = _trace()
+    counter = {"n": 0}
+
+    def cycle():
+        counter["n"] += 1
+        _run_raw(
+            trace,
+            _system(trace),
+            CheckpointManager(tmp_path / f"raw-{counter['n']}", keep=3),
+        )
+
+    benchmark(cycle)

@@ -314,6 +314,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="days a quarantined user sits out before probation",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe streaming ingestion service over generated traffic",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        required=True,
+        dest="wal_dir",
+        help="write-ahead-log directory (checkpoints live in <wal-dir>/checkpoints)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover sealed/unsealed days from an existing WAL before serving",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=256,
+        dest="max_queue",
+        help="bound on batches queued for the open day (default 256)",
+    )
+    serve.add_argument(
+        "--shed-policy",
+        choices=("reputation", "tail"),
+        default="reputation",
+        dest="shed_policy",
+        help="load-shedding order above the high watermark (default: reputation)",
+    )
+    serve.add_argument(
+        "--high-watermark", type=_positive_int, default=None, dest="high_watermark"
+    )
+    serve.add_argument(
+        "--low-watermark", type=int, default=None, dest="low_watermark"
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=_positive_float,
+        default=None,
+        dest="rate_limit",
+        help="per-submitter token-bucket refill rate (batches/second)",
+    )
+    serve.add_argument(
+        "--sync",
+        choices=("always", "commit", "none"),
+        default="commit",
+        help="WAL fsync policy (default: commit — group commit at day seals)",
+    )
+    traffic = serve.add_argument_group(
+        "traffic", "deterministic generated traffic driven through the service"
+    )
+    traffic.add_argument("--days", type=_positive_int, default=3)
+    traffic.add_argument("--users", type=_positive_int, default=20)
+    traffic.add_argument("--tasks", type=_positive_int, default=60)
+    traffic.add_argument(
+        "--reporters", type=_positive_int, default=3, help="reporting users per task"
+    )
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--gamma", type=float, default=0.3)
+    traffic.add_argument("--alpha", type=float, default=0.5)
+    traffic.add_argument(
+        "--fault-drops", type=_rate, default=0.0, help="injected dropped-report rate"
+    )
+    traffic.add_argument(
+        "--fault-nan", type=_rate, default=0.0, help="injected NaN-payload rate"
+    )
+    traffic.add_argument(
+        "--fault-outliers", type=_rate, default=0.0, help="injected gross-outlier rate"
+    )
+    drill = serve.add_argument_group(
+        "crash drill", "kill the process at chosen WAL offsets (exit code 3)"
+    )
+    drill.add_argument(
+        "--kill-at",
+        default=None,
+        dest="kill_at",
+        help="comma-separated absolute WAL sequence numbers to crash after",
+    )
+    serve_telemetry = serve.add_argument_group("telemetry")
+    serve_telemetry.add_argument("--trace-out", default=None, dest="trace_out")
+    serve_telemetry.add_argument("--metrics-out", default=None, dest="metrics_out")
+
     trace = sub.add_parser("trace", help="inspect a JSONL run trace")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     summarize = trace_sub.add_parser(
@@ -529,6 +611,107 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import ETA2System
+    from repro.reliability.faults import FaultProfile, SimulatedCrash
+    from repro.reliability.sanitize import IngestSchema
+    from repro.serve import IngestionService, drive_trace, kill_hook
+    from repro.simulation.engine import generate_traffic
+
+    faults = FaultProfile(
+        drop_rate=args.fault_drops,
+        nan_rate=args.fault_nan,
+        outlier_rate=args.fault_outliers,
+    )
+    trace = generate_traffic(
+        n_users=args.users,
+        n_tasks=args.tasks,
+        n_days=args.days,
+        reporters_per_task=args.reporters,
+        faults=faults,
+        seed=args.seed,
+    )
+    telemetry = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry.create(
+            trace_path=args.trace_out,
+            metrics_path=args.metrics_out,
+            seed=args.seed,
+        )
+    system = ETA2System(
+        n_users=trace.n_users,
+        capacities=trace.capacities,
+        gamma=args.gamma,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    schema = IngestSchema(
+        n_users=trace.n_users,
+        n_tasks=max(len(day.tasks) for day in trace.days),
+        min_day=0,
+        max_day=trace.days[-1].day,
+    )
+    kill_seqs = None
+    if args.kill_at:
+        try:
+            kill_seqs = [int(part) for part in args.kill_at.replace(",", " ").split()]
+        except ValueError:
+            print(f"error: --kill-at expects integers, got {args.kill_at!r}", file=sys.stderr)
+            return 2
+    try:
+        service = IngestionService(
+            system,
+            args.wal_dir,
+            resume=args.resume,
+            max_queue=args.max_queue,
+            high_watermark=args.high_watermark,
+            low_watermark=args.low_watermark,
+            shed_policy=args.shed_policy,
+            rate_limit=args.rate_limit,
+            schema=schema,
+            sync=args.sync,
+            wal_fault_hook=kill_hook(kill_seqs) if kill_seqs else None,
+            manifest=telemetry.manifest if telemetry is not None else None,
+            tracer=telemetry.tracer if telemetry is not None else None,
+            metrics=telemetry.metrics if telemetry is not None else None,
+        )
+    except Exception as error:  # noqa: BLE001 — ServiceError/WALError/OSError alike
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    service.install_signal_handlers()
+    crashed = False
+    try:
+        results = drive_trace(service, trace)
+    except SimulatedCrash as crash:
+        crashed = True
+        print(f"crash: {crash}")
+        print("restart with --resume to recover the WAL")
+    if telemetry is not None:
+        telemetry.finalize(
+            applied_days=service.applied_days,
+            health=service.health,
+            crashed=crashed,
+        )
+    if crashed:
+        return 3
+    service.close()
+    accepted = ""
+    if service.metrics is not None:
+        count = int(
+            service.metrics.counter("repro_serve_batches_total").value(outcome="accepted")
+        )
+        accepted = f"{count} batches accepted, "
+    print(
+        f"served {service.applied_days}/{len(trace.days)} days "
+        f"({accepted}{len(results)} applied this run)"
+    )
+    print(f"health: {service.health}   wal records: {service.wal.next_seq}")
+    print(f"state fingerprint: {service.state_fingerprint()}")
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     from repro.observability import read_trace, render_summary, summarize_trace
 
@@ -565,6 +748,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         return _run_figure(args)
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "report":

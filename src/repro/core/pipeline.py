@@ -818,6 +818,149 @@ class ETA2System:
         )
 
     # ------------------------------------------------------------------ #
+    # Streamed step (reports arrive from outside; no live allocation)
+    # ------------------------------------------------------------------ #
+
+    def step_from_batch(self, tasks: Sequence[IncomingTask], reports) -> StepResult:
+        """One step driven by externally collected reports.
+
+        The streaming service (:mod:`repro.serve`) replays observation
+        batches from its write-ahead log instead of allocating and
+        collecting live: ``reports`` is an iterable of ``(user,
+        local_task_index, value)`` triples for *this step's* tasks.
+        Duplicate pairs resolve last-writer-wins (replay order is the WAL
+        order, so this is deterministic), non-finite values erase the pair
+        — the same coercion :meth:`_collect` applies — and reports from
+        quarantined users are dropped, mirroring the allocator-side
+        exclusion of the live loop.  Runs as warm-up while the system is
+        cold (batch MLE seed) and as a daily step afterwards, with the
+        same degraded-day and bookkeeping semantics as the live entry
+        points.
+        """
+        if not tasks:
+            raise ValueError("step_from_batch needs at least one task")
+        kind = "daily" if self._warmed_up else "warm-up"
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "step.start",
+                step=self.completed_steps + 1,
+                kind=kind,
+                n_tasks=len(tasks),
+            )
+        timer = PhaseTimer(tracer=self.tracer)
+        with timer.phase("identify"):
+            domains, merges, new_domains = self._identify_domains(tasks)
+        guard_reports = [self._check_partition(domains, new_domains)]
+        with timer.phase("allocate"):
+            eligible, excluded = self._eligibility()
+            expertise = (
+                self._expertise_for(domains)
+                if self._warmed_up
+                else self._default_expertise_for(domains)
+            )
+            problem = self._problem(tasks, expertise, eligible)
+        with timer.phase("collect"):
+            observations = self._observations_from_reports(reports, len(tasks), eligible)
+            # The implied assignment is exactly the observed pairs: cost
+            # accounting charges each task's cost per delivering user.
+            assignment = Assignment(matrix=observations.mask.copy())
+        if observations.observation_count == 0:
+            return self._degraded_result(
+                assignment, observations, domains, merges, new_domains, problem, kind, timer,
+                excluded=excluded,
+            )
+        if not self._warmed_up:
+            with timer.phase("truth"):
+                result = estimate_truth(
+                    observations,
+                    domains,
+                    robust=self._robust,
+                    tracer=self.tracer if self.tracer.enabled else None,
+                )
+                if self.guard is not None:
+                    truths, sigmas, truth_report = self.guard.check_truths(
+                        result.truths, result.sigmas, observed=observations.mask.any(axis=0)
+                    )
+                    expertise_arr, expertise_report = self.guard.check_expertise(result.expertise)
+                    guard_reports += [truth_report, expertise_report]
+                    if truth_report.repaired or expertise_report.repaired:
+                        result = replace(
+                            result, truths=truths, sigmas=sigmas, expertise=expertise_arr
+                        )
+                self._updater.seed_from_batch(observations, domains, result)
+            truths, sigmas = result.truths, result.sigmas
+            task_expertise = result.expertise_for_tasks(domains)
+            iterations, converged = result.iterations, result.converged
+            self._warmed_up = True
+        else:
+            with timer.phase("truth"):
+                incorporate = self._updater.incorporate(
+                    observations,
+                    domains,
+                    robust=self._robust,
+                    tracer=self.tracer if self.tracer.enabled else None,
+                )
+            truths, sigmas = incorporate.truths, incorporate.sigmas
+            task_expertise = np.vstack(
+                [incorporate.expertise[d] for d in domains.tolist()]
+            ).T
+            if self.guard is not None:
+                truths, sigmas, truth_report = self.guard.check_truths(
+                    truths, sigmas, observed=observations.mask.any(axis=0)
+                )
+                task_expertise, expertise_report = self.guard.check_expertise(task_expertise)
+                guard_reports += [truth_report, expertise_report]
+            iterations, converged = incorporate.iterations, incorporate.converged
+        summary = self._record_reputation(observations, truths, sigmas, task_expertise)
+        self.iteration_log.append(iterations)
+        return self._after_step(
+            StepResult(
+                assignment=assignment,
+                observations=observations,
+                truths=truths,
+                sigmas=sigmas,
+                task_domains=domains,
+                merges=merges,
+                new_domains=new_domains,
+                mle_iterations=iterations,
+                allocation_cost=assignment.total_cost(problem.costs),
+                task_expertise=task_expertise,
+                converged=converged,
+                timings=timer.timings(),
+                excluded_users=excluded,
+                reputation=summary,
+                guard_report=self._merge_guard_reports(guard_reports),
+            ),
+            kind,
+        )
+
+    def _observations_from_reports(self, reports, n_tasks: int, eligible) -> ObservationMatrix:
+        """Fold ``(user, local_task, value)`` triples into an observation matrix.
+
+        Later triples overwrite earlier ones for the same pair (including a
+        non-finite value erasing an earlier finite one), so replaying the
+        same ordered report stream always rebuilds the same matrix.
+        """
+        values = np.zeros((self._n_users, n_tasks), dtype=float)
+        mask = np.zeros((self._n_users, n_tasks), dtype=bool)
+        for user, task, value in reports:
+            user, task = int(user), int(task)
+            if not 0 <= user < self._n_users:
+                raise ValueError(f"report names unknown user {user}")
+            if not 0 <= task < n_tasks:
+                raise ValueError(f"report names unknown local task {task}")
+            if eligible is not None and not eligible[user]:
+                continue
+            value = float(value)
+            if np.isfinite(value):
+                values[user, task] = value
+                mask[user, task] = True
+            else:
+                values[user, task] = 0.0
+                mask[user, task] = False
+        return ObservationMatrix(values=values, mask=mask)
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 

@@ -13,6 +13,7 @@ hash-backed models carry no state at all.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -33,19 +34,44 @@ __all__ = [
     "apply_system_state",
     "save_system_state",
     "load_system_state",
+    "state_fingerprint",
     "atomic_write_text",
+    "fsync_directory",
 ]
 
 _FORMAT_VERSION = 1
 
 
-def atomic_write_text(path: "str | Path", text: str, writer: "Callable | None" = None) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+def fsync_directory(path: "str | Path") -> None:
+    """``fsync`` a directory so renames/creations inside it survive power loss.
 
-    A crash at any point leaves either the old file or the new file at
-    ``path`` — never a half-written mixture.  A stray ``<name>.tmp`` may
-    survive an interrupted write; it is ignored by all readers and
-    overwritten by the next save.
+    ``os.replace`` makes a rename atomic but not durable: the directory
+    entry lives in the parent's metadata, which the kernel may keep dirty
+    until the directory itself is synced.  Platforms without directory
+    fsync (opening a directory raises) are tolerated silently — there is
+    nothing stronger available there.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: "str | Path", text: str, writer: "Callable | None" = None) -> None:
+    """Write ``text`` to ``path`` atomically and durably.
+
+    Temp file + ``fsync`` + ``os.replace`` + parent-directory ``fsync``: a
+    crash at any point leaves either the old file or the new file at
+    ``path`` — never a half-written mixture — and once this returns the
+    rename survives power loss.  A stray ``<name>.tmp`` may survive an
+    interrupted write; it is ignored by all readers and overwritten by the
+    next save.
 
     ``writer`` is a fault-injection hook taking ``(path, text)`` (see
     :func:`repro.reliability.faults.crashing_writer`); the default writes
@@ -57,7 +83,13 @@ def atomic_write_text(path: "str | Path", text: str, writer: "Callable | None" =
         tmp.write_text(text)
     else:
         writer(tmp, text)
+    fd = os.open(tmp, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
     os.replace(tmp, path)
+    fsync_directory(path.parent)
 
 
 def updater_to_dict(updater: ExpertiseUpdater) -> dict:
@@ -214,3 +246,18 @@ def load_system_state(system: ETA2System, path: "str | Path") -> ETA2System:
             f"state file {path} is corrupt (truncated or invalid JSON): {error.msg}"
         ) from None
     return apply_system_state(system, state)
+
+
+def state_fingerprint(system: ETA2System) -> str:
+    """SHA-256 over the canonical JSON of the system's learned state.
+
+    Two systems have equal fingerprints iff their serialised state is
+    byte-identical — the equality contract the crash-recovery drills
+    assert (an interrupted-and-resumed run must land on the same
+    fingerprint as an uninterrupted one).
+    """
+    from repro.observability.tracer import canonical_json
+
+    return hashlib.sha256(
+        canonical_json(system_state_to_dict(system)).encode("utf-8")
+    ).hexdigest()

@@ -51,13 +51,19 @@ import numpy as np
 __all__ = ["NULL_TRACER", "NullTracer", "RunTracer", "canonical_json"]
 
 
+# json.dumps builds a fresh JSONEncoder whenever non-default options are
+# passed; a shared instance keeps the hot sinks (WAL appends, trace
+# records) off that per-call construction cost.
+_CANONICAL_ENCODER = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+
+
 def canonical_json(record: dict) -> str:
     """The canonical one-line JSON encoding used for every sink record.
 
     Sorted keys and tight separators make equal records byte-equal — the
     property the replay-determinism guarantee is stated in terms of.
     """
-    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return _CANONICAL_ENCODER.encode(record)
 
 
 def _jsonable(value):

@@ -80,7 +80,12 @@ from repro.reliability.reputation import (
     ReputationSummary,
     ReputationTracker,
 )
-from repro.reliability.sanitize import ObservationSanitizer, SanitizeReport
+from repro.reliability.sanitize import (
+    IngestSchema,
+    ObservationSanitizer,
+    SanitizeReport,
+    ScreenResult,
+)
 
 __all__ = [
     "ChaosWorld",
@@ -96,6 +101,7 @@ __all__ = [
     "GuardConfig",
     "GuardReport",
     "GuardViolation",
+    "IngestSchema",
     "InvariantGuard",
     "InvariantViolationError",
     "JobTimeout",
@@ -108,6 +114,7 @@ __all__ = [
     "ResilientObserver",
     "RetryPolicy",
     "SanitizeReport",
+    "ScreenResult",
     "SimulatedCrash",
     "SupervisedExecutor",
     "SupervisedResult",

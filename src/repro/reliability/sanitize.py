@@ -27,7 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["SanitizeReport", "ObservationSanitizer"]
+__all__ = ["SanitizeReport", "ObservationSanitizer", "IngestSchema", "ScreenResult"]
 
 #: MAD-to-standard-deviation consistency factor for normal data.
 _MAD_SCALE = 1.4826
@@ -54,6 +54,53 @@ class SanitizeReport:
     def summary(self) -> str:
         parts = [f"{name}={value}" for name, value in self.as_dict().items() if value]
         return "SanitizeReport(" + (", ".join(parts) or "empty") + ")"
+
+
+@dataclass(frozen=True)
+class IngestSchema:
+    """What a well-formed ingest report looks like at the service boundary.
+
+    The batch pipeline can afford to *coerce* bad values (NaN is already
+    the missing marker), but a streaming front-end must not: a malformed
+    report written to the write-ahead log would be replayed forever.  The
+    schema pins the valid id ranges so the service can reject before
+    durability.
+    """
+
+    n_users: int
+    n_tasks: int
+    min_day: int = 0
+    max_day: "int | None" = None
+
+    def __post_init__(self):
+        if self.n_users <= 0 or self.n_tasks <= 0:
+            raise ValueError("n_users and n_tasks must be positive")
+        if self.max_day is not None and self.max_day < self.min_day:
+            raise ValueError("max_day must be >= min_day")
+
+    def day_in_range(self, day: int) -> bool:
+        if day < self.min_day:
+            return False
+        return self.max_day is None or day <= self.max_day
+
+
+@dataclass
+class ScreenResult:
+    """Outcome of one strict screening pass: what survived, what fell, why."""
+
+    accepted: list
+    rejected: list  #: ``(report, reason)`` pairs, in input order.
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.rejected)
+
+    def counts(self) -> dict:
+        """Rejections by reason (stable reason strings, see ``screen_reports``)."""
+        counts: dict = {}
+        for _, reason in self.rejected:
+            counts[reason] = counts.get(reason, 0) + 1
+        return counts
 
 
 class ObservationSanitizer:
@@ -135,3 +182,46 @@ class ObservationSanitizer:
 
         report.accepted += int(np.isfinite(values).sum())
         return values
+
+    def screen_reports(
+        self, reports, schema: IngestSchema, day: "int | None" = None
+    ) -> ScreenResult:
+        """Strict ingest-schema screening for the service boundary.
+
+        Unlike :meth:`sanitize` — which *coerces* bad payloads to the NaN
+        missing marker — this mode **rejects**: every report failing the
+        schema is returned in ``ScreenResult.rejected`` with a stable
+        reason string, and only clean reports reach the write-ahead log.
+
+        ``reports`` is an iterable of ``(user, task, value)`` triples;
+        ``day`` (when given) is the batch's claimed day index.  Reason
+        strings: ``"day_out_of_range"`` (rejects the whole batch),
+        ``"malformed"`` (not a 3-tuple / non-integer ids),
+        ``"unknown_user"``, ``"unknown_task"``, ``"non_finite_value"``,
+        and — when ``value_bounds`` is configured — ``"out_of_bounds"``.
+        """
+        reports = list(reports)
+        if day is not None and not schema.day_in_range(int(day)):
+            return ScreenResult(
+                accepted=[], rejected=[(r, "day_out_of_range") for r in reports]
+            )
+        accepted: list = []
+        rejected: list = []
+        for report in reports:
+            try:
+                user, task, value = report
+                user, task, value = int(user), int(task), float(value)
+            except (TypeError, ValueError):
+                rejected.append((report, "malformed"))
+                continue
+            if not 0 <= user < schema.n_users:
+                rejected.append((report, "unknown_user"))
+            elif not 0 <= task < schema.n_tasks:
+                rejected.append((report, "unknown_task"))
+            elif not np.isfinite(value):
+                rejected.append((report, "non_finite_value"))
+            elif self._bounds is not None and not (self._bounds[0] <= value <= self._bounds[1]):
+                rejected.append((report, "out_of_bounds"))
+            else:
+                accepted.append((user, task, value))
+        return ScreenResult(accepted=accepted, rejected=rejected)

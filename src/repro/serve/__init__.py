@@ -1,0 +1,70 @@
+"""Streaming ingestion + day-cycle serving for the ETA2 loop.
+
+The paper frames expertise-aware truth analysis as a *daily online
+process* over continuously arriving mobile-crowdsourcing reports; this
+package is the durable front-end that turns the repo's batch pipeline
+into that long-running service:
+
+- :mod:`repro.serve.wal` — checksummed, segmented, fsync'd write-ahead
+  log with torn-tail-tolerant replay;
+- :mod:`repro.serve.admission` — bounded ingest queue: watermark
+  hysteresis, reputation-ordered deterministic load shedding,
+  per-submitter token buckets;
+- :mod:`repro.serve.service` — :class:`IngestionService`, the
+  exactly-once day rollover (commit markers + service-owned checkpoints)
+  with ``STARTING/READY/DEGRADED/SHEDDING/DRAINING`` health states and
+  graceful signal drain;
+- :mod:`repro.serve.drill` — crash-and-replay drills proving the
+  exactly-once contract by killing the service at arbitrary WAL offsets.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision, TokenBucket
+from repro.serve.drill import (
+    TrafficDay,
+    TrafficTrace,
+    drive_trace,
+    kill_hook,
+    run_uninterrupted,
+    run_with_crashes,
+)
+from repro.serve.service import (
+    DEGRADED,
+    DRAINING,
+    HEALTH_CODES,
+    READY,
+    SHEDDING,
+    STARTING,
+    DayProcessingError,
+    IngestionService,
+    ReportBatch,
+    ServiceError,
+    SubmitResult,
+)
+from repro.serve.wal import WALError, WriteAheadLog, read_wal, record_checksum
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "DEGRADED",
+    "DRAINING",
+    "DayProcessingError",
+    "HEALTH_CODES",
+    "IngestionService",
+    "READY",
+    "ReportBatch",
+    "SHEDDING",
+    "STARTING",
+    "ServiceError",
+    "SubmitResult",
+    "TokenBucket",
+    "TrafficDay",
+    "TrafficTrace",
+    "WALError",
+    "WriteAheadLog",
+    "drive_trace",
+    "kill_hook",
+    "read_wal",
+    "record_checksum",
+    "run_uninterrupted",
+    "run_with_crashes",
+]

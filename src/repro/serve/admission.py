@@ -1,0 +1,201 @@
+"""Bounded-queue admission control for the ingestion service.
+
+A crowdsourcing front-end that accepts everything falls over exactly when
+it matters — during bursts.  The controller keeps the ingest queue bounded
+with three mechanisms, all deterministic so backpressure behaviour replays
+bit-identically in tests:
+
+- **watermark hysteresis** — pressure state flips to ``shedding`` when the
+  queue depth reaches the high watermark and back to ``ready`` only once
+  it falls to the low watermark, so the service does not flap at the
+  boundary;
+- **reputation-ordered shedding** — while shedding, submitters are ranked
+  by their :class:`~repro.reliability.reputation.ReputationTracker`
+  standing (quarantined worst, then probation, then active; ties broken
+  by mean absolute residual, then user id) and the *worst* fraction of
+  the roster is shed first: a submitter is admitted iff their standing
+  fraction is at least the queue's fill fraction ``(depth - low) /
+  (max - low)``.  At ``depth >= max_queue`` everyone is shed.  Without a
+  tracker the ``"reputation"`` policy degrades to ``"tail"`` (shed every
+  arrival while shedding) — there is no principled ordering to apply;
+- **token-bucket rate limits** — each submitter gets a deterministic
+  token bucket on an injectable clock, so one chatty client cannot
+  monopolise the queue even below the watermarks.
+
+The controller never blocks: every decision is an O(roster) worst-case
+(amortised O(1) — standings are cached until :meth:`refresh_standing`)
+pure computation, so calling it from the day-cycle thread is safe.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.reliability.reputation import PROBATION, QUARANTINED
+
+__all__ = ["AdmissionDecision", "AdmissionController", "TokenBucket", "SHED_POLICIES"]
+
+SHED_POLICIES = ("reputation", "tail")
+
+#: Pressure states (the service maps these into its health states).
+READY = "ready"
+SHEDDING = "shedding"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admission verdict: admitted or shed, and why."""
+
+    admitted: bool
+    #: ``None`` when admitted; otherwise ``"rate_limited"``,
+    #: ``"queue_full"``, or ``"shed_low_reputation"``.
+    reason: "str | None" = None
+    #: Pressure state after this decision (``"ready"``/``"shedding"``).
+    state: str = READY
+
+
+class TokenBucket:
+    """A classic token bucket on an injectable monotonic clock."""
+
+    def __init__(self, rate: float, burst: float, clock=None):
+        if rate <= 0.0:
+            raise ValueError("rate must be positive")
+        if burst < 1.0:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = self.burst
+        self._last = float(self._clock())
+
+    def allow(self) -> bool:
+        """Consume one token if available; refills from elapsed time."""
+        now = float(self._clock())
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Watermarked, reputation-aware, rate-limited admission (module docs)."""
+
+    def __init__(
+        self,
+        max_queue: int,
+        high_watermark: "int | None" = None,
+        low_watermark: "int | None" = None,
+        shed_policy: str = "reputation",
+        reputation=None,
+        rate_limit: "float | None" = None,
+        burst: "float | None" = None,
+        clock=None,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(f"shed_policy must be one of {SHED_POLICIES}")
+        self.max_queue = int(max_queue)
+        self.high_watermark = (
+            int(high_watermark) if high_watermark is not None else max(1, (8 * max_queue) // 10)
+        )
+        self.low_watermark = (
+            int(low_watermark) if low_watermark is not None else max(0, max_queue // 2)
+        )
+        if not 0 <= self.low_watermark < self.high_watermark <= self.max_queue:
+            raise ValueError("need 0 <= low_watermark < high_watermark <= max_queue")
+        self.shed_policy = shed_policy
+        self.reputation = reputation
+        self.rate_limit = float(rate_limit) if rate_limit is not None else None
+        self.burst = float(burst) if burst is not None else None
+        self._clock = clock if clock is not None else time.monotonic
+        self._buckets: dict = {}
+        self._standing: "np.ndarray | None" = None
+        self.state = READY
+
+    # ------------------------------------------------------------------ #
+    # Reputation standing
+    # ------------------------------------------------------------------ #
+
+    def refresh_standing(self) -> None:
+        """Invalidate the cached standing order (call after each day)."""
+        self._standing = None
+
+    def standing_fraction(self, submitter: int) -> float:
+        """The submitter's standing in [0, 1]; 1 is best, shed last.
+
+        Deterministic worst-first ordering: quarantined < probation <
+        active, then larger decayed mean absolute residual is worse, then
+        lower user id is worse (a pure tie-break — the point is that the
+        order is total and replayable).
+        """
+        if self.reputation is None:
+            return 1.0
+        if self._standing is None:
+            self._standing = self._compute_standing()
+        submitter = int(submitter)
+        if not 0 <= submitter < self._standing.shape[0]:
+            return 0.0
+        return float(self._standing[submitter])
+
+    def _compute_standing(self) -> np.ndarray:
+        tracker = self.reputation
+        status = np.asarray(tracker.status, dtype=int)
+        n = status.shape[0]
+        if n == 1:
+            return np.ones(1)
+        rank_key = np.where(status == QUARANTINED, 0, np.where(status == PROBATION, 1, 2))
+        badness = np.asarray(tracker.scores().mean_abs_residual, dtype=float)
+        badness = np.where(np.isfinite(badness), badness, 0.0)
+        # Worst first: status ascending, badness descending, id ascending.
+        order = np.lexsort((np.arange(n), -badness, rank_key))
+        standing = np.empty(n)
+        standing[order] = np.arange(n) / (n - 1)
+        return standing
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+
+    def _rate_limited(self, submitter: int) -> bool:
+        if self.rate_limit is None:
+            return False
+        bucket = self._buckets.get(submitter)
+        if bucket is None:
+            burst = self.burst if self.burst is not None else max(1.0, self.rate_limit)
+            bucket = self._buckets[submitter] = TokenBucket(
+                self.rate_limit, burst, clock=self._clock
+            )
+        return not bucket.allow()
+
+    def _update_state(self, depth: int) -> None:
+        if self.state == READY and depth >= self.high_watermark:
+            self.state = SHEDDING
+        elif self.state == SHEDDING and depth <= self.low_watermark:
+            self.state = READY
+
+    def offer(self, submitter: int, depth: int) -> AdmissionDecision:
+        """Decide whether to admit one batch from ``submitter``.
+
+        ``depth`` is the current queue depth (batches admitted for the
+        open day and not yet sealed away).
+        """
+        self._update_state(int(depth))
+        if self._rate_limited(int(submitter)):
+            return AdmissionDecision(False, "rate_limited", self.state)
+        if depth >= self.max_queue:
+            self.state = SHEDDING
+            return AdmissionDecision(False, "queue_full", self.state)
+        if self.state == SHEDDING:
+            if self.shed_policy == "tail" or self.reputation is None:
+                return AdmissionDecision(False, "shed_low_reputation", self.state)
+            span = self.max_queue - self.low_watermark
+            fill = (int(depth) - self.low_watermark) / span if span > 0 else 1.0
+            if self.standing_fraction(submitter) < fill:
+                return AdmissionDecision(False, "shed_low_reputation", self.state)
+        return AdmissionDecision(True, None, self.state)

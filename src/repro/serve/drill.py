@@ -1,0 +1,159 @@
+"""Crash-and-replay drills for the ingestion service.
+
+The exactly-once claim is only worth making if it is *drilled*: kill the
+service at an arbitrary WAL offset, restart with ``resume=True``, replay
+the same traffic, and demand a final system state **byte-identical** to an
+uninterrupted run.  This module provides the deterministic driver:
+
+- :class:`TrafficTrace` — a replayable recording of several days of
+  traffic (tasks + per-submitter report batches), produced by
+  :func:`repro.simulation.engine.generate_traffic`;
+- :func:`drive_trace` — push a trace through a service *idempotently*:
+  already-applied days are skipped, an interrupted day's batches are
+  resubmitted (the service's ``batch_id`` dedup rejects the ones that
+  were already durable), so the same driver runs both the clean pass and
+  every post-crash resumption;
+- :func:`kill_hook` — a WAL fault hook raising
+  :class:`~repro.reliability.faults.SimulatedCrash` after chosen absolute
+  WAL offsets, modelling a process killed the instant a record hit disk;
+- :func:`run_with_crashes` — the full drill: run the trace, crash at
+  every scheduled offset, restart-and-resume each time, and return the
+  final state fingerprint for comparison against the clean run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.reliability.faults import SimulatedCrash
+from repro.serve.service import IngestionService
+
+__all__ = [
+    "TrafficDay",
+    "TrafficTrace",
+    "drive_trace",
+    "kill_hook",
+    "run_uninterrupted",
+    "run_with_crashes",
+]
+
+
+@dataclass(frozen=True)
+class TrafficDay:
+    """One day of recorded traffic: the task set and the arrival order."""
+
+    day: int
+    tasks: tuple  #: :class:`~repro.core.pipeline.IncomingTask` per task.
+    batches: tuple  #: :class:`~repro.serve.service.ReportBatch` in arrival order.
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A replayable multi-day traffic recording."""
+
+    n_users: int
+    capacities: tuple
+    days: tuple  #: :class:`TrafficDay`, in day order.
+
+    @property
+    def total_batches(self) -> int:
+        return sum(len(day.batches) for day in self.days)
+
+
+def drive_trace(service: IngestionService, trace: TrafficTrace) -> list:
+    """Replay ``trace`` through ``service`` from the beginning, idempotently.
+
+    Safe to call on a freshly resumed service: days the checkpoint already
+    covers are skipped by ordinal, and duplicate batches of a re-opened
+    day bounce off the ``batch_id`` dedup.  Returns the accumulated
+    :class:`~repro.core.pipeline.StepResult` list of the days this call
+    actually applied.
+    """
+    results = []
+    for ordinal, day in enumerate(trace.days):
+        if ordinal < service.applied_days:
+            continue
+        if service.draining:
+            break
+        if service.current_day is None:
+            service.open_day(day.day, day.tasks)
+        elif service.current_day != day.day:
+            raise ValueError(
+                f"service has day {service.current_day} open but the trace "
+                f"expects day {day.day} at ordinal {ordinal}"
+            )
+        for batch in day.batches:
+            service.submit(batch)
+        results.append(service.seal_day())
+    return results
+
+
+def kill_hook(kill_seqs: Sequence[int]) -> Callable:
+    """A WAL fault hook that crashes after each listed absolute offset.
+
+    Offsets are WAL sequence numbers, which are stable across restarts —
+    record 17 is record 17 no matter how many times the process died
+    before writing record 18.  Each offset fires once.  Offsets the log
+    is already past (a restarted process resuming beyond them) are
+    skipped, so one multi-offset list drives a whole kill/resume cycle
+    even when every restart builds a fresh hook.
+    """
+    remaining = sorted(set(int(s) for s in kill_seqs))
+
+    def hook(seq: int) -> None:
+        while remaining and remaining[0] < seq:
+            remaining.pop(0)
+        if remaining and seq == remaining[0]:
+            offset = remaining.pop(0)
+            raise SimulatedCrash(f"drill: process killed after WAL seq {offset}")
+
+    return hook
+
+
+def run_uninterrupted(trace: TrafficTrace, wal_dir, system_factory, **service_kwargs) -> str:
+    """The reference run: the whole trace with no crashes; returns the
+    final state fingerprint."""
+    service = IngestionService(system_factory(), wal_dir, **service_kwargs)
+    drive_trace(service, trace)
+    service.close()
+    return service.state_fingerprint()
+
+
+def run_with_crashes(
+    trace: TrafficTrace,
+    wal_dir,
+    system_factory,
+    kill_seqs: Sequence[int],
+    max_restarts: "int | None" = None,
+    **service_kwargs,
+) -> "tuple[str, int]":
+    """Run ``trace`` while crashing at every offset in ``kill_seqs``.
+
+    Each :class:`SimulatedCrash` discards the service object entirely —
+    in-memory state dies with the "process" — and a fresh one is built
+    with ``resume=True``, exactly as a restarted daemon would.  Returns
+    ``(final_fingerprint, crash_count)``.
+    """
+    kill_seqs = sorted(set(int(s) for s in kill_seqs))
+    if max_restarts is None:
+        max_restarts = len(kill_seqs) + 2
+    hook = kill_hook(kill_seqs)
+    crashes = 0
+    resume = False
+    for _ in range(max_restarts + 1):
+        service = IngestionService(
+            system_factory(), wal_dir, resume=resume, wal_fault_hook=hook, **service_kwargs
+        )
+        resume = True
+        try:
+            drive_trace(service, trace)
+        except SimulatedCrash:
+            crashes += 1
+            continue
+        service.close()
+        return service.state_fingerprint(), crashes
+    raise RuntimeError(
+        f"trace did not complete within {max_restarts} restarts "
+        f"({crashes} crashes so far)"
+    )

@@ -1,0 +1,318 @@
+"""Write-ahead log for the streaming ingestion service.
+
+Every observation batch the service admits is made durable *before* it is
+acknowledged or processed, so a crash at any instant loses nothing that was
+accepted.  The format mirrors the run journal of
+:mod:`repro.reliability.supervisor`: canonical-JSONL records, one per line,
+hardened the same ways —
+
+- **per-record checksums** — each record embeds the SHA-256 of its own
+  canonical payload, so silent corruption is detected at replay, not
+  after it has poisoned the expertise state;
+- **monotone sequence numbers** — ``seq`` increases by exactly 1 across
+  the whole log, so gaps (a lost segment) are detected and commit markers
+  can name exact offset ranges;
+- **segment rotation** — records land in ``wal-<first_seq:08d>.jsonl``
+  segments of bounded length, keeping any single file small;
+- **durability** — appends flush to the OS on every record and ``fsync``
+  per the configured policy; segment creation fsyncs the parent directory
+  (the same :func:`~repro.core.serialization.fsync_directory` helper the
+  checkpoint writer uses) so the files themselves survive power loss.
+  The ``"none"`` policy opts out of *all* fsyncs, directory included —
+  it trades power-loss durability for speed and is what the overhead
+  benchmark and in-process crash drills run under;
+- **torn-tail tolerance** — a crash mid-append leaves a partial final
+  line; replay tolerates it on the *last* line of the *last* segment only
+  (anything else is real corruption and raises), and opening the log for
+  writing truncates the torn bytes away before continuing.
+
+Record shape::
+
+    {"seq": 17, "type": "batch", "data": {...}, "sha256": "<hex>"}
+
+where the checksum covers the canonical JSON of the record minus its own
+``sha256`` field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.core.serialization import fsync_directory
+from repro.observability.tracer import canonical_json
+
+__all__ = ["WALError", "WriteAheadLog", "read_wal", "record_checksum"]
+
+_SEGMENT_PATTERN = re.compile(r"^wal-(\d{8})\.jsonl$")
+
+#: Memoised JSON encodings of record type strings (append hot path).
+_TYPE_JSON: dict = {}
+
+#: Supported fsync policies for appends (segment boundaries and explicit
+#: ``sync=True`` appends always fsync unless the policy is ``"none"``).
+SYNC_POLICIES = ("always", "commit", "none")
+
+
+class WALError(ValueError):
+    """The write-ahead log is corrupt, inconsistent, or misused."""
+
+
+def record_checksum(seq: int, type: str, data: dict) -> str:
+    """SHA-256 over the canonical JSON of a record minus its checksum field."""
+    return hashlib.sha256(
+        canonical_json({"seq": int(seq), "type": type, "data": data}).encode("utf-8")
+    ).hexdigest()
+
+
+def _segments(directory: Path) -> list:
+    """``(first_seq, path)`` of every segment in ``directory``, in order."""
+    found = []
+    for path in directory.iterdir():
+        match = _SEGMENT_PATTERN.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def _validate_record(record, line_no: int, path: Path) -> dict:
+    if not isinstance(record, dict):
+        raise WALError(f"{path.name}:{line_no}: record is not an object")
+    for key in ("seq", "type", "data", "sha256"):
+        if key not in record:
+            raise WALError(f"{path.name}:{line_no}: record is missing {key!r}")
+    expected = record_checksum(record["seq"], record["type"], record["data"])
+    if expected != record["sha256"]:
+        raise WALError(
+            f"{path.name}:{line_no}: checksum mismatch "
+            f"(stored {str(record['sha256'])[:12]}…, computed {expected[:12]}…)"
+        )
+    return record
+
+
+def read_wal(directory: "str | Path") -> Iterator[dict]:
+    """Replay every valid record in ``directory``, oldest first.
+
+    Checksums are verified and ``seq`` continuity is enforced.  A torn
+    final line (crash mid-append) is tolerated and simply ends the replay;
+    a bad line anywhere else raises :class:`WALError`.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    segments = _segments(directory)
+    expected_seq = None
+    for index, (first_seq, path) in enumerate(segments):
+        last_segment = index == len(segments) - 1
+        lines = path.read_text().splitlines()
+        for line_no, line in enumerate(lines, start=1):
+            torn_position = last_segment and line_no == len(lines)
+            try:
+                record = _validate_record(json.loads(line), line_no, path)
+            except json.JSONDecodeError:
+                if torn_position:
+                    # Crash mid-append: the partial record was never
+                    # acknowledged, so dropping it is correct.
+                    return
+                raise WALError(
+                    f"{path.name}:{line_no}: corrupt record before the log tail"
+                ) from None
+            except WALError:
+                if torn_position:
+                    return
+                raise
+            seq = int(record["seq"])
+            if line_no == 1 and seq != first_seq:
+                raise WALError(
+                    f"{path.name}: first record has seq {seq}, "
+                    f"segment name promises {first_seq}"
+                )
+            if expected_seq is not None and seq != expected_seq:
+                raise WALError(
+                    f"{path.name}:{line_no}: sequence gap "
+                    f"(expected {expected_seq}, found {seq})"
+                )
+            expected_seq = seq + 1
+            yield record
+
+
+class WriteAheadLog:
+    """Append-only, checksummed, segmented JSONL log (see module docs).
+
+    Parameters
+    ----------
+    directory:
+        Segment directory (created if missing).
+    records_per_segment:
+        Rotation threshold: a segment holding this many records is closed
+        and a new one started.
+    sync:
+        ``"always"`` fsyncs every append; ``"commit"`` (default) flushes
+        every append to the OS but fsyncs only at segment boundaries and
+        explicitly-synced records (commit markers) — the group-commit
+        trade: a *power loss* may drop the unsynced tail of open-day
+        batches (which were never sealed), while a mere process crash
+        loses nothing; ``"none"`` never fsyncs (tests/benchmarks).
+    fault_hook:
+        Crash-drill hook called with each record's ``seq`` *after* the
+        record is durably written; raising
+        :class:`~repro.reliability.faults.SimulatedCrash` there models a
+        process killed at exactly that WAL offset.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        records_per_segment: int = 1024,
+        sync: str = "commit",
+        fault_hook: "Callable | None" = None,
+        tracer=None,
+    ):
+        if records_per_segment < 1:
+            raise ValueError("records_per_segment must be at least 1")
+        if sync not in SYNC_POLICIES:
+            raise ValueError(f"sync must be one of {SYNC_POLICIES}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.records_per_segment = int(records_per_segment)
+        self.sync_policy = sync
+        self.fault_hook = fault_hook
+        self.tracer = tracer
+        self._fh = None
+        self._segment_count = 0
+        self._next_seq = 0
+        self._recover()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    def _recover(self) -> None:
+        """Scan existing segments; truncate a torn tail; position the writer."""
+        segments = _segments(self.directory)
+        if not segments:
+            return
+        count = 0
+        for record in read_wal(self.directory):
+            self._next_seq = int(record["seq"]) + 1
+            count += 1
+        # Truncate torn bytes off the last segment so appended records
+        # never follow a garbage line.
+        last_path = segments[-1][1]
+        raw = last_path.read_bytes()
+        valid_lines = []
+        for line in raw.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break
+            try:
+                _validate_record(json.loads(line), 0, last_path)
+            except (json.JSONDecodeError, WALError):
+                break
+            valid_lines.append(line)
+        keep = b"".join(valid_lines)
+        if len(keep) != len(raw):
+            with open(last_path, "r+b") as fh:
+                fh.truncate(len(keep))
+                if self.sync_policy != "none":
+                    os.fsync(fh.fileno())
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit(
+                    "serve.wal.truncated_tail",
+                    segment=last_path.name,
+                    dropped_bytes=len(raw) - len(keep),
+                )
+        self._segment_count = len(valid_lines)
+        if self._segment_count < self.records_per_segment:
+            # Re-open the last segment for appending; a full one stays
+            # closed and the next append rotates.
+            self._fh = open(last_path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next append will receive."""
+        return self._next_seq
+
+    def _rotate(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            if self.sync_policy != "none":
+                os.fsync(self._fh.fileno())
+            self._fh.close()
+        path = self.directory / f"wal-{self._next_seq:08d}.jsonl"
+        self._fh = open(path, "a", encoding="utf-8")
+        self._segment_count = 0
+        if self.sync_policy != "none":
+            fsync_directory(self.directory)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit("serve.wal.rotate", segment=path.name)
+
+    def append(
+        self, type: str, data: dict = None, sync: bool = False, *, data_json: str = None
+    ) -> int:
+        """Durably append one record; returns its ``seq``.
+
+        ``sync=True`` forces an fsync for this record (commit markers)
+        regardless of a ``"commit"`` policy; ``"none"`` still skips it.
+
+        ``data_json`` is a hot-path escape hatch: callers that can compose
+        the canonical encoding themselves pass it to skip the generic
+        encoder.  It MUST be byte-equal to ``canonical_json(data)`` — the
+        replay checksum is recomputed from the parsed payload, so any
+        divergence is detected as corruption on the very next read.
+        """
+        if self._fh is None or self._segment_count >= self.records_per_segment:
+            self._rotate()
+        seq = self._next_seq
+        # Serialise the payload once and compose both the checksum body
+        # and the final line from it.  The composed strings are byte-equal
+        # to ``canonical_json`` of the corresponding dicts (keys already in
+        # sorted order: data < seq < sha256 < type), which is what
+        # ``record_checksum`` recomputes independently at replay.
+        if data_json is None:
+            data_json = canonical_json(data)
+        type_json = _TYPE_JSON.get(type)
+        if type_json is None:
+            type_json = _TYPE_JSON[type] = json.dumps(type)
+        body = f'{{"data":{data_json},"seq":{seq},"type":{type_json}}}'
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        self._fh.write(
+            f'{{"data":{data_json},"seq":{seq},"sha256":"{digest}","type":{type_json}}}\n'
+        )
+        # Always flushed to the OS — the fault-hook contract ("the record
+        # is readable before the hook can kill us") holds under every
+        # policy; only fsyncs are policy-gated.
+        self._fh.flush()
+        if self.sync_policy == "always" or (sync and self.sync_policy != "none"):
+            os.fsync(self._fh.fileno())
+        self._next_seq = seq + 1
+        self._segment_count += 1
+        if self.fault_hook is not None:
+            self.fault_hook(seq)
+        return seq
+
+    def sync(self) -> None:
+        """Force the current segment to stable storage."""
+        if self._fh is not None:
+            self._fh.flush()
+            if self.sync_policy != "none":
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.sync()
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

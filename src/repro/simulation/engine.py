@@ -35,6 +35,7 @@ __all__ = [
     "SimulationResult",
     "run_simulation",
     "run_simulation_batch",
+    "generate_traffic",
 ]
 
 
@@ -397,6 +398,95 @@ def run_simulation(
             else ()
         ),
     )
+
+
+def generate_traffic(
+    n_users: int = 20,
+    n_tasks: int = 60,
+    n_days: int = 3,
+    n_domains: int = 4,
+    reporters_per_task: int = 3,
+    tau: float = 12.0,
+    faults: "FaultProfile | None" = None,
+    seed=None,
+):
+    """Record a replayable traffic trace for the ingestion service.
+
+    Samples a synthetic world (Section 6.1.3 recipe), spreads its tasks
+    over ``n_days`` days, draws ``reporters_per_task`` reporting users per
+    task, and packages each user's daily reports as one
+    :class:`~repro.serve.service.ReportBatch` with a stable ``batch_id``
+    — the idempotency key the crash drills rely on.  ``faults`` applies
+    the profile's *pair-level* corruption (drops become NaN payloads,
+    outliers are displaced) through a
+    :class:`~repro.reliability.faults.FaultInjector`, so chaos soaks feed
+    the service realistically dirty traffic.  Same seed, same trace —
+    the drills replay it bit-identically.
+
+    Returns a :class:`~repro.serve.drill.TrafficTrace` (imported lazily:
+    ``repro.serve`` builds on the core pipeline, so the engine must not
+    import it at module level).
+    """
+    from repro.core.pipeline import IncomingTask
+    from repro.datasets.base import evenly_distributed_days
+    from repro.datasets.synthetic import synthetic_dataset
+    from repro.serve.drill import TrafficDay, TrafficTrace
+    from repro.serve.service import ReportBatch
+
+    rng = ensure_rng(seed)
+    data_rng, schedule_rng, world_rng, pick_rng, fault_rng = rng.spawn(5)
+    dataset = synthetic_dataset(
+        n_users=n_users, n_tasks=n_tasks, n_domains=n_domains, tau=tau, seed=data_rng
+    )
+    world = dataset.world(seed=world_rng)
+    schedule = evenly_distributed_days(dataset.n_tasks, n_days, schedule_rng)
+    injector = None
+    if faults is not None and faults.active:
+        from repro.reliability.faults import FaultInjector
+
+        injector = FaultInjector(faults, seed=fault_rng)
+
+    capacities = tuple(float(user.capacity) for user in dataset.users)
+    reporters = min(int(reporters_per_task), dataset.n_users)
+    if reporters < 1:
+        raise ValueError("reporters_per_task must be at least 1")
+    days = []
+    for day in range(n_days):
+        task_indices = np.flatnonzero(schedule == day)
+        if task_indices.size == 0:
+            continue
+        tasks = tuple(
+            IncomingTask(
+                processing_time=dataset.tasks[j].processing_time,
+                cost=dataset.tasks[j].cost,
+                domain=dataset.tasks[j].true_domain,
+            )
+            for j in task_indices
+        )
+        pairs = []
+        for local, j in enumerate(task_indices.tolist()):
+            for user in pick_rng.choice(dataset.n_users, size=reporters, replace=False):
+                pairs.append((int(user), local, int(j)))
+        values = np.asarray(
+            world.observe_pairs([(user, j) for user, _, j in pairs]), dtype=float
+        )
+        if injector is not None:
+            values = injector.corrupt(values)
+        per_user: dict = {}
+        for (user, local, _), value in zip(pairs, values.tolist()):
+            per_user.setdefault(user, []).append((user, local, value))
+        batches = tuple(
+            ReportBatch(
+                submitter=user,
+                day=day,
+                reports=tuple(per_user[user]),
+                batch_id=f"d{day}-u{user}",
+            )
+            for user in sorted(per_user)
+        )
+        days.append(TrafficDay(day=day, tasks=tasks, batches=batches))
+        world.advance_day()
+    return TrafficTrace(n_users=dataset.n_users, capacities=capacities, days=tuple(days))
 
 
 def run_simulation_batch(jobs, n_jobs: "int | None" = None) -> list:

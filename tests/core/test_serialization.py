@@ -264,3 +264,57 @@ class TestAtomicWrite:
         fresh = ETA2System(n_users=6, capacities=np.full(6, 8.0))
         load_system_state(fresh, path)  # still the good save
         assert fresh.is_warmed_up
+
+
+class TestAtomicWriteDurability:
+    """Satellite: atomic writes must fsync the file AND the directory entry."""
+
+    def _record_fsyncs(self, monkeypatch):
+        import os as os_module
+        import stat
+
+        calls = []
+        real_fsync = os_module.fsync
+
+        def recording_fsync(fd):
+            calls.append(stat.S_ISDIR(os_module.fstat(fd).st_mode))
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os_module, "fsync", recording_fsync)
+        return calls
+
+    def test_file_and_directory_both_fsynced(self, tmp_path, monkeypatch):
+        calls = self._record_fsyncs(monkeypatch)
+        atomic_write_text(tmp_path / "state.json", "{}")
+        assert calls.count(False) >= 1, "the temp file itself was never fsynced"
+        assert calls.count(True) >= 1, "the parent directory was never fsynced"
+        # Order matters: the file's data must be durable before the rename
+        # is (directory fsync last).
+        assert calls[0] is False and calls[-1] is True
+        assert (tmp_path / "state.json").read_text() == "{}"
+
+    def test_directory_fsync_failure_tolerated(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        from repro.core.serialization import fsync_directory
+
+        def refusing_fsync(fd):
+            raise OSError("EINVAL: directory fsync unsupported here")
+
+        monkeypatch.setattr(os_module, "fsync", refusing_fsync)
+        fsync_directory(tmp_path)  # must not raise on EINVAL-style platforms
+
+    def test_fsync_directory_missing_path_tolerated(self, tmp_path):
+        from repro.core.serialization import fsync_directory
+
+        fsync_directory(tmp_path / "does-not-exist")  # silently a no-op
+
+    def test_crashing_writer_leaves_no_partial_file(self, tmp_path, monkeypatch):
+        calls = self._record_fsyncs(monkeypatch)
+        target = tmp_path / "state.json"
+        atomic_write_text(target, "old")
+        before = len(calls)
+        with pytest.raises(SimulatedCrash):
+            atomic_write_text(target, "new", writer=crashing_writer(crash_after_fraction=0.5))
+        assert target.read_text() == "old"  # the crash never reached the rename
+        assert len(calls) == before  # ...nor any further fsync

@@ -1,0 +1,137 @@
+"""Property tests for the shared retry policy and breaker state machine.
+
+Satellite: the deterministic jitter is what makes chaos traces replayable
+— the delay must be a pure function of ``(policy, token, retry_number)``,
+identical across calls *and across processes* (no dependence on
+``PYTHONHASHSEED``, interning, or call order), and always bounded by the
+``max_delay`` cap.  The half-open breaker regression pins the monotone
+path ``open -> half-open``: once the recovery window has elapsed the
+breaker may never fall back to ``open`` without an explicit
+``record_failure``.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability.observer import CircuitBreaker
+from repro.reliability.retry import RetryPolicy, _jitter_fraction
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=10),
+    base_delay=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    backoff_factor=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    max_delay=st.floats(min_value=5.0, max_value=50.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+tokens = st.one_of(st.text(max_size=30), st.integers(), st.tuples(st.integers(), st.text(max_size=8)))
+
+
+class TestJitterProperties:
+    @settings(max_examples=500, deadline=None)
+    @given(policy=policies, token=tokens, retry_number=st.integers(min_value=1, max_value=12))
+    def test_deterministic_and_bounded(self, policy, token, retry_number):
+        first = policy.delay(retry_number, token=token)
+        again = policy.delay(retry_number, token=token)
+        assert first == again  # bit-identical on repeat calls
+
+        # Bounded above by the cap, and jitter only ever *shrinks* the delay.
+        uncapped = policy.base_delay * policy.backoff_factor ** (retry_number - 1)
+        capped = min(uncapped, policy.max_delay)
+        assert 0.0 <= first <= capped + 1e-12
+        assert first >= capped * (1.0 - policy.jitter) - 1e-12
+
+    @settings(max_examples=200, deadline=None)
+    @given(token=tokens, retry_number=st.integers(min_value=1, max_value=12))
+    def test_jitter_fraction_in_unit_interval(self, token, retry_number):
+        fraction = _jitter_fraction(token, retry_number)
+        assert 0.0 <= fraction < 1.0
+        assert fraction == _jitter_fraction(token, retry_number)
+
+    def test_distinct_tokens_decorrelate(self):
+        policy = RetryPolicy(base_delay=1.0, backoff_factor=1.0, jitter=0.9)
+        delays = {policy.delay(1, token=f"job-{i}") for i in range(500)}
+        # 500 distinct tokens hashing to <450 distinct delays would mean
+        # the jitter is nowhere near uniform.
+        assert len(delays) >= 450
+
+    def test_stable_across_processes(self):
+        """The jitter survives a fresh interpreter (so: no ``hash()``)."""
+        policy = RetryPolicy(base_delay=0.5, backoff_factor=2.0, max_delay=10.0, jitter=0.7)
+        local = [policy.delay(n, token=f"key-{n}") for n in range(1, 6)]
+        script = (
+            "from repro.reliability.retry import RetryPolicy\n"
+            "p = RetryPolicy(base_delay=0.5, backoff_factor=2.0, max_delay=10.0, jitter=0.7)\n"
+            "print(repr([p.delay(n, token=f'key-{n}') for n in range(1, 6)]))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={
+                "PYTHONPATH": str(Path(repro.__file__).resolve().parents[1]),
+                "PYTHONHASHSEED": "12345",
+            },
+        )
+        assert eval(out.stdout.strip()) == local  # noqa: S307 — our own repr
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestBreakerHalfOpenMonotone:
+    """Regression: half-open must be an absorbing state until a record_*."""
+
+    def _opened(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, recovery_time=10.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        return breaker, clock
+
+    def test_half_open_never_falls_back_to_open(self):
+        breaker, clock = self._opened()
+        clock.now = 10.0
+        assert breaker.state == "half-open"
+        # Probes and time passing must not re-open without a failure.
+        for extra in (0.0, 1.0, 100.0, 1e6):
+            clock.now = 10.0 + extra
+            assert breaker.allow()
+            assert breaker.state == "half-open"
+
+    def test_half_open_success_closes(self):
+        breaker, clock = self._opened()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_single_failure_reopens_below_threshold(self):
+        breaker, clock = self._opened()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_failure()  # one probe failure, threshold is 2
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        # ...and the new open window is anchored at the probe failure.
+        clock.now = 19.9
+        assert breaker.state == "open"
+        clock.now = 20.0
+        assert breaker.state == "half-open"

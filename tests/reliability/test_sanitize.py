@@ -156,3 +156,95 @@ class TestDegenerateBatches:
         assert np.all(np.isnan(cleaned))
         assert sanitizer.report.accepted == 0
         assert sanitizer.report.rejected == 4
+
+
+class TestIngestSchema:
+    def test_validation(self):
+        from repro.reliability.sanitize import IngestSchema
+
+        with pytest.raises(ValueError):
+            IngestSchema(n_users=0, n_tasks=5)
+        with pytest.raises(ValueError):
+            IngestSchema(n_users=5, n_tasks=0)
+        with pytest.raises(ValueError):
+            IngestSchema(n_users=5, n_tasks=5, min_day=3, max_day=2)
+
+    def test_day_range(self):
+        from repro.reliability.sanitize import IngestSchema
+
+        schema = IngestSchema(n_users=5, n_tasks=5, min_day=1, max_day=3)
+        assert [schema.day_in_range(d) for d in range(5)] == [
+            False, True, True, True, False,
+        ]
+        unbounded = IngestSchema(n_users=5, n_tasks=5)
+        assert unbounded.day_in_range(10_000)
+        assert not unbounded.day_in_range(-1)
+
+
+class TestScreenReports:
+    """Satellite: strict ingest-schema screening — reject, never coerce."""
+
+    def _schema(self):
+        from repro.reliability.sanitize import IngestSchema
+
+        return IngestSchema(n_users=4, n_tasks=3, min_day=0, max_day=9)
+
+    def test_clean_batch_passes_normalized(self):
+        result = ObservationSanitizer().screen_reports(
+            [(0, 1, 5.5), (np.int64(3), np.int64(2), np.float64(7.0))],
+            self._schema(),
+            day=0,
+        )
+        assert result.accepted == [(0, 1, 5.5), (3, 2, 7.0)]
+        assert isinstance(result.accepted[1][0], int)  # numpy ids normalized
+        assert result.rejected_count == 0 and result.counts() == {}
+
+    def test_each_rejection_reason(self):
+        reports = [
+            (0, 0, 1.0),          # fine
+            "not-a-triple",       # malformed
+            (0, 0),               # malformed (short)
+            (9, 0, 1.0),          # unknown_user
+            (-1, 0, 1.0),         # unknown_user (negative)
+            (0, 7, 1.0),          # unknown_task
+            (0, 0, float("nan")),  # non_finite_value
+            (0, 0, float("inf")),  # non_finite_value
+        ]
+        result = ObservationSanitizer().screen_reports(reports, self._schema(), day=0)
+        assert result.accepted == [(0, 0, 1.0)]
+        assert result.counts() == {
+            "malformed": 2,
+            "unknown_user": 2,
+            "unknown_task": 1,
+            "non_finite_value": 2,
+        }
+        # Rejects keep the offending report verbatim, in input order.
+        assert result.rejected[0] == ("not-a-triple", "malformed")
+
+    def test_out_of_bounds_only_with_configured_bounds(self):
+        loose = ObservationSanitizer().screen_reports(
+            [(0, 0, 1e9)], self._schema(), day=0
+        )
+        assert loose.accepted  # no bounds configured: huge values pass
+        strict = ObservationSanitizer(value_bounds=(0.0, 100.0)).screen_reports(
+            [(0, 0, 1e9), (1, 0, 50.0)], self._schema(), day=0
+        )
+        assert strict.accepted == [(1, 0, 50.0)]
+        assert strict.counts() == {"out_of_bounds": 1}
+
+    def test_day_out_of_range_rejects_whole_batch(self):
+        reports = [(0, 0, 1.0), (1, 1, 2.0)]
+        result = ObservationSanitizer().screen_reports(reports, self._schema(), day=99)
+        assert result.accepted == []
+        assert result.counts() == {"day_out_of_range": 2}
+
+    def test_day_none_skips_day_check(self):
+        result = ObservationSanitizer().screen_reports(
+            [(0, 0, 1.0)], self._schema(), day=None
+        )
+        assert result.accepted == [(0, 0, 1.0)]
+
+    def test_screening_does_not_touch_sanitize_report(self):
+        sanitizer = ObservationSanitizer()
+        sanitizer.screen_reports([(9, 9, float("nan"))], self._schema(), day=0)
+        assert sanitizer.report.rejected == 0  # separate accounting paths

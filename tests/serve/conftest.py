@@ -1,0 +1,27 @@
+"""Shared fixtures for the ingestion-service test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ETA2System, IncomingTask
+
+
+@pytest.fixture
+def make_system():
+    """A factory producing identically-seeded fresh systems (for drills)."""
+
+    def factory(n_users=8, seed=3):
+        return ETA2System(n_users=n_users, capacities=np.full(n_users, 10.0), seed=seed)
+
+    return factory
+
+
+@pytest.fixture
+def make_tasks():
+    def factory(n=6, n_domains=3):
+        return [
+            IncomingTask(processing_time=1.0, cost=1.0, domain=i % n_domains)
+            for i in range(n)
+        ]
+
+    return factory

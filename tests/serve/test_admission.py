@@ -1,0 +1,164 @@
+"""Admission control: hysteresis, deterministic shedding, rate limits."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.reliability.reputation import ACTIVE, PROBATION, QUARANTINED
+from repro.serve.admission import AdmissionController, TokenBucket
+
+
+class FakeTracker:
+    """Duck-typed stand-in for ReputationTracker (status + scores())."""
+
+    def __init__(self, status, badness=None):
+        self.status = np.asarray(status, dtype=int)
+        self._badness = (
+            np.asarray(badness, dtype=float)
+            if badness is not None
+            else np.zeros(self.status.shape[0])
+        )
+
+    def scores(self):
+        return SimpleNamespace(mean_abs_residual=self._badness)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=10, shed_policy="coinflip")
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=10, high_watermark=11)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=10, low_watermark=8, high_watermark=8)
+
+    def test_default_watermarks(self):
+        controller = AdmissionController(max_queue=100)
+        assert controller.high_watermark == 80
+        assert controller.low_watermark == 50
+        tiny = AdmissionController(max_queue=1)
+        assert tiny.low_watermark == 0 and tiny.high_watermark == 1
+
+
+class TestHysteresis:
+    def test_sheds_at_high_recovers_at_low(self):
+        controller = AdmissionController(max_queue=10, high_watermark=8, low_watermark=4)
+        assert controller.offer(0, depth=7).state == "ready"
+        assert controller.offer(0, depth=8).state == "shedding"
+        # Between low and high the state sticks (no flapping).
+        assert controller.offer(0, depth=5).state == "shedding"
+        assert controller.offer(0, depth=7).state == "shedding"
+        assert controller.offer(0, depth=4).state == "ready"
+        assert controller.offer(0, depth=7).state == "ready"
+
+    def test_queue_full_always_sheds(self):
+        controller = AdmissionController(max_queue=5, high_watermark=4, low_watermark=1)
+        decision = controller.offer(0, depth=5)
+        assert not decision.admitted and decision.reason == "queue_full"
+
+
+class TestReputationShedding:
+    def _controller(self, **kwargs):
+        # Worst-first order: 2 (quarantined), 3 (probation — any probation
+        # ranks below any active), 1 (active, badness 5), 0 (active,
+        # badness 1) => standings u2=0, u3=1/3, u1=2/3, u0=1.
+        tracker = FakeTracker(
+            status=[ACTIVE, ACTIVE, QUARANTINED, PROBATION], badness=[1.0, 5.0, 0.0, 0.0]
+        )
+        return AdmissionController(
+            max_queue=10,
+            high_watermark=6,
+            low_watermark=2,
+            reputation=tracker,
+            **kwargs,
+        )
+
+    def test_standing_order(self):
+        controller = self._controller()
+        standings = [controller.standing_fraction(u) for u in range(4)]
+        assert standings == [1.0, pytest.approx(2 / 3), 0.0, pytest.approx(1 / 3)]
+        assert controller.standing_fraction(99) == 0.0  # unknown: worst
+
+    def test_worst_shed_first_as_pressure_grows(self):
+        controller = self._controller()
+        controller.offer(0, depth=6)  # trip into shedding
+        # fill = (depth - low) / (max - low); admit iff standing >= fill.
+        admitted_at = {
+            depth: [controller.offer(u, depth=depth).admitted for u in range(4)]
+            for depth in (3, 6, 9)
+        }
+        assert admitted_at[3] == [True, True, False, True]   # fill 1/8
+        assert admitted_at[6] == [True, True, False, False]  # fill 1/2
+        assert admitted_at[9] == [True, False, False, False]  # fill 7/8
+        shed = controller.offer(2, depth=6)
+        assert shed.reason == "shed_low_reputation"
+
+    def test_deterministic_across_identical_runs(self):
+        decisions = []
+        for _ in range(2):
+            controller = self._controller()
+            run = [
+                controller.offer(u, depth=d).admitted
+                for d in (6, 7, 8, 9)
+                for u in range(4)
+            ]
+            decisions.append(run)
+        assert decisions[0] == decisions[1]
+
+    def test_refresh_standing_picks_up_new_statuses(self):
+        controller = self._controller()
+        controller.offer(0, depth=6)
+        assert not controller.offer(3, depth=6).admitted  # probation: standing 1/3
+        controller.reputation = FakeTracker(status=[QUARANTINED, ACTIVE, ACTIVE, ACTIVE])
+        assert not controller.offer(3, depth=6).admitted  # cached order
+        controller.refresh_standing()
+        assert controller.offer(3, depth=6).admitted  # user 3 is now best-standing
+
+    def test_no_tracker_degrades_to_tail(self):
+        controller = AdmissionController(
+            max_queue=10, high_watermark=6, low_watermark=2, shed_policy="reputation"
+        )
+        controller.offer(0, depth=6)
+        decision = controller.offer(0, depth=5)
+        assert not decision.admitted and decision.reason == "shed_low_reputation"
+
+    def test_tail_policy_sheds_everyone_while_shedding(self):
+        controller = self._controller(shed_policy="tail")
+        controller.offer(0, depth=6)
+        assert not controller.offer(0, depth=5).admitted  # even the best user
+
+
+class TestTokenBucket:
+    def test_bucket_refills_on_clock(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.allow() and bucket.allow() and not bucket.allow()
+        clock.now = 1.0
+        assert bucket.allow() and not bucket.allow()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+    def test_per_submitter_isolation(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_queue=100, rate_limit=1.0, burst=1.0, clock=clock
+        )
+        assert controller.offer(0, depth=0).admitted
+        limited = controller.offer(0, depth=0)
+        assert not limited.admitted and limited.reason == "rate_limited"
+        assert controller.offer(1, depth=0).admitted  # other submitters unaffected

@@ -1,0 +1,183 @@
+"""Crash drills: kill the service at seeded WAL offsets, demand bit-identity.
+
+The acceptance bar for the serving layer: for every scheduled kill offset,
+the service dies *after* that WAL record is durable, restarts with
+``resume=True``, and the final system state fingerprint is byte-identical
+to an uninterrupted run of the same traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reliability.faults import SimulatedCrash
+from repro.serve import (
+    IngestionService,
+    drive_trace,
+    kill_hook,
+    run_uninterrupted,
+    run_with_crashes,
+)
+from repro.serve.wal import read_wal
+from repro.simulation.engine import generate_traffic
+
+
+def _trace(n_days=2, seed=7):
+    return generate_traffic(n_users=8, n_tasks=12, n_days=n_days, seed=seed)
+
+
+def _factory(trace, seed=3):
+    from repro.core.pipeline import ETA2System
+
+    def factory():
+        return ETA2System(
+            n_users=trace.n_users, capacities=np.asarray(trace.capacities), seed=seed
+        )
+
+    return factory
+
+
+class TestTrafficGenerator:
+    def test_deterministic(self):
+        a, b = _trace(), _trace()
+        assert a.n_users == b.n_users
+        assert a.total_batches == b.total_batches
+        for day_a, day_b in zip(a.days, b.days):
+            assert day_a.day == day_b.day
+            assert len(day_a.tasks) == len(day_b.tasks)
+            for batch_a, batch_b in zip(day_a.batches, day_b.batches):
+                assert batch_a.as_dict() == batch_b.as_dict()
+
+    def test_different_seeds_differ(self):
+        a, b = _trace(seed=7), _trace(seed=8)
+        assert any(
+            batch_a.as_dict() != batch_b.as_dict()
+            for day_a, day_b in zip(a.days, b.days)
+            for batch_a, batch_b in zip(day_a.batches, day_b.batches)
+        )
+
+    def test_batch_ids_unique(self):
+        trace = _trace()
+        ids = [b.batch_id for day in trace.days for b in day.batches]
+        assert len(ids) == len(set(ids))
+
+
+class TestKillHook:
+    def test_fires_once_per_offset(self):
+        hook = kill_hook([2, 5])
+        hook(0)
+        hook(1)
+        with pytest.raises(SimulatedCrash):
+            hook(2)
+        hook(3)  # 2 already consumed
+        hook(4)
+        with pytest.raises(SimulatedCrash):
+            hook(5)
+        hook(6)  # exhausted: never fires again
+
+    def test_fresh_hook_skips_offsets_the_log_is_past(self):
+        """A restarted process rebuilds the hook; offsets already behind
+        the resume point must not re-kill it at its first append."""
+        hook = kill_hook([2, 5])
+        hook(4)  # resumed beyond 2: skipped, not fired
+        with pytest.raises(SimulatedCrash):
+            hook(5)
+        hook(6)
+
+
+class TestExactlyOnce:
+    def test_crashes_at_five_plus_seeded_offsets_bit_identical(self, tmp_path):
+        """The headline drill: >=5 kills spread over the log, one fingerprint."""
+        trace = _trace()
+        clean = run_uninterrupted(trace, tmp_path / "clean", _factory(trace), sync="none")
+
+        # Spread kills across the whole WAL: first record, mid-day batches,
+        # and both commit markers (found from the clean run's log).
+        commits = [
+            int(r["seq"])
+            for r in read_wal(tmp_path / "clean")
+            if r["type"] == "day.commit"
+        ]
+        assert len(commits) == len(trace.days)
+        kill_seqs = sorted({0, 3, commits[0], commits[0] + 2, commits[-1]})
+        assert len(kill_seqs) >= 5
+
+        fingerprint, crashes = run_with_crashes(
+            trace, tmp_path / "crashed", _factory(trace), kill_seqs, sync="none"
+        )
+        assert crashes == len(kill_seqs)
+        assert fingerprint == clean
+
+    def test_crash_between_commit_and_checkpoint_reprocesses(self, tmp_path):
+        """Killing exactly at a commit marker exercises the sealed-unapplied
+        window: the restart must reprocess that day from the WAL."""
+        trace = _trace(n_days=1)
+        clean = run_uninterrupted(trace, tmp_path / "clean", _factory(trace), sync="none")
+        [commit_seq] = [
+            int(r["seq"])
+            for r in read_wal(tmp_path / "clean")
+            if r["type"] == "day.commit"
+        ]
+        fingerprint, crashes = run_with_crashes(
+            trace, tmp_path / "crashed", _factory(trace), [commit_seq], sync="none"
+        )
+        assert crashes == 1
+        assert fingerprint == clean
+
+    def test_no_duplicated_or_lost_observations(self, tmp_path):
+        """Zero lost, zero duplicated: the crashed WAL holds each batch once."""
+        trace = _trace()
+        run_uninterrupted(trace, tmp_path / "clean", _factory(trace), sync="none")
+        run_with_crashes(trace, tmp_path / "crashed", _factory(trace), [1, 4, 9], sync="none")
+
+        def batch_ids(wal_dir):
+            return [
+                r["data"]["batch_id"]
+                for r in read_wal(wal_dir)
+                if r["type"] == "batch"
+            ]
+
+        clean_ids = batch_ids(tmp_path / "clean")
+        crashed_ids = batch_ids(tmp_path / "crashed")
+        assert len(crashed_ids) == len(set(crashed_ids))  # no duplicates
+        assert set(crashed_ids) == set(clean_ids)  # nothing lost
+
+    def test_torn_tail_plus_resume(self, tmp_path, make_system):
+        """A crash mid-append (torn bytes on disk) still resumes cleanly."""
+        trace = _trace(n_days=2)
+        wal_dir = tmp_path / "torn"
+        service = IngestionService(make_system(), wal_dir, sync="none")
+        # Run day 0 fully, then submit part of day 1 and "crash".
+        day0 = trace.days[0]
+        service.open_day(day0.day, day0.tasks)
+        for batch in day0.batches:
+            service.submit(batch)
+        service.seal_day()
+        day1 = trace.days[1]
+        service.open_day(day1.day, day1.tasks)
+        service.submit(day1.batches[0])
+        service.wal._fh.flush()
+        del service  # crash without close()
+        # Tear trailing bytes off the newest segment.
+        last = sorted(wal_dir.glob("wal-*.jsonl"))[-1]
+        last.write_bytes(last.read_bytes()[:-9])
+
+        resumed = IngestionService(make_system(), wal_dir, resume=True, sync="none")
+        assert resumed.applied_days == 1
+        assert resumed.current_day == day1.day
+        drive_trace(resumed, trace)
+        clean = run_uninterrupted(trace, tmp_path / "clean", _factory(trace), sync="none")
+        assert resumed.state_fingerprint() == clean
+
+    def test_resumed_service_skips_applied_days(self, tmp_path):
+        trace = _trace()
+        wal_dir = tmp_path / "wal"
+        service = IngestionService(_factory(trace)(), wal_dir, sync="none")
+        drive_trace(service, trace)
+        fingerprint = service.state_fingerprint()
+        service.close()
+
+        resumed = IngestionService(_factory(trace)(), wal_dir, resume=True, sync="none")
+        results = drive_trace(resumed, trace)  # everything already applied
+        assert results == []
+        assert resumed.applied_days == len(trace.days)
+        assert resumed.state_fingerprint() == fingerprint

@@ -286,3 +286,81 @@ def test_report_written_to_file(tmp_path, capsys):
     )
     assert "report written" in capsys.readouterr().out
     assert "## table1" in out_path.read_text()
+
+
+def test_serve_clean_run(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "serve",
+                "--wal-dir", str(tmp_path / "wal"),
+                "--days", "2",
+                "--users", "8",
+                "--tasks", "12",
+                "--seed", "7",
+                "--sync", "none",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "served 2/2 days" in out
+    assert "state fingerprint: " in out
+    assert list((tmp_path / "wal").glob("wal-*.jsonl"))
+    assert list((tmp_path / "wal" / "checkpoints").iterdir())
+
+
+def test_serve_crash_then_resume_matches_clean(tmp_path, capsys):
+    common = ["--days", "2", "--users", "8", "--tasks", "12", "--seed", "7", "--sync", "none"]
+    assert main(["serve", "--wal-dir", str(tmp_path / "clean"), *common]) == 0
+    clean_out = capsys.readouterr().out
+    clean_fp = [l for l in clean_out.splitlines() if l.startswith("state fingerprint")][0]
+
+    wal = str(tmp_path / "crashed")
+    assert main(["serve", "--wal-dir", wal, *common, "--kill-at", "5"]) == 3
+    assert "restart with --resume" in capsys.readouterr().out
+    assert main(["serve", "--wal-dir", wal, *common, "--resume"]) == 0
+    resumed_out = capsys.readouterr().out
+    resumed_fp = [l for l in resumed_out.splitlines() if l.startswith("state fingerprint")][0]
+    assert resumed_fp == clean_fp
+
+
+def test_serve_refuses_existing_wal_without_resume(tmp_path, capsys):
+    common = ["--days", "1", "--users", "8", "--tasks", "8", "--sync", "none"]
+    wal = str(tmp_path / "wal")
+    assert main(["serve", "--wal-dir", wal, *common]) == 0
+    capsys.readouterr()
+    assert main(["serve", "--wal-dir", wal, *common]) == 2
+    assert "resume" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_kill_at(tmp_path, capsys):
+    assert (
+        main(["serve", "--wal-dir", str(tmp_path / "wal"), "--kill-at", "five"]) == 2
+    )
+    assert "--kill-at expects integers" in capsys.readouterr().err
+
+
+def test_serve_telemetry_outputs(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    metrics_path = tmp_path / "metrics.prom"
+    assert (
+        main(
+            [
+                "serve",
+                "--wal-dir", str(tmp_path / "wal"),
+                "--days", "1",
+                "--users", "8",
+                "--tasks", "8",
+                "--sync", "none",
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        == 0
+    )
+    from repro.observability.metrics import validate_prometheus_text
+
+    validate_prometheus_text(metrics_path.read_text())
+    assert "repro_serve_days_total" in metrics_path.read_text()
+    assert any('"serve.day.applied"' in line for line in trace_path.read_text().splitlines())
