@@ -116,6 +116,60 @@ def test_fault_free_serve_overhead_under_5_percent(tmp_path):
     )
 
 
+def test_slo_monitoring_overhead_under_5_percent(tmp_path):
+    """Live SLO evaluation must be near-free on the serving fast path.
+
+    Paired rounds of the same served traffic with a metrics registry
+    attached, with and without the stock SLO rule set.  The monitored
+    variant pays one :func:`evaluate_metrics_slos` pass plus the gauge
+    family per day boundary — nothing per batch — so the min-ratio
+    overhead must clear the same 5% bar as serving itself.
+    """
+    from repro.observability.analyze.slo import default_serving_slos
+    from repro.observability.metrics import MetricsRegistry
+
+    trace = _trace()
+    warm = IngestionService(
+        _system(trace),
+        tmp_path / "warm-wal",
+        sync="none",
+        metrics=MetricsRegistry(),
+        slos=default_serving_slos(),
+    )
+    _run_served(trace, warm)
+    warm.close()
+
+    ratios = []
+    for round_no in range(ROUNDS):
+        plain = IngestionService(
+            _system(trace),
+            tmp_path / f"plain-{round_no}",
+            sync="none",
+            metrics=MetricsRegistry(),
+        )
+        monitored = IngestionService(
+            _system(trace),
+            tmp_path / f"slo-{round_no}",
+            sync="none",
+            metrics=MetricsRegistry(),
+            slos=default_serving_slos(),
+        )
+        start = time.perf_counter()
+        _run_served(trace, plain)
+        base = time.perf_counter() - start
+        start = time.perf_counter()
+        _run_served(trace, monitored)
+        with_slos = time.perf_counter() - start
+        plain.close()
+        monitored.close()
+        ratios.append(with_slos / base)
+    overhead = min(ratios) - 1.0
+    assert overhead < 0.05, (
+        f"SLO monitoring overhead {overhead:.2%} exceeds the 5% budget "
+        f"(per-round monitored/plain ratios: {[f'{r:.3f}' for r in ratios]})"
+    )
+
+
 def test_served_state_identical_to_raw(tmp_path):
     """The overhead comparison is honest: both paths do the same learning."""
     from repro.core.serialization import state_fingerprint

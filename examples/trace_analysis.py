@@ -1,0 +1,105 @@
+"""Trace analytics end-to-end: query, profile, diff, and SLO grading.
+
+Runs a small traced simulation twice with the same seed, then walks the
+whole :mod:`repro.observability.analyze` surface on the resulting JSONL
+traces — streaming queries with day context, the hierarchical span
+profile (plus collapsed flamegraph stacks), the digest/diff regression
+gate (identical verdict for same-seed runs, drift when the trace is
+perturbed), and SLO grading of a synthetic serving trace.
+
+Run with::
+
+    PYTHONPATH=src python examples/trace_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.datasets import synthetic_dataset
+from repro.observability import Telemetry
+from repro.observability.analyze import (
+    QuerySpec,
+    aggregate_events,
+    build_profile,
+    collapsed_stacks,
+    default_serving_slos,
+    diff_digests,
+    evaluate_trace_slos,
+    render_profile,
+    render_slo_report,
+    select_events,
+    trace_digest,
+)
+from repro.observability.tracer import canonical_json
+from repro.simulation import SimulationConfig, run_simulation
+from repro.simulation.approaches import ETA2Approach
+
+workdir = Path(tempfile.mkdtemp(prefix="trace-analysis-"))
+
+
+def traced_run(path, seed):
+    dataset = synthetic_dataset(n_users=15, n_tasks=50, n_domains=3, seed=3)
+    config = SimulationConfig(n_days=3, seed=seed)
+    telemetry = Telemetry.create(trace_path=path, config=config, seed=seed)
+    run_simulation(dataset, ETA2Approach(), config, telemetry=telemetry)
+    telemetry.finalize()
+    return path
+
+
+print(f"working in {workdir}")
+run_a = traced_run(workdir / "a.jsonl", seed=5)
+run_b = traced_run(workdir / "b.jsonl", seed=5)
+
+# --- query: filter + project, then a grouped streaming aggregate --------
+print("\n== query: last MLE delta of each day ==")
+spec = QuerySpec(types=("mle.converged",), select=("day", "data.iterations"))
+for row in select_events(run_a, spec):
+    print(f"  day {row['day']}: converged after {row['data.iterations']} iterations")
+
+spec = QuerySpec(
+    types=("mle.iteration",), aggregate="quantile", agg_field="data.delta",
+    q=0.5, group_by="day",
+)
+print("== query: median per-iteration delta by day ==")
+for group in aggregate_events(run_a, spec)["groups"]:
+    print(f"  day {group['group']}: median delta {group['value']:.5f}")
+
+# --- profile: span tree + flamegraph export -----------------------------
+print("\n== profile: merged span tree ==")
+root = build_profile(run_a)
+print(render_profile(root))
+print("== profile: collapsed stacks (flamegraph.pl input) ==")
+for line in collapsed_stacks(root)[:6]:
+    print(f"  {line}")
+
+# --- diff: the regression gate ------------------------------------------
+print("\n== diff: same seed vs perturbed ==")
+digest_a, digest_b = trace_digest(run_a), trace_digest(run_b)
+print(f"  same seed: {diff_digests(digest_a, digest_b).verdict}")
+
+lines = run_a.read_text().splitlines()
+kept = [line for line in lines if '"mle.iteration"' not in line]
+kept += [line for line in lines if '"mle.iteration"' in line][:-1]
+perturbed = workdir / "perturbed.jsonl"
+perturbed.write_text("\n".join(kept) + "\n")
+result = diff_digests(digest_a, trace_digest(perturbed))
+print(f"  one event dropped: {result.verdict}")
+for drift in result.drifts:
+    if not drift.within:
+        print(f"    {drift.kind}: {drift.name} {drift.a} -> {drift.b}")
+
+# --- slo: grade a serving trace against the stock rules -----------------
+print("\n== slo: a shed-heavy serving day against the stock rules ==")
+records = [
+    {"type": "serve.batch.accepted", "data": {"day": 0, "submitter": i}}
+    for i in range(8)
+]
+records += [
+    {"type": "serve.batch.rejected",
+     "data": {"day": 0, "submitter": 9, "reason": "queue_full"}},
+    {"type": "serve.day.sealed", "data": {"day": 0, "ordinal": 0}},
+    {"type": "serve.day.applied", "data": {"day": 0, "ordinal": 0, "seconds": 0.4}},
+]
+serve_trace = workdir / "serve.jsonl"
+serve_trace.write_text("\n".join(canonical_json(r) for r in records) + "\n")
+print(render_slo_report(evaluate_trace_slos(serve_trace, default_serving_slos())))

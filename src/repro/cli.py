@@ -395,13 +395,173 @@ def build_parser() -> argparse.ArgumentParser:
     serve_telemetry = serve.add_argument_group("telemetry")
     serve_telemetry.add_argument("--trace-out", default=None, dest="trace_out")
     serve_telemetry.add_argument("--metrics-out", default=None, dest="metrics_out")
+    serve_telemetry.add_argument(
+        "--slos",
+        default=None,
+        metavar="SPEC",
+        help="enable live SLO monitoring: 'default' for the stock serving "
+        "SLOs or the path of a spec file (requires --metrics-out)",
+    )
 
-    trace = sub.add_parser("trace", help="inspect a JSONL run trace")
+    trace = sub.add_parser("trace", help="inspect and analyze JSONL run traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     summarize = trace_sub.add_parser(
         "summarize", help="render a per-day timeline from a JSONL trace"
     )
     summarize.add_argument("trace_path", help="path of a --trace-out JSONL file")
+
+    query = trace_sub.add_parser(
+        "query", help="filter/project/aggregate trace events (streaming)"
+    )
+    query.add_argument("trace_path", help="path of a --trace-out JSONL file")
+    query.add_argument(
+        "--type",
+        action="append",
+        default=[],
+        dest="types",
+        help="event-type prefix filter, repeatable ('mle.' matches all MLE events)",
+    )
+    query.add_argument(
+        "--day",
+        action="append",
+        type=int,
+        default=[],
+        dest="days",
+        help="restrict to these day indices (repeatable)",
+    )
+    query.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help="field equality filter, repeatable (e.g. data.phase=truth)",
+    )
+    query.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="project each row to these field paths (default: whole record)",
+    )
+    query.add_argument(
+        "--aggregate",
+        choices=("count", "sum", "mean", "min", "max", "quantile"),
+        default=None,
+        help="fold matching events instead of listing them",
+    )
+    query.add_argument(
+        "--field", default=None, help="field path to aggregate (data.delta, ts, ...)"
+    )
+    query.add_argument(
+        "--q", type=float, default=None, help="quantile in (0,1) for --aggregate quantile"
+    )
+    query.add_argument(
+        "--group-by", default=None, dest="group_by", help="group aggregation by this field"
+    )
+    query.add_argument("--limit", type=int, default=None, help="stop after N rows")
+
+    profile = trace_sub.add_parser(
+        "profile", help="hierarchical span profile (flamegraph-exportable)"
+    )
+    profile.add_argument("trace_path", help="path of a --trace-out JSONL file")
+    profile.add_argument(
+        "--per-day",
+        action="store_true",
+        dest="per_day",
+        help="keep each day as its own subtree instead of merging",
+    )
+    profile.add_argument(
+        "--weight",
+        choices=("auto", "time", "events"),
+        default="auto",
+        help="frame weight: wall time when the trace carries it, else event counts",
+    )
+    profile.add_argument(
+        "--collapsed",
+        action="store_true",
+        help="emit collapsed stacks ('stack;frame count') for flamegraph tools",
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="emit the profile tree as JSON"
+    )
+
+    digest = trace_sub.add_parser(
+        "digest", help="fold a trace into its committable comparison digest"
+    )
+    digest.add_argument("trace_path", help="path of a --trace-out JSONL file")
+    digest.add_argument(
+        "--out", default=None, help="write the digest JSON here instead of stdout"
+    )
+
+    diff = trace_sub.add_parser(
+        "diff",
+        help="compare two runs (trace/digest or metrics export); exits 1 on drift",
+    )
+    diff.add_argument("path_a", help="trace .jsonl, digest .json, or metrics .json")
+    diff.add_argument("path_b", help="the other side (same kind)")
+    diff.add_argument(
+        "--max-count-ratio",
+        type=float,
+        default=0.0,
+        dest="max_count_ratio",
+        help="allowed relative drift in event counts (default 0: exact)",
+    )
+    diff.add_argument(
+        "--max-count-abs",
+        type=float,
+        default=0.0,
+        dest="max_count_abs",
+        help="allowed absolute drift in event counts",
+    )
+    diff.add_argument(
+        "--max-iteration-ratio",
+        type=float,
+        default=0.0,
+        dest="max_iteration_ratio",
+        help="allowed relative drift in per-day MLE iteration counts",
+    )
+    diff.add_argument(
+        "--max-metric-ratio",
+        type=float,
+        default=0.0,
+        dest="max_metric_ratio",
+        help="allowed relative drift in numeric outcomes (errors, costs, samples)",
+    )
+    diff.add_argument(
+        "--max-metric-abs",
+        type=float,
+        default=0.0,
+        dest="max_metric_abs",
+        help="allowed absolute drift in numeric outcomes",
+    )
+    diff.add_argument(
+        "--max-phase-time-ratio",
+        type=float,
+        default=None,
+        dest="max_phase_time_ratio",
+        help="also compare cumulative phase seconds under this relative budget "
+        "(default: wall time is ignored)",
+    )
+    diff.add_argument("--json", action="store_true", help="emit the verdict as JSON")
+
+    slo = trace_sub.add_parser(
+        "slo", help="grade SLO rules against a trace or a metrics export"
+    )
+    slo.add_argument(
+        "source",
+        help="trace .jsonl, metrics .json, or Prometheus .prom/.txt export",
+    )
+    slo.add_argument(
+        "--spec",
+        default=None,
+        help="SLO spec file (default: the stock serving SLOs)",
+    )
+    slo.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any SLO is breached (report-only otherwise)",
+    )
+    slo.add_argument("--json", action="store_true", help="emit statuses as JSON")
 
     report = sub.add_parser("report", help="run every experiment and write a Markdown report")
     report.add_argument("--out", default=None, help="output path (default: stdout)")
@@ -640,6 +800,21 @@ def _run_serve(args: argparse.Namespace) -> int:
             metrics_path=args.metrics_out,
             seed=args.seed,
         )
+    slo_rules = None
+    if args.slos is not None:
+        from repro.observability.analyze import default_serving_slos, load_slo_spec
+
+        if telemetry is None:
+            print("error: --slos needs --metrics-out or --trace-out", file=sys.stderr)
+            return 2
+        try:
+            slo_rules = (
+                default_serving_slos() if args.slos == "default"
+                else load_slo_spec(args.slos)
+            )
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     system = ETA2System(
         n_users=trace.n_users,
         capacities=trace.capacities,
@@ -676,6 +851,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             manifest=telemetry.manifest if telemetry is not None else None,
             tracer=telemetry.tracer if telemetry is not None else None,
             metrics=telemetry.metrics if telemetry is not None else None,
+            slos=slo_rules,
         )
     except Exception as error:  # noqa: BLE001 — ServiceError/WALError/OSError alike
         print(f"error: {error}", file=sys.stderr)
@@ -713,17 +889,156 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 
 def _run_trace(args: argparse.Namespace) -> int:
-    from repro.observability import read_trace, render_summary, summarize_trace
+    """Dispatch ``repro trace <subcommand>`` behind one error boundary.
 
+    Every subcommand streams to stdout, so all of them share the same
+    two exits: a closed pipe (``| head``) ends the command successfully
+    with the interpreter's stderr epilogue suppressed, and unreadable
+    input (missing file, corrupt interior line, malformed spec) reports
+    on stderr with exit code 2.  ``BrokenPipeError`` must be caught
+    before ``OSError`` — it is a subclass.
+    """
+    handlers = {
+        "summarize": _trace_summarize,
+        "query": _trace_query,
+        "profile": _trace_profile,
+        "digest": _trace_digest,
+        "diff": _trace_diff,
+        "slo": _trace_slo,
+    }
     try:
-        records = read_trace(args.trace_path)
+        return handlers[args.trace_command](args)
+    except BrokenPipeError:  # output piped to head/less and closed early
+        sys.stderr.close()  # suppress the interpreter's epilogue warning
+        return 0
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    try:
-        print(render_summary(summarize_trace(records)))
-    except BrokenPipeError:  # summaries get piped to head/less
-        sys.stderr.close()  # suppress the interpreter's epilogue warning
+
+
+def _trace_summarize(args: argparse.Namespace) -> int:
+    from repro.observability import read_trace, render_summary, summarize_trace
+
+    print(render_summary(summarize_trace(read_trace(args.trace_path))))
+    return 0
+
+
+def _trace_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.observability.analyze import QuerySpec, aggregate_events, select_events
+
+    where = []
+    for clause in args.where:
+        path, sep, value = clause.partition("=")
+        if not sep or not path:
+            raise ValueError(f"--where expects PATH=VALUE, got {clause!r}")
+        where.append((path, value))
+    spec = QuerySpec(
+        types=tuple(args.types),
+        days=tuple(args.days),
+        where=tuple(where),
+        select=tuple(args.select),
+        group_by=args.group_by,
+        aggregate=args.aggregate,
+        agg_field=args.field,
+        q=args.q,
+        limit=args.limit,
+    )
+    if spec.aggregate is not None:
+        print(_json.dumps(aggregate_events(args.trace_path, spec), sort_keys=True, indent=2))
+        return 0
+    # Print as we stream: one record in memory at a time, however long
+    # the trace is.
+    for row in select_events(args.trace_path, spec):
+        print(_json.dumps(row, sort_keys=True))
+    return 0
+
+
+def _trace_profile(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.observability.analyze import (
+        build_profile,
+        collapsed_stacks,
+        render_profile,
+    )
+
+    root = build_profile(args.trace_path, per_day=args.per_day)
+    if args.collapsed:
+        for line in collapsed_stacks(root, weight=args.weight):
+            print(line)
+    elif args.json:
+        print(_json.dumps(root.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(render_profile(root, weight=args.weight))
+    return 0
+
+
+def _trace_digest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.observability.analyze import trace_digest, write_digest
+
+    digest = trace_digest(args.trace_path)
+    if args.out is not None:
+        path = write_digest(digest, args.out)
+        print(f"digest written to {path}")
+    else:
+        print(_json.dumps(digest, sort_keys=True, indent=2))
+    return 0
+
+
+def _trace_diff(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.observability.analyze import DiffThresholds, diff_sources
+
+    thresholds = DiffThresholds(
+        count_ratio=args.max_count_ratio,
+        count_abs=args.max_count_abs,
+        iteration_ratio=args.max_iteration_ratio,
+        metric_ratio=args.max_metric_ratio,
+        metric_abs=args.max_metric_abs,
+        phase_time_ratio=args.max_phase_time_ratio,
+    )
+    result = diff_sources(args.path_a, args.path_b, thresholds)
+    if args.json:
+        print(_json.dumps(result.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
+def _trace_slo(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path as _Path
+
+    from repro.observability.analyze import (
+        MetricsView,
+        default_serving_slos,
+        evaluate_metrics_slos,
+        evaluate_trace_slos,
+        load_slo_spec,
+        render_slo_report,
+    )
+
+    rules = default_serving_slos() if args.spec is None else load_slo_spec(args.spec)
+    source = _Path(args.source)
+    if source.suffix == ".jsonl":
+        statuses = evaluate_trace_slos(source, rules)
+    elif source.suffix == ".json":
+        view = MetricsView.from_json(_json.loads(source.read_text()))
+        statuses = evaluate_metrics_slos(view, rules)
+    else:
+        view = MetricsView.from_prometheus_text(source.read_text())
+        statuses = evaluate_metrics_slos(view, rules)
+    if args.json:
+        print(_json.dumps([s.to_dict() for s in statuses], sort_keys=True, indent=2))
+    else:
+        print(render_slo_report(statuses))
+    if args.check and any(s.breached for s in statuses):
+        return 1
     return 0
 
 

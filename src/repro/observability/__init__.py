@@ -31,8 +31,19 @@ from repro.observability.metrics import (
     parse_prometheus_text,
     validate_prometheus_text,
 )
-from repro.observability.summarize import read_trace, render_summary, summarize_trace
-from repro.observability.tracer import NULL_TRACER, NullTracer, RunTracer, canonical_json
+from repro.observability.summarize import (
+    iter_trace,
+    read_trace,
+    render_summary,
+    summarize_trace,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    RunTracer,
+    canonical_json,
+)
 
 __all__ = [
     "MANIFEST_VERSION",
@@ -41,10 +52,12 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "RunTracer",
+    "TRACE_SCHEMA_VERSION",
     "Telemetry",
     "canonical_json",
     "config_hash",
     "config_to_dict",
+    "iter_trace",
     "parse_prometheus_text",
     "read_trace",
     "render_summary",

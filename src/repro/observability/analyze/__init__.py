@@ -1,0 +1,98 @@
+"""Trace analytics: query, profile, diff, and SLO grading over traces.
+
+The read side of the observability layer.  Everything here consumes the
+canonical-JSONL traces and metrics exports the write side
+(:mod:`repro.observability.tracer` / :mod:`~repro.observability.metrics`)
+produces, streaming through :func:`~repro.observability.summarize.iter_trace`
+so peak memory never scales with trace length:
+
+- :mod:`~repro.observability.analyze.query` — filter/project/aggregate
+  (``repro trace query``);
+- :mod:`~repro.observability.analyze.profile` — span-tree profiles and
+  flamegraph export (``repro trace profile``);
+- :mod:`~repro.observability.analyze.diff` — run-to-run drift detection
+  and CI regression gates (``repro trace diff`` / ``digest``);
+- :mod:`~repro.observability.analyze.slo` — declarative SLO grading,
+  live inside :class:`~repro.serve.service.IngestionService` and offline
+  (``repro trace slo``).
+"""
+
+from __future__ import annotations
+
+from repro.observability.analyze.diff import (
+    DIGEST_VERSION,
+    DiffResult,
+    DiffThresholds,
+    Drift,
+    diff_digests,
+    diff_metrics,
+    diff_sources,
+    load_diff_source,
+    trace_digest,
+    write_digest,
+)
+from repro.observability.analyze.profile import (
+    ProfileNode,
+    build_profile,
+    collapsed_stacks,
+    render_profile,
+)
+from repro.observability.analyze.query import (
+    AGGREGATES,
+    P2Quantile,
+    QuerySpec,
+    aggregate_events,
+    contextual_events,
+    get_field,
+    render_rows,
+    select_events,
+)
+from repro.observability.analyze.slo import (
+    LATENCY_BUCKETS,
+    SLO_SPEC_VERSION,
+    MetricsView,
+    SLORule,
+    SLOStatus,
+    default_serving_slos,
+    evaluate_metrics_slos,
+    evaluate_trace_slos,
+    histogram_quantile,
+    load_slo_spec,
+    render_slo_report,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "DIGEST_VERSION",
+    "DiffResult",
+    "DiffThresholds",
+    "Drift",
+    "LATENCY_BUCKETS",
+    "MetricsView",
+    "P2Quantile",
+    "ProfileNode",
+    "QuerySpec",
+    "SLORule",
+    "SLOStatus",
+    "SLO_SPEC_VERSION",
+    "aggregate_events",
+    "build_profile",
+    "collapsed_stacks",
+    "contextual_events",
+    "default_serving_slos",
+    "diff_digests",
+    "diff_metrics",
+    "diff_sources",
+    "evaluate_metrics_slos",
+    "evaluate_trace_slos",
+    "get_field",
+    "histogram_quantile",
+    "load_diff_source",
+    "load_slo_spec",
+    "render_profile",
+    "render_rows",
+    "render_slo_report",
+    "select_events",
+    "trace_digest",
+    "write_digest",
+]

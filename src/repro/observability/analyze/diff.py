@@ -1,0 +1,429 @@
+"""Structural run-to-run comparison of traces and metrics exports.
+
+Two same-seed runs of the closed loop must be *indistinguishable* — the
+determinism contract every prior layer is built on.  ``repro trace diff``
+turns that contract into a checkable verdict: it folds each side into a
+compact **digest** (event counts by type, per-day MLE iteration counts
+and convergence verdicts, day errors/costs, phase counts and — when the
+trace carries time — phase seconds), then compares digest fields under
+configurable drift thresholds.  Metrics JSON exports diff the same way,
+sample by sample.
+
+The defaults are exact (zero drift allowed), which is what the
+determinism test asserts; the CI regression gate passes looser
+``--max-*`` flags so numerical differences across numpy versions pass
+while structural drift — a missing day, a phase that stopped running, an
+iteration-count explosion — still fails the build.  Digests serialize to
+JSON (``repro trace digest``) and are committed as golden baselines the
+same way ``BENCH_core.json`` records kernel timings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.observability.summarize import iter_trace
+
+__all__ = [
+    "DIGEST_VERSION",
+    "DiffResult",
+    "DiffThresholds",
+    "Drift",
+    "diff_digests",
+    "diff_metrics",
+    "diff_sources",
+    "load_diff_source",
+    "trace_digest",
+    "write_digest",
+]
+
+DIGEST_VERSION = 1
+
+
+def trace_digest(source) -> dict:
+    """Fold one trace into its comparable digest (streaming, one pass)."""
+    records = (
+        iter_trace(source)
+        if isinstance(source, str) or hasattr(source, "__fspath__")
+        else source
+    )
+    events_by_type: dict = {}
+    phase_counts: dict = {}
+    phase_seconds: dict = {}
+    days: list = []
+    current: "dict | None" = None
+    manifest = None
+    run_end = None
+    schemas: set = set()
+    total = 0
+    phase_start_ts: dict = {}
+
+    for record in records:
+        total += 1
+        rtype = record.get("type", "")
+        data = record.get("data") or {}
+        events_by_type[rtype] = events_by_type.get(rtype, 0) + 1
+        if record.get("schema") is not None:
+            schemas.add(record["schema"])
+        if rtype == "run.start":
+            full = data.get("manifest") or {}
+            manifest = {
+                key: full.get(key)
+                for key in ("config_hash", "seed", "repro_version")
+                if full.get(key) is not None
+            }
+        elif rtype == "run.end":
+            run_end = data
+        elif rtype == "day.start":
+            current = {
+                "day": data.get("day"),
+                "kind": None,
+                "n_tasks": data.get("n_tasks"),
+                "mle_iterations": 0,
+                "converged": None,
+                "error": None,
+                "cost": None,
+            }
+            days.append(current)
+        elif current is not None and rtype == "step.start":
+            current["kind"] = data.get("kind")
+        elif current is not None and rtype == "step.end":
+            if data.get("iterations") is not None:
+                current["mle_iterations"] = int(data["iterations"])
+            if data.get("converged") is not None:
+                current["converged"] = bool(data["converged"])
+        elif current is not None and rtype == "mle.iteration":
+            current["mle_iterations"] = max(
+                current["mle_iterations"], int(data.get("iteration", 0))
+            )
+        elif current is not None and rtype in ("mle.converged", "mle.non_convergence"):
+            current["converged"] = rtype == "mle.converged"
+            if data.get("iterations") is not None:
+                current["mle_iterations"] = int(data["iterations"])
+        elif rtype == "day.end":
+            if current is not None:
+                current["error"] = data.get("error")
+                current["cost"] = data.get("cost")
+            current = None
+        elif rtype == "phase.start":
+            name = data.get("phase")
+            if name:
+                phase_counts[name] = phase_counts.get(name, 0) + 1
+                if record.get("ts") is not None:
+                    phase_start_ts[name] = float(record["ts"])
+        elif rtype == "phase.end":
+            name = data.get("phase")
+            if name:
+                seconds = None
+                if data.get("wall_seconds") is not None:
+                    seconds = float(data["wall_seconds"])
+                elif record.get("ts") is not None and name in phase_start_ts:
+                    seconds = max(0.0, float(record["ts"]) - phase_start_ts.pop(name))
+                if seconds is not None:
+                    phase_seconds[name] = phase_seconds.get(name, 0.0) + seconds
+
+    digest = {
+        "digest_version": DIGEST_VERSION,
+        "event_count": total,
+        "events_by_type": dict(sorted(events_by_type.items())),
+        "days": days,
+        "phase_counts": dict(sorted(phase_counts.items())),
+        "manifest": manifest,
+        "schema_versions": sorted(schemas),
+    }
+    if phase_seconds:
+        digest["phase_seconds"] = dict(sorted(phase_seconds.items()))
+    if run_end is not None:
+        digest["run_end"] = {
+            key: run_end.get(key)
+            for key in ("mean_error", "total_cost", "applied_days", "health")
+            if run_end.get(key) is not None
+        }
+    return digest
+
+
+def write_digest(digest: dict, path: "str | Path") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(digest, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Allowed drift before a comparison fails (defaults: exact).
+
+    Counts pass when the absolute difference is within ``count_abs`` OR
+    the relative drift ``|a-b| / max(a, b)`` is within the ratio; the
+    same rule applies to iteration counts, numeric outcomes, metric
+    samples, and (when enabled) phase seconds.  ``phase_time_ratio``
+    is ``None`` by default because wall time is machine noise unless the
+    caller says otherwise.
+    """
+
+    count_ratio: float = 0.0
+    count_abs: float = 0.0
+    iteration_ratio: float = 0.0
+    metric_ratio: float = 0.0
+    metric_abs: float = 0.0
+    phase_time_ratio: "float | None" = None
+
+    @staticmethod
+    def _within(a: float, b: float, ratio: float, abs_tol: float) -> bool:
+        drift = abs(a - b)
+        if drift <= abs_tol:
+            return True
+        top = max(abs(a), abs(b))
+        return top > 0 and drift / top <= ratio
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One observed difference between the two sides."""
+
+    kind: str  # structure | event_count | mle | day | phase_time | metric | info
+    name: str
+    a: object
+    b: object
+    within: bool
+
+    def describe(self) -> str:
+        flag = "ok" if self.within else "DRIFT"
+        return f"[{flag}] {self.kind}: {self.name}: {self.a!r} -> {self.b!r}"
+
+
+class DiffResult:
+    """All drift entries plus the machine-readable verdict."""
+
+    def __init__(self, drifts: list, compared: str):
+        self.drifts = drifts
+        self.compared = compared
+
+    @property
+    def identical(self) -> bool:
+        return not self.drifts
+
+    @property
+    def ok(self) -> bool:
+        return all(d.within for d in self.drifts)
+
+    @property
+    def verdict(self) -> str:
+        if self.identical:
+            return "identical"
+        return "within-thresholds" if self.ok else "drift"
+
+    def to_dict(self) -> dict:
+        return {
+            "compared": self.compared,
+            "verdict": self.verdict,
+            "ok": self.ok,
+            "identical": self.identical,
+            "drifts": [
+                {
+                    "kind": d.kind,
+                    "name": d.name,
+                    "a": d.a,
+                    "b": d.b,
+                    "within": d.within,
+                }
+                for d in self.drifts
+            ],
+        }
+
+    def render(self) -> str:
+        out = [f"verdict: {self.verdict} ({self.compared})"]
+        if self.identical:
+            out.append("zero drift: the two sides are structurally identical")
+        for drift in self.drifts:
+            out.append("  " + drift.describe())
+        return "\n".join(out)
+
+
+def _numeric_pair(a, b) -> "tuple[float, float] | None":
+    try:
+        return float(a), float(b)
+    except (TypeError, ValueError):
+        return None
+
+
+def diff_digests(a: dict, b: dict, thresholds: "DiffThresholds | None" = None) -> DiffResult:
+    """Compare two trace digests under the given thresholds."""
+    t = thresholds or DiffThresholds()
+    drifts: list = []
+
+    def count_drift(kind: str, name: str, va, vb, ratio: float, abs_tol: float):
+        if va == vb:
+            return
+        pair = _numeric_pair(va, vb)
+        within = pair is not None and DiffThresholds._within(*pair, ratio, abs_tol)
+        drifts.append(Drift(kind, name, va, vb, within))
+
+    for rtype in sorted(set(a.get("events_by_type", {})) | set(b.get("events_by_type", {}))):
+        count_drift(
+            "event_count",
+            rtype,
+            a.get("events_by_type", {}).get(rtype, 0),
+            b.get("events_by_type", {}).get(rtype, 0),
+            t.count_ratio,
+            t.count_abs,
+        )
+    count_drift(
+        "event_count", "total", a.get("event_count", 0), b.get("event_count", 0),
+        t.count_ratio, t.count_abs,
+    )
+
+    days_a, days_b = a.get("days", []), b.get("days", [])
+    if len(days_a) != len(days_b):
+        drifts.append(Drift("structure", "day_count", len(days_a), len(days_b), False))
+    for day_a, day_b in zip(days_a, days_b):
+        label = f"day {day_a.get('day')}"
+        if day_a.get("kind") != day_b.get("kind"):
+            drifts.append(
+                Drift("structure", f"{label} kind", day_a.get("kind"), day_b.get("kind"), False)
+            )
+        if day_a.get("converged") != day_b.get("converged"):
+            drifts.append(
+                Drift(
+                    "mle", f"{label} converged",
+                    day_a.get("converged"), day_b.get("converged"), False,
+                )
+            )
+        count_drift(
+            "mle", f"{label} iterations",
+            day_a.get("mle_iterations", 0), day_b.get("mle_iterations", 0),
+            t.iteration_ratio, 0.0,
+        )
+        for field in ("error", "cost", "n_tasks"):
+            va, vb = day_a.get(field), day_b.get(field)
+            if va is None and vb is None:
+                continue
+            count_drift("day", f"{label} {field}", va, vb, t.metric_ratio, t.metric_abs)
+
+    for name in sorted(set(a.get("phase_counts", {})) | set(b.get("phase_counts", {}))):
+        count_drift(
+            "event_count", f"phase {name}",
+            a.get("phase_counts", {}).get(name, 0),
+            b.get("phase_counts", {}).get(name, 0),
+            t.count_ratio, t.count_abs,
+        )
+
+    if t.phase_time_ratio is not None:
+        seconds_a, seconds_b = a.get("phase_seconds"), b.get("phase_seconds")
+        if seconds_a and seconds_b:
+            for name in sorted(set(seconds_a) | set(seconds_b)):
+                count_drift(
+                    "phase_time", name,
+                    seconds_a.get(name, 0.0), seconds_b.get(name, 0.0),
+                    t.phase_time_ratio, 0.0,
+                )
+
+    for field in ("mean_error", "total_cost"):
+        va = (a.get("run_end") or {}).get(field)
+        vb = (b.get("run_end") or {}).get(field)
+        if va is None and vb is None:
+            continue
+        count_drift("day", f"run {field}", va, vb, t.metric_ratio, t.metric_abs)
+
+    hash_a = (a.get("manifest") or {}).get("config_hash")
+    hash_b = (b.get("manifest") or {}).get("config_hash")
+    if hash_a and hash_b and hash_a != hash_b:
+        # Different configurations compare on purpose sometimes; flag it
+        # loudly but let the thresholds decide nothing — informational.
+        drifts.append(Drift("info", "config_hash", hash_a[:12], hash_b[:12], True))
+
+    return DiffResult(drifts, compared="trace digests")
+
+
+def _metric_samples(dump: dict) -> "tuple[dict, dict]":
+    """Flatten a ``MetricsRegistry.to_json`` dump into comparable maps."""
+    scalars: dict = {}
+    histograms: dict = {}
+    for metric in dump.get("metrics", []):
+        name = metric["name"]
+        for sample in metric.get("samples", []):
+            key = (name, tuple(sorted(sample.get("labels", {}).items())))
+            if metric.get("type") == "histogram":
+                histograms[key] = {"count": sample["count"], "sum": sample["sum"]}
+            else:
+                scalars[key] = sample["value"]
+    return scalars, histograms
+
+
+def diff_metrics(a: dict, b: dict, thresholds: "DiffThresholds | None" = None) -> DiffResult:
+    """Compare two ``MetricsRegistry.to_json`` exports sample by sample."""
+    t = thresholds or DiffThresholds()
+    drifts: list = []
+
+    def label(key) -> str:
+        name, labels = key
+        if not labels:
+            return name
+        return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+    scalars_a, hist_a = _metric_samples(a)
+    scalars_b, hist_b = _metric_samples(b)
+    for key in sorted(set(scalars_a) | set(scalars_b)):
+        va, vb = scalars_a.get(key, 0.0), scalars_b.get(key, 0.0)
+        if va == vb:
+            continue
+        drifts.append(
+            Drift(
+                "metric", label(key), va, vb,
+                DiffThresholds._within(float(va), float(vb), t.metric_ratio, t.metric_abs),
+            )
+        )
+    for key in sorted(set(hist_a) | set(hist_b)):
+        for field in ("count", "sum"):
+            va = hist_a.get(key, {}).get(field, 0.0)
+            vb = hist_b.get(key, {}).get(field, 0.0)
+            if va == vb:
+                continue
+            drifts.append(
+                Drift(
+                    "metric", f"{label(key)}.{field}", va, vb,
+                    DiffThresholds._within(float(va), float(vb), t.metric_ratio, t.metric_abs),
+                )
+            )
+    return DiffResult(drifts, compared="metrics exports")
+
+
+def load_diff_source(path: "str | Path") -> "tuple[str, dict]":
+    """Classify and load one side of a diff.
+
+    ``*.jsonl`` files are traces (digested on the fly); ``*.json`` files
+    are either committed digests (``digest_version``) or metrics exports
+    (``metrics`` key).  Returns ``(kind, payload)`` with kind ``digest``
+    or ``metrics``.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return "digest", trace_digest(path)
+    data = json.loads(path.read_text())
+    if isinstance(data, dict) and "digest_version" in data:
+        return "digest", data
+    if isinstance(data, dict) and "metrics" in data:
+        return "metrics", data
+    raise ValueError(
+        f"{path} is neither a trace (.jsonl), a digest, nor a metrics export"
+    )
+
+
+def diff_sources(
+    path_a: "str | Path",
+    path_b: "str | Path",
+    thresholds: "DiffThresholds | None" = None,
+) -> DiffResult:
+    """Diff two files of matching kind (trace/digest or metrics export)."""
+    kind_a, a = load_diff_source(path_a)
+    kind_b, b = load_diff_source(path_b)
+    if kind_a != kind_b:
+        raise ValueError(
+            f"cannot compare a {kind_a} against a {kind_b} "
+            f"({path_a} vs {path_b})"
+        )
+    if kind_a == "metrics":
+        return diff_metrics(a, b, thresholds)
+    return diff_digests(a, b, thresholds)

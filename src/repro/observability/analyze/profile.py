@@ -1,0 +1,216 @@
+"""Hierarchical span profiles reconstructed from trace boundary events.
+
+Every span the loop emits — ``run``/``day``/``step``/``phase`` plus any
+``serve.*`` or custom :meth:`RunTracer.span` pair — follows the
+``<name>.start`` / ``<name>.end`` convention.  This module folds those
+boundaries back into the call tree they came from, in one streaming pass:
+
+- **frames** merge by position and name (``day`` → ``step:daily`` →
+  ``phase:truth``), so the profile's size is bounded by distinct stack
+  shapes, not trace length;
+- **weights** are wall-clock seconds when the trace carries time
+  (``ts`` from an attached clock, or ``wall_seconds`` on ``phase.end``
+  under ``include_wall_time=True``) and event counts otherwise — the
+  deterministic default for replay-identical traces;
+- **self vs cumulative**: a frame's self weight excludes its children,
+  so the collapsed-stack export (`repro trace profile --collapsed`)
+  loads directly into standard flamegraph tooling
+  (``stack;frame count`` lines, one per frame with nonzero self weight).
+
+Torn traces profile too: spans left open by a crash are popped at EOF
+and flagged in ``unclosed`` rather than discarded.
+"""
+
+from __future__ import annotations
+
+from repro.observability.summarize import iter_trace
+
+__all__ = ["ProfileNode", "build_profile", "collapsed_stacks", "render_profile"]
+
+_START = ".start"
+_END = ".end"
+
+#: Span payload keys that qualify a frame name, in precedence order
+#: (``phase.start {"phase": "truth"}`` → frame ``phase:truth``).
+_QUALIFIERS = ("phase", "kind")
+
+
+class ProfileNode:
+    """One frame of the reconstructed span tree."""
+
+    __slots__ = ("name", "children", "count", "seconds", "events", "unclosed")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.children: dict = {}  # insertion order = first-seen order
+        self.count = 0  # completed + unclosed entries into this frame
+        self.seconds = 0.0  # cumulative time, when the trace carries any
+        self.events = 0  # non-span events recorded directly in this frame
+        self.unclosed = 0  # entries never closed (crash or torn tail)
+
+    def child(self, name: str) -> "ProfileNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = ProfileNode(name)
+        return node
+
+    @property
+    def self_seconds(self) -> float:
+        return max(0.0, self.seconds - sum(c.seconds for c in self.children.values()))
+
+    @property
+    def self_events(self) -> int:
+        return self.events
+
+    @property
+    def total_events(self) -> int:
+        return self.events + sum(c.total_events for c in self.children.values())
+
+    def has_time(self) -> bool:
+        return self.seconds > 0.0 or any(c.has_time() for c in self.children.values())
+
+    def walk(self, stack=()):
+        """Yield ``(stack_names, node)`` depth-first in first-seen order."""
+        here = stack + (self.name,)
+        yield here, self
+        for node in self.children.values():
+            yield from node.walk(here)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "seconds": self.seconds,
+            "self_seconds": self.self_seconds,
+            "events": self.events,
+            "unclosed": self.unclosed,
+            "children": [c.to_dict() for c in self.children.values()],
+        }
+
+
+class _Frame:
+    __slots__ = ("prefix", "node", "start_ts")
+
+    def __init__(self, prefix: str, node: ProfileNode, start_ts: "float | None"):
+        self.prefix = prefix
+        self.node = node
+        self.start_ts = start_ts
+
+
+def _frame_name(prefix: str, data: dict, per_day: bool) -> str:
+    if prefix == "day":
+        day = data.get("day")
+        return f"day {day}" if per_day and day is not None else "day"
+    for key in _QUALIFIERS:
+        value = data.get(key)
+        if value is not None:
+            return f"{prefix}:{value}"
+    return prefix
+
+
+def build_profile(source, per_day: bool = False) -> ProfileNode:
+    """Reconstruct the span tree of one trace (streaming, single pass).
+
+    ``source`` is a trace path or an iterable of records.  With
+    ``per_day=True`` each day keeps its own subtree (``day 0``,
+    ``day 1``, …) instead of merging into one ``day`` frame.
+    """
+    records = (
+        iter_trace(source)
+        if isinstance(source, str) or hasattr(source, "__fspath__")
+        else source
+    )
+    root = ProfileNode("trace")
+    root.count = 1
+    stack = [_Frame("", root, None)]
+
+    for record in records:
+        rtype = record.get("type", "")
+        data = record.get("data") or {}
+        ts = record.get("ts")
+        if rtype.endswith(_START):
+            prefix = rtype[: -len(_START)]
+            node = stack[-1].node.child(_frame_name(prefix, data, per_day))
+            node.count += 1
+            stack.append(_Frame(prefix, node, ts))
+        elif rtype.endswith(_END):
+            prefix = rtype[: -len(_END)]
+            matched = next(
+                (i for i in range(len(stack) - 1, 0, -1) if stack[i].prefix == prefix),
+                None,
+            )
+            if matched is None:
+                # A stray end (its start fell off a ring buffer or a
+                # partial trace): count it as a plain event and move on.
+                stack[-1].node.events += 1
+                continue
+            # Anything opened above the matched frame never closed.
+            for frame in stack[matched + 1 :]:
+                frame.node.unclosed += 1
+            frame = stack[matched]
+            del stack[matched:]
+            duration = None
+            if ts is not None and frame.start_ts is not None:
+                duration = max(0.0, float(ts) - float(frame.start_ts))
+            elif data.get("wall_seconds") is not None:
+                duration = max(0.0, float(data["wall_seconds"]))
+            if duration is not None:
+                frame.node.seconds += duration
+        else:
+            stack[-1].node.events += 1
+
+    for frame in stack[1:]:  # spans the crash left open
+        frame.node.unclosed += 1
+    return root
+
+
+def _pick_weight(root: ProfileNode, weight: str) -> str:
+    if weight == "auto":
+        return "time" if root.has_time() else "events"
+    if weight not in ("time", "events"):
+        raise ValueError(f"weight must be auto, time, or events, got {weight!r}")
+    return weight
+
+
+def collapsed_stacks(root: ProfileNode, weight: str = "auto") -> list:
+    """Flamegraph-compatible collapsed lines: ``frame;frame;frame N``.
+
+    ``N`` is the frame's *self* weight — integer microseconds in time
+    mode, directly-recorded events otherwise.  Frames with zero self
+    weight are omitted (their cost lives in their children), which is
+    exactly the collapsed-stack convention ``flamegraph.pl`` and
+    speedscope consume.
+    """
+    mode = _pick_weight(root, weight)
+    lines: list = []
+    for stack, node in root.walk():
+        value = (
+            int(round(node.self_seconds * 1e6)) if mode == "time" else node.self_events
+        )
+        if value > 0:
+            lines.append(";".join(stack) + f" {value}")
+    return lines
+
+
+def render_profile(root: ProfileNode, weight: str = "auto") -> str:
+    """Human-readable indented profile table (deterministic ordering)."""
+    mode = _pick_weight(root, weight)
+    if mode == "time":
+        header = f"{'frame':<44} {'count':>7} {'cum(s)':>10} {'self(s)':>10} {'events':>8}"
+    else:
+        header = f"{'frame':<44} {'count':>7} {'events':>8} {'self':>8}"
+    out = [header]
+    for stack, node in root.walk():
+        label = "  " * (len(stack) - 1) + node.name
+        if node.unclosed:
+            label += f" [unclosed x{node.unclosed}]"
+        if mode == "time":
+            out.append(
+                f"{label:<44} {node.count:>7} {node.seconds:>10.4f} "
+                f"{node.self_seconds:>10.4f} {node.total_events:>8}"
+            )
+        else:
+            out.append(
+                f"{label:<44} {node.count:>7} {node.total_events:>8} {node.self_events:>8}"
+            )
+    return "\n".join(out)

@@ -1,0 +1,320 @@
+"""Streaming filter/project/aggregate queries over JSONL traces.
+
+``repro trace query`` is the ad-hoc entry point into a trace: *how many
+``mle.iteration`` events per day*, *the p95 truth delta*, *every
+``serve.batch.rejected`` record and why*.  The engine folds the trace in
+one pass through :func:`~repro.observability.summarize.iter_trace`, so
+peak memory is bounded by the number of aggregation groups — never by
+trace length (``tests/observability/test_query.py`` pins this with a
+>100k-event trace under ``tracemalloc``).
+
+Field paths address a record's flat keys (``type``, ``seq``, ``ts``,
+``schema``), the payload via a ``data.`` prefix (``data.delta``), and
+the synthetic ``day`` field: the day a record belongs to, tracked from
+``day.start``/``day.end`` (and ``serve.day.open``) boundaries so events
+that do not repeat the day in their payload still filter and group by
+it.
+
+Quantile aggregation uses the P² streaming estimator (Jain & Chlamtac,
+1985): five markers per group, deterministic for a given event order,
+O(1) memory — exact below five observations, an interpolated estimate
+above.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.observability.summarize import iter_trace
+
+__all__ = [
+    "P2Quantile",
+    "QuerySpec",
+    "aggregate_events",
+    "contextual_events",
+    "select_events",
+]
+
+#: Aggregations the engine understands (``quantile`` also needs ``q``).
+AGGREGATES = ("count", "sum", "mean", "min", "max", "quantile")
+
+#: Event types that open / close the per-day context.
+_DAY_OPENERS = ("day.start", "serve.day.open")
+_DAY_CLOSERS = ("day.end",)
+
+
+class P2Quantile:
+    """Streaming quantile estimation in constant space (the P² algorithm).
+
+    Keeps five markers whose heights converge on the ``q``-quantile;
+    below five observations the exact order statistic is returned.  The
+    update rule is purely arithmetic, so the estimate is deterministic
+    for a given observation order — the property trace analytics needs
+    for reproducible reports.
+    """
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        self.q = float(q)
+        self.count = 0
+        self._heights: list = []  # marker heights (first 5 values, sorted)
+        self._positions: list = []
+        self._desired: list = []
+        self._increments: list = []
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if self.count <= 5:
+            self._heights.append(value)
+            self._heights.sort()
+            if self.count == 5:
+                q = self.q
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+                self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+            return
+        heights, positions = self._heights, self._positions
+        # Locate the cell the new observation falls into.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:  # parabolic estimate escaped the cell: fall back to linear
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, p = self._heights, self._positions
+        return h[i] + step / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + step) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - step) * (h[i] - h[i - 1]) / (p[i] - p[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, p = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (p[j] - p[i])
+
+    def value(self) -> "float | None":
+        """The current estimate (``None`` before any observation)."""
+        if self.count == 0:
+            return None
+        if self.count <= 5:
+            # Exact small-sample quantile (nearest-rank with interpolation).
+            ordered = sorted(self._heights)
+            rank = self.q * (len(ordered) - 1)
+            low = int(rank)
+            high = min(low + 1, len(ordered) - 1)
+            return ordered[low] + (rank - low) * (ordered[high] - ordered[low])
+        return self._heights[2]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One declarative trace query (the CLI flags, as data).
+
+    ``types`` are prefix matches OR-ed together (``mle.`` selects every
+    MLE event); ``where`` pairs are field-path equality tests compared as
+    strings and, when both sides parse, as numbers.
+    """
+
+    types: tuple = ()
+    days: tuple = ()
+    where: tuple = ()  # ((field_path, value_string), ...)
+    select: tuple = ()  # projection field paths; () = whole record
+    group_by: "str | None" = None
+    aggregate: "str | None" = None
+    agg_field: "str | None" = None
+    q: "float | None" = None
+    limit: "int | None" = None
+
+    def __post_init__(self):
+        if self.aggregate is not None and self.aggregate not in AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {self.aggregate!r} (choose from {AGGREGATES})"
+            )
+        if self.aggregate == "quantile" and not self.q:
+            raise ValueError("quantile aggregation needs q in (0, 1)")
+        if self.aggregate not in (None, "count") and self.agg_field is None:
+            raise ValueError(f"{self.aggregate} aggregation needs a field path")
+
+
+def contextual_events(records):
+    """Yield ``(day, record)`` with the per-day context resolved.
+
+    ``day`` is the record's own ``data.day`` when present, else the day
+    opened by the most recent ``day.start``/``serve.day.open`` (closed
+    again after ``day.end``), else ``None`` for preamble records.
+    """
+    current: "int | None" = None
+    for record in records:
+        rtype = record.get("type", "")
+        data = record.get("data") or {}
+        if rtype in _DAY_OPENERS and data.get("day") is not None:
+            current = int(data["day"])
+        explicit = data.get("day")
+        yield (int(explicit) if explicit is not None else current), record
+        if rtype in _DAY_CLOSERS:
+            current = None
+
+
+def get_field(record: dict, path: str, day: "int | None" = None):
+    """Resolve a field path against one record (``None`` when absent)."""
+    if path == "day":
+        return day
+    if path.startswith("data."):
+        value = record.get("data") or {}
+        for part in path[len("data.") :].split("."):
+            if not isinstance(value, dict):
+                return None
+            value = value.get(part)
+        return value
+    return record.get(path)
+
+
+def _matches(record: dict, day, spec: QuerySpec) -> bool:
+    if spec.types and not any(record.get("type", "").startswith(t) for t in spec.types):
+        return False
+    if spec.days and day not in spec.days:
+        return False
+    for path, want in spec.where:
+        value = get_field(record, path, day)
+        if value is None:
+            return False
+        if str(value) == want:
+            continue
+        try:
+            if float(value) == float(want):
+                continue
+        except (TypeError, ValueError):
+            pass
+        if isinstance(value, bool) and want.lower() in ("true", "false"):
+            if value == (want.lower() == "true"):
+                continue
+        return False
+    return True
+
+
+def _filtered(source, spec: QuerySpec):
+    records = iter_trace(source) if isinstance(source, (str,)) or hasattr(source, "__fspath__") else source
+    for day, record in contextual_events(records):
+        if _matches(record, day, spec):
+            yield day, record
+
+
+def select_events(source, spec: QuerySpec):
+    """Stream matching records, optionally projected to ``spec.select``.
+
+    A generator: callers that print as they consume hold one record at a
+    time regardless of trace size.  ``spec.limit`` bounds the output.
+    """
+    emitted = 0
+    for day, record in _filtered(source, spec):
+        if spec.limit is not None and emitted >= spec.limit:
+            return
+        emitted += 1
+        if spec.select:
+            yield {path: get_field(record, path, day) for path in spec.select}
+        else:
+            yield record
+
+
+class _GroupState:
+    __slots__ = ("count", "total", "minimum", "maximum", "quantile")
+
+    def __init__(self, q: "float | None"):
+        self.count = 0
+        self.total = 0.0
+        self.minimum: "float | None" = None
+        self.maximum: "float | None" = None
+        self.quantile = None if q is None else P2Quantile(q)
+
+    def add(self, value: "float | None") -> None:
+        self.count += 1
+        if value is None:
+            return
+        value = float(value)
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        if self.quantile is not None:
+            self.quantile.add(value)
+
+
+def aggregate_events(source, spec: QuerySpec) -> dict:
+    """Fold matching records into one aggregate value per group.
+
+    Returns ``{"aggregate": ..., "field": ..., "groups": [{"group": g,
+    "value": v, "count": n}, ...]}`` with groups in sorted order.  State
+    per group is O(1) (count/sum/min/max and five P² markers), so memory
+    scales with distinct group values only.
+    """
+    if spec.aggregate is None:
+        raise ValueError("aggregate_events needs spec.aggregate")
+    q = spec.q if spec.aggregate == "quantile" else None
+    groups: dict = {}
+    for day, record in _filtered(source, spec):
+        key = get_field(record, spec.group_by, day) if spec.group_by else None
+        state = groups.get(key)
+        if state is None:
+            state = groups[key] = _GroupState(q)
+        value = None
+        if spec.agg_field is not None:
+            value = get_field(record, spec.agg_field, day)
+            if value is not None and not isinstance(value, (int, float)):
+                value = None  # non-numeric payloads don't fold
+        state.add(value)
+
+    def extract(state: _GroupState):
+        if spec.aggregate == "count":
+            return state.count
+        if spec.aggregate == "sum":
+            return state.total
+        if spec.aggregate == "mean":
+            observed = state.count if state.minimum is not None else 0
+            return state.total / observed if observed else None
+        if spec.aggregate == "min":
+            return state.minimum
+        if spec.aggregate == "max":
+            return state.maximum
+        return state.quantile.value()
+
+    ordered = sorted(groups.items(), key=lambda item: (item[0] is not None, str(item[0])))
+    return {
+        "aggregate": spec.aggregate,
+        "field": spec.agg_field,
+        "q": spec.q if spec.aggregate == "quantile" else None,
+        "group_by": spec.group_by,
+        "groups": [
+            {"group": key, "value": extract(state), "count": state.count}
+            for key, state in ordered
+        ],
+    }
+
+
+def render_rows(rows) -> str:
+    """JSONL rendering for streamed :func:`select_events` rows."""
+    return "\n".join(json.dumps(row, sort_keys=True) for row in rows)

@@ -1,0 +1,577 @@
+"""Declarative SLOs over serving metrics and traces.
+
+One rule set, three evaluation paths:
+
+- **live** — :meth:`IngestionService.check_slos` evaluates against the
+  service's own :class:`MetricsRegistry` (via
+  :meth:`MetricsView.from_registry`), feeds the
+  ``repro_serve_slo_ok``/``repro_serve_slo_value`` gauge family, emits
+  ``serve.slo_breach`` events, and folds breaches into the service
+  health state (READY → DEGRADED);
+- **offline over metrics** — ``repro trace slo --metrics export.json``
+  replays the same rules against a JSON or Prometheus-text export
+  (:meth:`MetricsView.from_json` / :meth:`from_prometheus_text`);
+- **offline over traces** — ``repro trace slo run.jsonl`` counts the
+  rules' *event selectors* in one streaming pass, so a crashed run's
+  torn trace still grades (the nightly chaos smoke).
+
+Rules come in two kinds.  ``ratio`` divides two counter totals (live)
+or two event counts (offline) — shed rate, rejected rate, day-seal
+success.  ``quantile`` reads a histogram through
+:func:`histogram_quantile` (live) or folds an event field through the
+P² estimator (offline) — day-processing latency.  A rule with no data
+(zero denominator, no matching events) is *not breached*: absence of
+traffic is not an outage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.observability.analyze.query import P2Quantile, get_field
+from repro.observability.metrics import parse_prometheus_text
+from repro.observability.summarize import iter_trace
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "SLO_SPEC_VERSION",
+    "MetricsView",
+    "SLORule",
+    "SLOStatus",
+    "default_serving_slos",
+    "evaluate_metrics_slos",
+    "evaluate_trace_slos",
+    "histogram_quantile",
+    "load_slo_spec",
+    "render_slo_report",
+]
+
+SLO_SPEC_VERSION = 1
+
+#: Histogram buckets (seconds) for day-processing latency.
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def histogram_quantile(q: float, buckets, counts, total=None) -> "float | None":
+    """Prometheus-style quantile from cumulative histogram buckets.
+
+    ``buckets`` are the finite upper bounds, ``counts`` the cumulative
+    observation counts per bound, ``total`` the overall count (the
+    ``+Inf`` bucket; defaults to the last cumulative count).  Linear
+    interpolation inside the winning bucket; a rank that falls in the
+    ``+Inf`` bucket clamps to the highest finite bound (there is no
+    upper edge to interpolate toward); an empty histogram is ``None``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    bounds = [float(b) for b in buckets]
+    cum = [float(c) for c in counts]
+    if len(bounds) != len(cum):
+        raise ValueError("buckets and counts must align")
+    n = float(total) if total is not None else (cum[-1] if cum else 0.0)
+    if n <= 0:
+        return None
+    rank = q * n
+    prev_bound = 0.0
+    prev_cum = 0.0
+    passed = False
+    for bound, c in zip(bounds, cum):
+        if c > 0 and c >= rank:
+            if bound <= 0 and not passed:
+                return bound  # no meaningful lower edge below zero
+            lower = prev_bound if passed or bound > 0 else bound
+            span = c - prev_cum
+            if span <= 0:
+                return bound
+            return lower + (bound - lower) * ((rank - prev_cum) / span)
+        prev_bound, prev_cum = bound, c
+        passed = True
+    return bounds[-1] if bounds else None
+
+
+def _labels_match(sample_labels: dict, selector: "dict | None") -> bool:
+    if not selector:
+        return True
+    return all(str(sample_labels.get(k)) == str(v) for k, v in selector.items())
+
+
+class MetricsView:
+    """Uniform read access to metrics from any of the three sources.
+
+    Internally two maps — scalar samples and histogram samples, each
+    ``name -> [(labels, payload), ...]`` — so SLO evaluation does not
+    care whether the numbers came from a live registry, a JSON export,
+    or scraped Prometheus text.
+    """
+
+    def __init__(self, scalars: "dict | None" = None, histograms: "dict | None" = None):
+        self._scalars = scalars or {}
+        self._histograms = histograms or {}
+
+    @classmethod
+    def from_registry(cls, registry) -> "MetricsView":
+        scalars: dict = {}
+        histograms: dict = {}
+        for metric in registry.metrics():
+            if metric.type == "histogram":
+                histograms[metric.name] = [
+                    (
+                        dict(key),
+                        {
+                            "buckets": tuple(metric.buckets),
+                            "counts": list(state["counts"]),
+                            "sum": float(state["sum"]),
+                            "count": int(state["count"]),
+                        },
+                    )
+                    for key, state in metric.labelled()
+                ]
+            else:
+                scalars[metric.name] = [
+                    (dict(key), float(value)) for key, value in metric.labelled()
+                ]
+        return cls(scalars, histograms)
+
+    @classmethod
+    def from_json(cls, dump: dict) -> "MetricsView":
+        scalars: dict = {}
+        histograms: dict = {}
+        for metric in dump.get("metrics", []):
+            name = metric["name"]
+            if metric.get("type") == "histogram":
+                histograms[name] = [
+                    (
+                        dict(sample.get("labels", {})),
+                        {
+                            "buckets": tuple(metric.get("buckets", ())),
+                            "counts": list(sample["counts"]),
+                            "sum": float(sample["sum"]),
+                            "count": int(sample["count"]),
+                        },
+                    )
+                    for sample in metric.get("samples", [])
+                ]
+            else:
+                scalars[name] = [
+                    (dict(sample.get("labels", {})), float(sample["value"]))
+                    for sample in metric.get("samples", [])
+                ]
+        return cls(scalars, histograms)
+
+    @classmethod
+    def from_prometheus_text(cls, text: str) -> "MetricsView":
+        types, samples = parse_prometheus_text(text)
+        scalars: dict = {}
+        series: dict = {}  # (base, labels_key) -> {"buckets": {le: count}, ...}
+
+        def histogram_base(name: str) -> "str | None":
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = name[: -len(suffix)] if name.endswith(suffix) else None
+                if base and types.get(base) == "histogram":
+                    return base
+            return None
+
+        for name, labels, value in samples:
+            base = histogram_base(name)
+            if base is None:
+                if types.get(name) == "histogram":
+                    continue  # malformed: histogram base with no suffix
+                scalars.setdefault(name, []).append((labels, value))
+                continue
+            key = (base, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+            state = series.setdefault(key, {"buckets": {}, "sum": 0.0, "count": 0})
+            if name.endswith("_bucket") and "le" in labels:
+                if labels["le"] != "+Inf":
+                    state["buckets"][float(labels["le"])] = value
+            elif name.endswith("_sum"):
+                state["sum"] = value
+            elif name.endswith("_count"):
+                state["count"] = int(value)
+        histograms: dict = {}
+        for (base, labels_key), state in series.items():
+            bounds = tuple(sorted(state["buckets"]))
+            histograms.setdefault(base, []).append(
+                (
+                    dict(labels_key),
+                    {
+                        "buckets": bounds,
+                        "counts": [state["buckets"][b] for b in bounds],
+                        "sum": state["sum"],
+                        "count": state["count"],
+                    },
+                )
+            )
+        return cls(scalars, histograms)
+
+    def total(self, name: str, labels: "dict | None" = None) -> float:
+        """Sum of every scalar sample of ``name`` matching ``labels``."""
+        return sum(
+            value
+            for sample_labels, value in self._scalars.get(name, [])
+            if _labels_match(sample_labels, labels)
+        )
+
+    def histogram(self, name: str, labels: "dict | None" = None) -> "dict | None":
+        """Matching histogram series of ``name``, merged (or ``None``)."""
+        merged = None
+        for sample_labels, state in self._histograms.get(name, []):
+            if not _labels_match(sample_labels, labels):
+                continue
+            if merged is None:
+                merged = {
+                    "buckets": state["buckets"],
+                    "counts": list(state["counts"]),
+                    "sum": state["sum"],
+                    "count": state["count"],
+                }
+            else:
+                if state["buckets"] != merged["buckets"]:
+                    raise ValueError(
+                        f"histogram {name}: matching series disagree on buckets"
+                    )
+                merged["counts"] = [
+                    a + b for a, b in zip(merged["counts"], state["counts"])
+                ]
+                merged["sum"] += state["sum"]
+                merged["count"] += state["count"]
+        return merged
+
+    def quantile(self, name: str, q: float, labels: "dict | None" = None) -> "float | None":
+        state = self.histogram(name, labels)
+        if state is None:
+            return None
+        return histogram_quantile(q, state["buckets"], state["counts"], state["count"])
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One service-level objective, evaluatable live and offline.
+
+    ``ratio`` rules carry metric selectors (``numerator`` /
+    ``denominator``: ``{"metric": name, "labels": {...}}``) for live
+    evaluation and event selectors (``numerator_events`` /
+    ``denominator_events``: ``{"types": [prefixes], "where": {path:
+    value-or-list}, "where_not": {...}}``) for trace evaluation.
+    ``quantile`` rules name a histogram ``metric`` (live) and an
+    ``event_field`` (``{"types": [...], "field": "data.x"}``, offline).
+    Either side may be omitted — the rule then grades as *no data* on
+    that path.
+    """
+
+    name: str
+    kind: str  # "ratio" | "quantile"
+    description: str = ""
+    max_value: "float | None" = None
+    min_value: "float | None" = None
+    numerator: "dict | None" = None
+    denominator: "dict | None" = None
+    metric: "str | None" = None
+    labels: "dict | None" = None
+    q: "float | None" = None
+    numerator_events: "dict | None" = None
+    denominator_events: "dict | None" = None
+    event_field: "dict | None" = None
+
+    def __post_init__(self):
+        if self.kind not in ("ratio", "quantile"):
+            raise ValueError(f"SLO {self.name!r}: kind must be ratio or quantile")
+        if self.max_value is None and self.min_value is None:
+            raise ValueError(f"SLO {self.name!r}: needs max_value and/or min_value")
+        if self.kind == "quantile" and self.q is None:
+            raise ValueError(f"SLO {self.name!r}: quantile rules need q")
+        if self.kind == "ratio" and self.numerator is None and self.numerator_events is None:
+            raise ValueError(f"SLO {self.name!r}: ratio rules need a numerator selector")
+
+    @property
+    def threshold(self) -> str:
+        parts = []
+        if self.min_value is not None:
+            parts.append(f"min {self.min_value:g}")
+        if self.max_value is not None:
+            parts.append(f"max {self.max_value:g}")
+        return ", ".join(parts)
+
+    def check(self, value: "float | None") -> bool:
+        """``True`` when not breached (a value of ``None`` never breaches)."""
+        if value is None:
+            return True
+        if self.max_value is not None and value > self.max_value:
+            return False
+        if self.min_value is not None and value < self.min_value:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        out = {"name": self.name, "kind": self.kind}
+        for key in (
+            "description", "max_value", "min_value", "numerator", "denominator",
+            "metric", "labels", "q", "numerator_events", "denominator_events",
+            "event_field",
+        ):
+            value = getattr(self, key)
+            if value not in (None, ""):
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SLORule":
+        known = {
+            "name", "kind", "description", "max_value", "min_value", "numerator",
+            "denominator", "metric", "labels", "q", "numerator_events",
+            "denominator_events", "event_field",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"SLO rule has unknown keys {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One rule's verdict: the observed value against its threshold."""
+
+    name: str
+    kind: str
+    ok: bool
+    value: "float | None"
+    threshold: str
+    detail: str = ""
+
+    @property
+    def breached(self) -> bool:
+        return not self.ok
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "ok": self.ok,
+            "value": self.value,
+            "threshold": self.threshold,
+            "detail": self.detail,
+        }
+
+    def describe(self) -> str:
+        flag = "ok" if self.ok else "BREACH"
+        shown = "no data" if self.value is None else f"{self.value:.6g}"
+        line = f"[{flag}] {self.name}: {shown} ({self.threshold})"
+        if self.detail:
+            line += f" — {self.detail}"
+        return line
+
+
+def render_slo_report(statuses) -> str:
+    statuses = list(statuses)
+    breached = [s for s in statuses if s.breached]
+    out = [f"slo: {len(statuses) - len(breached)}/{len(statuses)} ok"]
+    out.extend("  " + status.describe() for status in statuses)
+    return "\n".join(out)
+
+
+def evaluate_metrics_slos(view: MetricsView, rules) -> list:
+    """Grade every rule against live/exported metrics."""
+    statuses: list = []
+    for rule in rules:
+        if rule.kind == "ratio":
+            if rule.numerator is None:
+                statuses.append(
+                    SLOStatus(rule.name, rule.kind, True, None, rule.threshold,
+                              "no metric selector")
+                )
+                continue
+            num = view.total(rule.numerator["metric"], rule.numerator.get("labels"))
+            den = (
+                view.total(rule.denominator["metric"], rule.denominator.get("labels"))
+                if rule.denominator is not None
+                else 1.0
+            )
+            if den <= 0:
+                statuses.append(
+                    SLOStatus(rule.name, rule.kind, True, None, rule.threshold,
+                              "no traffic")
+                )
+                continue
+            value = num / den
+            statuses.append(
+                SLOStatus(rule.name, rule.kind, rule.check(value), value,
+                          rule.threshold, f"{num:g}/{den:g}")
+            )
+        else:  # quantile
+            if rule.metric is None:
+                statuses.append(
+                    SLOStatus(rule.name, rule.kind, True, None, rule.threshold,
+                              "no metric selector")
+                )
+                continue
+            value = view.quantile(rule.metric, rule.q, rule.labels)
+            detail = "no observations" if value is None else f"p{rule.q * 100:g}"
+            statuses.append(
+                SLOStatus(rule.name, rule.kind, rule.check(value), value,
+                          rule.threshold, detail)
+            )
+    return statuses
+
+
+def _event_matches(record: dict, selector: dict) -> bool:
+    types = selector.get("types") or ()
+    if types and not any(record.get("type", "").startswith(t) for t in types):
+        return False
+    for path, want in (selector.get("where") or {}).items():
+        value = get_field(record, path)
+        allowed = want if isinstance(want, (list, tuple)) else (want,)
+        if value not in allowed and str(value) not in {str(w) for w in allowed}:
+            return False
+    for path, ban in (selector.get("where_not") or {}).items():
+        value = get_field(record, path)
+        banned = ban if isinstance(ban, (list, tuple)) else (ban,)
+        if value in banned or str(value) in {str(b) for b in banned}:
+            return False
+    return True
+
+
+def evaluate_trace_slos(source, rules) -> list:
+    """Grade every rule against one trace, in a single streaming pass."""
+    rules = list(rules)
+    counts = [[0, 0] for _ in rules]  # [numerator, denominator]
+    quantiles: list = [
+        P2Quantile(rule.q) if rule.kind == "quantile" and rule.event_field else None
+        for rule in rules
+    ]
+    records = (
+        iter_trace(source)
+        if isinstance(source, str) or hasattr(source, "__fspath__")
+        else source
+    )
+    for record in records:
+        for i, rule in enumerate(rules):
+            if rule.kind == "ratio":
+                if rule.numerator_events and _event_matches(record, rule.numerator_events):
+                    counts[i][0] += 1
+                if rule.denominator_events and _event_matches(record, rule.denominator_events):
+                    counts[i][1] += 1
+            elif quantiles[i] is not None and _event_matches(record, rule.event_field):
+                value = get_field(record, rule.event_field.get("field", ""))
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    quantiles[i].add(float(value))
+
+    statuses: list = []
+    for i, rule in enumerate(rules):
+        if rule.kind == "ratio":
+            if not rule.numerator_events:
+                statuses.append(
+                    SLOStatus(rule.name, rule.kind, True, None, rule.threshold,
+                              "no event selector")
+                )
+                continue
+            num, den = counts[i]
+            if rule.denominator_events is None:
+                den = 1
+            if den <= 0:
+                statuses.append(
+                    SLOStatus(rule.name, rule.kind, True, None, rule.threshold,
+                              "no matching events")
+                )
+                continue
+            value = num / den
+            statuses.append(
+                SLOStatus(rule.name, rule.kind, rule.check(value), value,
+                          rule.threshold, f"{num}/{den} events")
+            )
+        else:
+            estimator = quantiles[i]
+            value = estimator.value() if estimator is not None else None
+            detail = (
+                "no event selector" if estimator is None
+                else ("no observations" if value is None
+                      else f"p{rule.q * 100:g} over {estimator.count} events")
+            )
+            statuses.append(
+                SLOStatus(rule.name, rule.kind, rule.check(value), value,
+                          rule.threshold, detail)
+            )
+    return statuses
+
+
+def default_serving_slos() -> list:
+    """The stock SLO set for :class:`IngestionService`."""
+    shed_reasons = ["rate_limited", "queue_full", "shed_low_reputation"]
+    return [
+        SLORule(
+            name="shed_rate",
+            kind="ratio",
+            description="Fraction of submissions shed by admission control.",
+            max_value=0.05,
+            numerator={"metric": "repro_serve_shed_total"},
+            denominator={"metric": "repro_serve_batches_total"},
+            numerator_events={
+                "types": ["serve.batch.rejected"],
+                "where": {"data.reason": shed_reasons},
+            },
+            denominator_events={"types": ["serve.batch."]},
+        ),
+        SLORule(
+            name="rejected_rate",
+            kind="ratio",
+            description="Fraction of submissions rejected outright (non-shed).",
+            max_value=0.20,
+            numerator={
+                "metric": "repro_serve_batches_total",
+                "labels": {"outcome": "rejected"},
+            },
+            denominator={"metric": "repro_serve_batches_total"},
+            numerator_events={
+                "types": ["serve.batch.rejected"],
+                "where_not": {"data.reason": shed_reasons},
+            },
+            denominator_events={"types": ["serve.batch."]},
+        ),
+        SLORule(
+            name="day_seal_success",
+            kind="ratio",
+            description="Sealed days that were applied exactly once.",
+            min_value=0.999,
+            numerator={
+                "metric": "repro_serve_days_total",
+                "labels": {"outcome": "applied"},
+            },
+            denominator={
+                "metric": "repro_serve_days_total",
+                "labels": {"outcome": "sealed"},
+            },
+            numerator_events={"types": ["serve.day.applied"]},
+            denominator_events={"types": ["serve.day.sealed"]},
+        ),
+        SLORule(
+            name="day_latency_p95",
+            kind="quantile",
+            description="p95 seconds to process one sealed day.",
+            q=0.95,
+            max_value=5.0,
+            metric="repro_serve_day_seconds",
+            event_field={"types": ["serve.day.applied"], "field": "data.seconds"},
+        ),
+    ]
+
+
+def load_slo_spec(source) -> list:
+    """Load SLO rules from a spec file (or an already-parsed dict).
+
+    Format: ``{"slo_spec_version": 1, "slos": [rule dicts]}`` — see
+    :meth:`SLORule.from_dict` for the rule schema.
+    """
+    if isinstance(source, dict):
+        data = source
+    else:
+        data = json.loads(Path(source).read_text())
+    if not isinstance(data, dict) or "slos" not in data:
+        raise ValueError("SLO spec must be an object with an 'slos' list")
+    version = data.get("slo_spec_version")
+    if version != SLO_SPEC_VERSION:
+        raise ValueError(
+            f"unsupported slo_spec_version {version!r} (expected {SLO_SPEC_VERSION})"
+        )
+    return [SLORule.from_dict(rule) for rule in data["slos"]]

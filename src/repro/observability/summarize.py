@@ -12,9 +12,75 @@ but never fatal, so traces from newer emitters still summarize.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
-__all__ = ["read_trace", "summarize_trace", "render_summary"]
+from repro.observability.tracer import TRACE_SCHEMA_VERSION
+
+__all__ = ["iter_trace", "read_trace", "summarize_trace", "render_summary"]
+
+
+def _parse_record(line: str, lineno: int) -> dict:
+    """One strict JSONL record; raises :class:`ValueError` otherwise."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        raise ValueError(f"trace line {lineno} is not valid JSON") from None
+    if not isinstance(record, dict):
+        raise ValueError(f"trace line {lineno} is not a JSON object")
+    return record
+
+
+def iter_trace(path: "str | Path"):
+    """Stream event records from a JSONL trace, one at a time.
+
+    The generator holds at most one line in memory, so arbitrarily long
+    traces analyze in constant space (the property the query/profile
+    engines are built on).  Corrupt *interior* lines raise
+    :class:`ValueError` with the offending line number; a corrupt *final*
+    line — the crashed-run case — yields a ``trace.truncated`` marker
+    record instead.  Records declaring a ``schema`` version this reader
+    does not know trigger one :class:`UserWarning` per file and are
+    otherwise passed through unchanged (forward compatibility: new
+    emitters may add fields, never reinterpret existing ones).
+    """
+    schema_warned = False
+    pending: "tuple[int, str] | None" = None  # one-line lookahead
+    with Path(path).open("r") as stream:
+        lineno = 0
+        for raw in stream:
+            lineno += 1
+            if not raw.strip():
+                continue
+            if pending is not None:
+                # A line follows it, so the pending line is interior:
+                # corruption here is real damage, not a torn tail.
+                record = _parse_record(pending[1], pending[0])
+                schema_warned = _check_schema(record, path, schema_warned)
+                yield record
+            pending = (lineno, raw)
+        if pending is not None:
+            try:
+                record = _parse_record(pending[1], pending[0])
+            except ValueError:
+                yield {"type": "trace.truncated", "data": {"line": pending[0]}}
+                return
+            schema_warned = _check_schema(record, path, schema_warned)
+            yield record
+
+
+def _check_schema(record: dict, path, already_warned: bool) -> bool:
+    version = record.get("schema")
+    if already_warned or version is None or version == TRACE_SCHEMA_VERSION:
+        return already_warned
+    warnings.warn(
+        f"{path}: trace records declare schema version {version!r}; this "
+        f"reader understands version {TRACE_SCHEMA_VERSION} and will parse "
+        "on a best-effort basis",
+        UserWarning,
+        stacklevel=3,
+    )
+    return True
 
 
 def read_trace(path: "str | Path") -> list:
@@ -22,21 +88,10 @@ def read_trace(path: "str | Path") -> list:
 
     Raises :class:`ValueError` with the offending line number on corrupt
     lines (a truncated *final* line — the crash case — is tolerated and
-    skipped with a note in the summary instead).
+    skipped with a note in the summary instead).  Prefer
+    :func:`iter_trace` when the records are folded rather than indexed.
     """
-    records: list = []
-    lines = Path(path).read_text().splitlines()
-    for lineno, line in enumerate(lines, start=1):
-        if not line.strip():
-            continue
-        try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError:
-            if lineno == len(lines):
-                records.append({"type": "trace.truncated", "data": {"line": lineno}})
-                break
-            raise ValueError(f"trace line {lineno} is not valid JSON") from None
-    return records
+    return list(iter_trace(path))
 
 
 def _data(record: dict) -> dict:
@@ -233,7 +288,10 @@ def render_summary(summary: dict) -> str:
     out: list = []
     manifest = summary.get("manifest")
     if manifest:
-        config = manifest.get("config_hash", "")
+        # config_hash is None for manifest-only runs (no config captured);
+        # slicing None would crash exactly on the traces most in need of
+        # a summary, so fall back to an explicit placeholder.
+        config = manifest.get("config_hash") or "(none)"
         out.append(
             f"run: repro {manifest.get('repro_version', '?')}, "
             f"seed {manifest.get('seed')}, config {config[:12]}…"
@@ -243,6 +301,11 @@ def render_summary(summary: dict) -> str:
         out.extend(preamble.lines())
     for day in summary["days"]:
         out.extend(day.lines())
+    if not summary["days"]:
+        # Empty and metadata-only traces (a run that crashed before its
+        # first day, or a trace holding only run.start/run.end) summarize
+        # to an explicit verdict rather than a silent blank timeline.
+        out.append("no days recorded")
     fault_counts = summary.get("fault_counts")
     if fault_counts:
         injected = ", ".join(f"{kind}={count}" for kind, count in fault_counts.items() if count)

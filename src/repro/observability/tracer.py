@@ -48,7 +48,14 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["NULL_TRACER", "NullTracer", "RunTracer", "canonical_json"]
+__all__ = ["NULL_TRACER", "NullTracer", "RunTracer", "TRACE_SCHEMA_VERSION", "canonical_json"]
+
+#: Version of the trace record schema this writer emits.  Every record
+#: carries it as ``"schema"`` so readers can detect traces from newer
+#: emitters and degrade gracefully (warn, keep parsing) instead of
+#: misinterpreting them — the backward-compatibility contract documented
+#: in ``docs/architecture.md`` § Observability.
+TRACE_SCHEMA_VERSION = 1
 
 
 # json.dumps builds a fresh JSONEncoder whenever non-default options are
@@ -178,7 +185,7 @@ class RunTracer:
 
     def emit(self, type: str, **data) -> None:
         """Record one event. ``data`` must be JSON-coercible."""
-        record = {"seq": self._seq, "type": type}
+        record = {"schema": TRACE_SCHEMA_VERSION, "seq": self._seq, "type": type}
         if self._clock is not None:
             record["ts"] = float(self._clock())
         if data:

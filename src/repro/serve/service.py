@@ -46,6 +46,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.pipeline import IncomingTask
+from repro.observability.analyze.slo import (
+    LATENCY_BUCKETS,
+    MetricsView,
+    evaluate_metrics_slos,
+)
 from repro.observability.tracer import canonical_json
 from repro.core.serialization import (
     apply_system_state,
@@ -256,11 +261,22 @@ class IngestionService:
         sleep=None,
         tracer=None,
         metrics=None,
+        slos=None,
     ):
         self.system = system
         self.wal_dir = Path(wal_dir)
         self.tracer = tracer if tracer is not None else system.tracer
         self.metrics = metrics if metrics is not None else system.metrics
+        #: SLO monitoring is opt-in: pass an iterable of
+        #: :class:`~repro.observability.analyze.slo.SLORule` (e.g.
+        #: ``default_serving_slos()``).  Rules are evaluated against the
+        #: service's own metrics registry at every day boundary (and on
+        #: demand via :meth:`check_slos`); a breach flips health to
+        #: ``DEGRADED`` and emits one ``serve.slo_breach`` per rule
+        #: transition.
+        self._slo_rules = list(slos) if slos is not None else []
+        self._slo_breached: set = set()
+        self.slo_statuses: list = []
         self.manifest = manifest if manifest is not None else system.run_manifest
         self.schema = schema
         self.sanitizer = sanitizer
@@ -360,6 +376,8 @@ class IngestionService:
             return DRAINING
         if self._breaker.state == "open":
             return DEGRADED
+        if self._slo_breached:
+            return DEGRADED
         if self.admission.state == _Q_SHEDDING:
             return SHEDDING
         return READY
@@ -377,6 +395,55 @@ class IngestionService:
 
     def _refresh_health(self) -> None:
         self._set_health(self._steady_health())
+
+    def check_slos(self) -> list:
+        """Evaluate the configured SLO rules against the live metrics.
+
+        Runs automatically at every day boundary (:meth:`seal_day`, both
+        outcomes) and may be called at any time.  Updates the
+        ``repro_serve_slo_ok`` / ``repro_serve_slo_value`` gauge family,
+        emits ``serve.slo_breach`` / ``serve.slo_recovered`` on rule
+        transitions, and folds breaches into the health state (a
+        breached rule holds the service at ``DEGRADED`` until it
+        recovers).  Returns the list of
+        :class:`~repro.observability.analyze.slo.SLOStatus`.
+        """
+        if not self._slo_rules or self.metrics is None:
+            return []
+        view = MetricsView.from_registry(self.metrics)
+        statuses = evaluate_metrics_slos(view, self._slo_rules)
+        self.slo_statuses = statuses
+        ok_gauge = self.metrics.gauge(
+            "repro_serve_slo_ok", "1 when the named SLO is met, 0 when breached."
+        )
+        value_gauge = self.metrics.gauge(
+            "repro_serve_slo_value", "Last evaluated value of the named SLO."
+        )
+        breached: set = set()
+        for status in statuses:
+            ok_gauge.set(0.0 if status.breached else 1.0, slo=status.name)
+            if status.value is not None:
+                value_gauge.set(float(status.value), slo=status.name)
+            if status.breached:
+                breached.add(status.name)
+        tracing = self.tracer is not None and self.tracer.enabled
+        for status in statuses:
+            if status.name in breached and status.name not in self._slo_breached:
+                if tracing:
+                    self.tracer.emit(
+                        "serve.slo_breach",
+                        slo=status.name,
+                        value=status.value,
+                        threshold=status.threshold,
+                    )
+            elif status.name in self._slo_breached and status.name not in breached:
+                if tracing:
+                    self.tracer.emit(
+                        "serve.slo_recovered", slo=status.name, value=status.value
+                    )
+        self._slo_breached = breached
+        self._refresh_health()
+        return statuses
 
     def state_fingerprint(self) -> str:
         """SHA-256 fingerprint of the wrapped system's learned state."""
@@ -548,6 +615,10 @@ class IngestionService:
                 first_seq=open_day.first_seq,
                 last_seq=seq,
             )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_serve_days_total", "Days processed by outcome."
+            ).inc(1, outcome="sealed")
         batches = list(open_day.batches)
         self._open = None
         self.admission.refresh_standing()
@@ -558,16 +629,19 @@ class IngestionService:
             # so retry_day() can reprocess without a restart.  A crash here
             # is equally safe: recovery reprocesses the sealed range.
             self._pending_day = (open_day.day, ordinal, open_day.tasks, batches)
+            self.check_slos()  # a sealed-but-unapplied day is an SLO event
             raise
         if self.metrics is not None:
             self.metrics.gauge(
                 "repro_serve_queue_depth", "Batches queued for the open day."
             ).set(0)
         self._refresh_health()
+        self.check_slos()
         return result
 
     def _process_day(self, day: int, ordinal: int, tasks, batches):
         """Apply one sealed day exactly once, with rollback + retry."""
+        started = self._clock()
         reports = [report for batch in batches for report in batch.reports]
         completed_before = self.system.completed_steps
         # Rollback source.  The newest service checkpoint (written right
@@ -625,18 +699,30 @@ class IngestionService:
         self._last_checkpoint_step = self._applied_days
         self.last_result = result
         self._refresh_health()
+        elapsed = max(0.0, self._clock() - started)
         if self.tracer is not None and self.tracer.enabled:
-            self.tracer.emit(
-                "serve.day.applied",
-                day=int(day),
-                ordinal=int(ordinal),
-                observations=int(result.observations.observation_count),
-                converged=bool(result.converged),
-            )
+            applied = {
+                "day": int(day),
+                "ordinal": int(ordinal),
+                "observations": int(result.observations.observation_count),
+                "converged": bool(result.converged),
+            }
+            # Wall time in the trace follows the tracer's own contract:
+            # only under include_wall_time (same-seed traces stay
+            # byte-identical by default).  The latency histogram always
+            # observes — metrics exports are not byte-deterministic.
+            if getattr(self.tracer, "include_wall_time", False):
+                applied["seconds"] = elapsed
+            self.tracer.emit("serve.day.applied", **applied)
         if self.metrics is not None:
             self.metrics.counter(
                 "repro_serve_days_total", "Days processed by outcome."
             ).inc(1, outcome="applied")
+            self.metrics.histogram(
+                "repro_serve_day_seconds",
+                "Seconds to process one sealed day (service clock).",
+                buckets=LATENCY_BUCKETS,
+            ).observe(elapsed)
         return result
 
     def _checkpoint_state(self, ordinal: int) -> dict:

@@ -1,0 +1,167 @@
+"""Run-to-run drift detection: digests, thresholds, the CI gate."""
+
+import json
+
+import pytest
+
+from repro.datasets import synthetic_dataset
+from repro.observability import Telemetry
+from repro.observability.analyze.diff import (
+    DIGEST_VERSION,
+    DiffThresholds,
+    diff_digests,
+    diff_metrics,
+    diff_sources,
+    load_diff_source,
+    trace_digest,
+    write_digest,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.simulation import SimulationConfig, run_simulation
+from repro.simulation.approaches import ETA2Approach
+
+
+def _traced_run(path, seed=5):
+    dataset = synthetic_dataset(n_users=12, n_tasks=40, n_domains=3, seed=3)
+    config = SimulationConfig(n_days=3, seed=seed)
+    telemetry = Telemetry.create(trace_path=path, config=config, seed=seed)
+    run_simulation(dataset, ETA2Approach(), config, telemetry=telemetry)
+    telemetry.finalize()
+    return path
+
+
+class TestTraceDigest:
+    def test_digest_shape(self, tmp_path):
+        digest = trace_digest(_traced_run(tmp_path / "run.jsonl"))
+        assert digest["digest_version"] == DIGEST_VERSION
+        assert digest["event_count"] > 0
+        assert [d["day"] for d in digest["days"]] == [0, 1, 2]
+        assert all(d["mle_iterations"] > 0 for d in digest["days"])
+        assert digest["phase_counts"]
+        assert digest["schema_versions"] == [1]
+        assert digest["manifest"]["seed"] == 5
+
+    def test_digest_round_trips_through_json(self, tmp_path):
+        digest = trace_digest(_traced_run(tmp_path / "run.jsonl"))
+        path = write_digest(digest, tmp_path / "digest.json")
+        assert json.loads(path.read_text()) == digest
+
+
+class TestDiffVerdicts:
+    def test_same_seed_runs_report_zero_drift(self, tmp_path):
+        """The determinism contract, as a checkable verdict."""
+        a = trace_digest(_traced_run(tmp_path / "a.jsonl", seed=5))
+        b = trace_digest(_traced_run(tmp_path / "b.jsonl", seed=5))
+        result = diff_digests(a, b)
+        assert result.identical
+        assert result.verdict == "identical"
+        assert "zero drift" in result.render()
+
+    def test_different_seeds_drift(self, tmp_path):
+        a = trace_digest(_traced_run(tmp_path / "a.jsonl", seed=5))
+        b = trace_digest(_traced_run(tmp_path / "b.jsonl", seed=6))
+        result = diff_digests(a, b)
+        assert not result.ok
+        assert result.verdict == "drift"
+
+    def test_perturbed_trace_fails_the_gate(self, tmp_path):
+        """Dropping one interior event must flip the verdict to drift."""
+        path = _traced_run(tmp_path / "a.jsonl")
+        lines = path.read_text().splitlines()
+        kept = [line for line in lines if '"mle.iteration"' not in line]
+        kept_one_less = kept + [
+            line for line in lines if '"mle.iteration"' in line
+        ][:-1]
+        perturbed = tmp_path / "b.jsonl"
+        perturbed.write_text("\n".join(kept_one_less) + "\n")
+        result = diff_digests(trace_digest(path), trace_digest(perturbed))
+        assert not result.ok
+        drifted = {d.name for d in result.drifts if not d.within}
+        assert "mle.iteration" in drifted
+
+    def test_thresholds_tolerate_small_drift(self):
+        a = {"events_by_type": {"x": 100}, "event_count": 100, "days": []}
+        b = {"events_by_type": {"x": 103}, "event_count": 103, "days": []}
+        exact = diff_digests(a, b)
+        assert exact.verdict == "drift"
+        loose = diff_digests(a, b, DiffThresholds(count_ratio=0.05))
+        assert loose.verdict == "within-thresholds"
+        assert loose.ok and not loose.identical
+
+    def test_day_count_mismatch_is_always_structural(self):
+        a = {"days": [{"day": 0}]}
+        b = {"days": []}
+        result = diff_digests(a, b, DiffThresholds(count_ratio=10.0, metric_ratio=10.0))
+        assert not result.ok
+        assert any(d.kind == "structure" for d in result.drifts)
+
+    def test_phase_time_ignored_unless_budgeted(self):
+        a = {"days": [], "phase_seconds": {"truth": 1.0}}
+        b = {"days": [], "phase_seconds": {"truth": 2.0}}
+        assert diff_digests(a, b).identical
+        gated = diff_digests(a, b, DiffThresholds(phase_time_ratio=0.1))
+        assert not gated.ok
+        tolerated = diff_digests(a, b, DiffThresholds(phase_time_ratio=0.6))
+        assert tolerated.ok
+
+    def test_to_dict_is_machine_readable(self):
+        a = {"events_by_type": {"x": 1}, "event_count": 1, "days": []}
+        b = {"events_by_type": {"x": 2}, "event_count": 2, "days": []}
+        payload = diff_digests(a, b).to_dict()
+        assert payload["verdict"] == "drift"
+        assert payload["drifts"][0]["name"] == "x"
+        json.dumps(payload)  # must serialize
+
+
+class TestDiffMetrics:
+    def _registry(self, extra=0.0):
+        registry = MetricsRegistry()
+        registry.counter("repro_days_total").inc(3)
+        registry.counter("repro_serve_shed_total").inc(1 + extra, reason="queue_full")
+        registry.histogram("repro_mle_iterations").observe(4 + extra)
+        return registry
+
+    def test_identical_exports_diff_clean(self):
+        result = diff_metrics(self._registry().to_json(), self._registry().to_json())
+        assert result.identical
+
+    def test_sample_drift_is_reported(self):
+        result = diff_metrics(
+            self._registry().to_json(), self._registry(extra=2.0).to_json()
+        )
+        assert not result.ok
+        names = {d.name for d in result.drifts}
+        assert 'repro_serve_shed_total{reason=queue_full}' in names
+        assert any(name.startswith("repro_mle_iterations") for name in names)
+
+
+class TestLoadDiffSource:
+    def test_classifies_trace_digest_and_metrics(self, tmp_path):
+        trace = _traced_run(tmp_path / "run.jsonl")
+        kind, payload = load_diff_source(trace)
+        assert kind == "digest" and payload["digest_version"] == DIGEST_VERSION
+
+        digest_path = write_digest(payload, tmp_path / "digest.json")
+        assert load_diff_source(digest_path)[0] == "digest"
+
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(json.dumps(MetricsRegistry().to_json()))
+        assert load_diff_source(metrics_path)[0] == "metrics"
+
+    def test_trace_vs_digest_compares_clean(self, tmp_path):
+        trace = _traced_run(tmp_path / "run.jsonl")
+        digest = write_digest(trace_digest(trace), tmp_path / "digest.json")
+        assert diff_sources(trace, digest).identical
+
+    def test_mismatched_kinds_raise(self, tmp_path):
+        trace = _traced_run(tmp_path / "run.jsonl")
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(json.dumps(MetricsRegistry().to_json()))
+        with pytest.raises(ValueError, match="cannot compare"):
+            diff_sources(trace, metrics_path)
+
+    def test_unclassifiable_file_raises(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="neither"):
+            load_diff_source(path)

@@ -1,0 +1,150 @@
+"""Span-tree profiles: reconstruction, weights, flamegraph export."""
+
+import re
+
+import pytest
+
+from repro.observability.analyze.profile import (
+    build_profile,
+    collapsed_stacks,
+    render_profile,
+)
+from repro.observability.tracer import canonical_json
+
+_COLLAPSED_LINE = re.compile(r"^\S+(?:;\S+)* \d+$")
+
+
+def _span_records(with_ts=False):
+    """Two days of run/day/step/phase nesting, plus loose events."""
+    events = [
+        ("run.start", {}, 0.0),
+        ("day.start", {"day": 0}, 1.0),
+        ("step.start", {"kind": "warm-up"}, 1.0),
+        ("phase.start", {"phase": "truth"}, 1.5),
+        ("mle.iteration", {"iteration": 1}, 2.0),
+        ("mle.iteration", {"iteration": 2}, 2.5),
+        ("phase.end", {"phase": "truth"}, 3.5),
+        ("step.end", {"kind": "warm-up"}, 4.0),
+        ("day.end", {"day": 0}, 4.0),
+        ("day.start", {"day": 1}, 5.0),
+        ("step.start", {"kind": "daily"}, 5.0),
+        ("phase.start", {"phase": "truth"}, 5.5),
+        ("mle.iteration", {"iteration": 1}, 6.0),
+        ("phase.end", {"phase": "truth"}, 6.5),
+        ("step.end", {"kind": "daily"}, 7.0),
+        ("day.end", {"day": 1}, 7.5),
+        ("run.end", {}, 8.0),
+    ]
+    records = []
+    for seq, (rtype, data, ts) in enumerate(events):
+        record = {"seq": seq, "type": rtype, "data": data}
+        if with_ts:
+            record["ts"] = ts
+        records.append(record)
+    return records
+
+
+class TestBuildProfile:
+    def test_reconstructs_the_span_tree(self):
+        root = build_profile(_span_records())
+        run = root.children["run"]
+        day = run.children["day"]
+        assert day.count == 2  # both days merged into one frame
+        assert set(day.children) == {"step:warm-up", "step:daily"}
+        truth = day.children["step:warm-up"].children["phase:truth"]
+        assert truth.count == 1
+        assert truth.events == 2  # the two mle.iteration records
+
+    def test_per_day_keeps_days_apart(self):
+        root = build_profile(_span_records(), per_day=True)
+        day_names = set(root.children["run"].children)
+        assert day_names == {"day 0", "day 1"}
+
+    def test_time_weights_from_ts(self):
+        root = build_profile(_span_records(with_ts=True))
+        day = root.children["run"].children["day"]
+        assert day.seconds == pytest.approx(5.5)  # 3.0 + 2.5
+        warm = day.children["step:warm-up"]
+        assert warm.seconds == pytest.approx(3.0)
+        assert warm.self_seconds == pytest.approx(1.0)  # 3.0 - phase 2.0
+
+    def test_wall_seconds_fallback_without_ts(self):
+        records = [
+            {"type": "phase.start", "data": {"phase": "truth"}},
+            {"type": "phase.end", "data": {"phase": "truth", "wall_seconds": 0.25}},
+        ]
+        root = build_profile(records)
+        assert root.children["phase:truth"].seconds == pytest.approx(0.25)
+
+    def test_crash_open_spans_are_flagged_unclosed(self):
+        records = _span_records()[:5]  # dies inside phase:truth
+        root = build_profile(records)
+        truth = (
+            root.children["run"].children["day"]
+            .children["step:warm-up"].children["phase:truth"]
+        )
+        assert truth.unclosed == 1
+        assert "unclosed" in render_profile(root)
+
+    def test_stray_end_counts_as_plain_event(self):
+        records = [{"type": "phase.end", "data": {"phase": "truth"}}]
+        root = build_profile(records)
+        assert root.children == {}
+        assert root.events == 1
+
+    def test_mismatched_end_closes_intervening_frames_as_unclosed(self):
+        records = [
+            {"type": "step.start", "data": {"kind": "daily"}},
+            {"type": "phase.start", "data": {"phase": "truth"}},
+            {"type": "step.end", "data": {"kind": "daily"}},  # phase never ended
+        ]
+        root = build_profile(records)
+        step = root.children["step:daily"]
+        assert step.children["phase:truth"].unclosed == 1
+        assert step.unclosed == 0
+
+
+class TestCollapsedStacks:
+    def test_flamegraph_line_format(self):
+        lines = collapsed_stacks(build_profile(_span_records()))
+        assert lines, "a trace with events must produce stacks"
+        for line in lines:
+            assert _COLLAPSED_LINE.match(line), line
+
+    def test_event_weights_are_self_only(self):
+        lines = collapsed_stacks(build_profile(_span_records()), weight="events")
+        stacks = dict(line.rsplit(" ", 1) for line in lines)
+        assert stacks["trace;run;day;step:warm-up;phase:truth"] == "2"
+        # Frames with zero self weight (pure containers) are omitted.
+        assert "trace;run" not in stacks
+
+    def test_time_weights_are_integer_microseconds(self):
+        lines = collapsed_stacks(build_profile(_span_records(with_ts=True)), weight="time")
+        stacks = dict(line.rsplit(" ", 1) for line in lines)
+        assert stacks["trace;run;day;step:warm-up;phase:truth"] == "2000000"
+
+    def test_unknown_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            collapsed_stacks(build_profile(_span_records()), weight="bytes")
+
+
+class TestRenderProfile:
+    def test_deterministic_and_indented(self):
+        root = build_profile(_span_records())
+        text = render_profile(root)
+        assert text == render_profile(build_profile(_span_records()))
+        lines = text.splitlines()
+        assert lines[0].startswith("frame")
+        assert any(line.lstrip().startswith("phase:truth") for line in lines)
+
+    def test_time_mode_shows_cumulative_and_self(self):
+        text = render_profile(build_profile(_span_records(with_ts=True)))
+        assert "cum(s)" in text and "self(s)" in text
+
+    def test_reads_from_a_file_path(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "\n".join(canonical_json(r) for r in _span_records()) + "\n"
+        )
+        root = build_profile(str(path))
+        assert root.children["run"].children["day"].count == 2

@@ -1,0 +1,228 @@
+"""Streaming trace queries: filters, aggregation, P², bounded memory."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.observability.analyze.query import (
+    P2Quantile,
+    QuerySpec,
+    aggregate_events,
+    contextual_events,
+    get_field,
+    render_rows,
+    select_events,
+)
+from repro.observability.tracer import canonical_json
+
+
+def _records():
+    return [
+        {"seq": 0, "type": "run.start", "data": {"manifest": {"seed": 7}}},
+        {"seq": 1, "type": "day.start", "data": {"day": 0, "n_tasks": 4}},
+        {"seq": 2, "type": "mle.iteration", "data": {"iteration": 1, "delta": 0.5}},
+        {"seq": 3, "type": "mle.iteration", "data": {"iteration": 2, "delta": 0.1}},
+        {"seq": 4, "type": "mle.converged", "data": {"iterations": 2}},
+        {"seq": 5, "type": "day.end", "data": {"day": 0, "error": 0.3, "cost": 12.0}},
+        {"seq": 6, "type": "day.start", "data": {"day": 1, "n_tasks": 4}},
+        {"seq": 7, "type": "mle.iteration", "data": {"iteration": 1, "delta": 0.4}},
+        {"seq": 8, "type": "day.end", "data": {"day": 1, "error": 0.2, "cost": 10.0}},
+        {"seq": 9, "type": "run.end", "data": {"mean_error": 0.25}},
+    ]
+
+
+class TestP2Quantile:
+    def test_exact_below_five_samples(self):
+        est = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            est.add(value)
+        assert est.value() == 3.0
+
+    def test_empty_is_none(self):
+        assert P2Quantile(0.9).value() is None
+
+    def test_rejects_degenerate_q(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_estimates_median_of_many_samples(self):
+        est = P2Quantile(0.5)
+        # A fixed LCG keeps the stream deterministic without random().
+        state = 42
+        for _ in range(5000):
+            state = (1103515245 * state + 12345) % (2**31)
+            est.add(state / 2**31)
+        assert est.value() == pytest.approx(0.5, abs=0.03)
+
+    def test_deterministic_for_identical_streams(self):
+        a, b = P2Quantile(0.9), P2Quantile(0.9)
+        for i in range(1000):
+            value = (i * 37 % 101) / 101
+            a.add(value)
+            b.add(value)
+        assert a.value() == b.value()
+
+
+class TestQuerySpec:
+    def test_rejects_unknown_aggregate(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            QuerySpec(aggregate="median")
+
+    def test_quantile_needs_q(self):
+        with pytest.raises(ValueError, match="needs q"):
+            QuerySpec(aggregate="quantile", agg_field="data.delta")
+
+    def test_numeric_aggregates_need_a_field(self):
+        with pytest.raises(ValueError, match="needs a field"):
+            QuerySpec(aggregate="sum")
+
+
+class TestDayContext:
+    def test_events_inherit_the_open_day(self):
+        days = [day for day, _ in contextual_events(_records())]
+        assert days == [None, 0, 0, 0, 0, 0, 1, 1, 1, None]
+
+    def test_explicit_day_wins_over_context(self):
+        records = [
+            {"type": "day.start", "data": {"day": 3}},
+            {"type": "x", "data": {"day": 9}},
+        ]
+        assert [day for day, _ in contextual_events(records)] == [3, 9]
+
+    def test_get_field_resolves_nested_paths(self):
+        record = {"type": "x", "data": {"a": {"b": 2}}}
+        assert get_field(record, "data.a.b") == 2
+        assert get_field(record, "data.a.missing") is None
+        assert get_field(record, "type") == "x"
+        assert get_field(record, "day", day=4) == 4
+
+
+class TestSelect:
+    def test_type_prefix_filter(self):
+        spec = QuerySpec(types=("mle.",))
+        rows = list(select_events(_records(), spec))
+        assert [r["seq"] for r in rows] == [2, 3, 4, 7]
+
+    def test_day_and_where_filters(self):
+        spec = QuerySpec(types=("mle.iteration",), days=(0,), where=(("data.iteration", "2"),))
+        rows = list(select_events(_records(), spec))
+        assert [r["seq"] for r in rows] == [3]
+
+    def test_projection_and_limit(self):
+        spec = QuerySpec(types=("mle.iteration",), select=("day", "data.delta"), limit=2)
+        rows = list(select_events(_records(), spec))
+        assert rows == [{"day": 0, "data.delta": 0.5}, {"day": 0, "data.delta": 0.1}]
+
+    def test_render_rows_is_jsonl(self):
+        spec = QuerySpec(types=("day.start",), select=("data.day",))
+        text = render_rows(select_events(_records(), spec))
+        assert [json.loads(line) for line in text.splitlines()] == [
+            {"data.day": 0},
+            {"data.day": 1},
+        ]
+
+
+class TestAggregate:
+    def test_count_grouped_by_day(self):
+        spec = QuerySpec(types=("mle.",), aggregate="count", group_by="day")
+        result = aggregate_events(_records(), spec)
+        assert result["groups"] == [
+            {"group": 0, "value": 3, "count": 3},
+            {"group": 1, "value": 1, "count": 1},
+        ]
+
+    def test_sum_mean_min_max(self):
+        for aggregate, expected in (
+            ("sum", 1.0),
+            ("mean", pytest.approx(1.0 / 3.0)),
+            ("min", 0.1),
+            ("max", 0.5),
+        ):
+            spec = QuerySpec(
+                types=("mle.iteration",), aggregate=aggregate, agg_field="data.delta"
+            )
+            result = aggregate_events(_records(), spec)
+            assert result["groups"][0]["value"] == expected
+
+    def test_quantile_aggregate(self):
+        spec = QuerySpec(
+            types=("mle.iteration",), aggregate="quantile", agg_field="data.delta", q=0.5
+        )
+        result = aggregate_events(_records(), spec)
+        assert result["groups"][0]["value"] == 0.4
+
+    def test_non_numeric_values_do_not_fold(self):
+        spec = QuerySpec(types=("day.start",), aggregate="mean", agg_field="type")
+        result = aggregate_events(_records(), spec)
+        assert result["groups"][0]["value"] is None
+        assert result["groups"][0]["count"] == 2
+
+    def test_none_group_sorts_first(self):
+        spec = QuerySpec(aggregate="count", group_by="day")
+        result = aggregate_events(_records(), spec)
+        assert result["groups"][0]["group"] is None
+
+
+class TestStreaming:
+    def _write_trace(self, path, n_events):
+        with path.open("w") as stream:
+            stream.write(canonical_json(
+                {"schema": 1, "seq": 0, "type": "run.start", "data": {}}) + "\n")
+            for i in range(n_events):
+                record = {
+                    "schema": 1,
+                    "seq": i + 1,
+                    "type": "mle.iteration",
+                    "data": {"day": i % 50, "iteration": i % 20, "delta": 1.0 / (i + 1)},
+                }
+                stream.write(canonical_json(record) + "\n")
+
+    def test_peak_memory_is_independent_of_trace_length(self, tmp_path):
+        """Aggregating a >100k-event trace must not load the file.
+
+        The file is several MB; the streaming fold holds one record plus
+        O(groups) state, so peak traced allocation stays far below the
+        file size — and barely grows from 10k to 110k events.
+        """
+        small, large = tmp_path / "small.jsonl", tmp_path / "large.jsonl"
+        self._write_trace(small, 10_000)
+        self._write_trace(large, 110_000)
+        spec = QuerySpec(
+            types=("mle.",), aggregate="quantile", agg_field="data.delta",
+            q=0.9, group_by="data.day",
+        )
+
+        def peak(path):
+            tracemalloc.start()
+            aggregate_events(path, spec)
+            _, high = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return high
+
+        peak_small, peak_large = peak(small), peak(large)
+        assert large.stat().st_size > 8_000_000
+        assert peak_large < 2_000_000, f"peak {peak_large} bytes — not streaming"
+        assert peak_large < peak_small * 1.5 + 100_000
+
+    def test_select_streams_with_limit(self, tmp_path):
+        path = tmp_path / "big.jsonl"
+        self._write_trace(path, 110_000)
+        tracemalloc.start()
+        rows = []
+        for row in select_events(path, QuerySpec(types=("mle.",), limit=5)):
+            rows.append(row)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(rows) == 5
+        assert peak < 1_000_000
+
+    def test_tolerates_a_torn_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self._write_trace(path, 10)
+        with path.open("a") as stream:
+            stream.write('{"seq": 99, "type": "mle.iter')
+        spec = QuerySpec(types=("mle.",), aggregate="count")
+        assert aggregate_events(path, spec)["groups"][0]["value"] == 10

@@ -1,0 +1,223 @@
+"""SLO grading: quantile math, metrics views, rules, trace evaluation."""
+
+import json
+
+import pytest
+
+from repro.observability.analyze.slo import (
+    SLO_SPEC_VERSION,
+    MetricsView,
+    SLORule,
+    default_serving_slos,
+    evaluate_metrics_slos,
+    evaluate_trace_slos,
+    histogram_quantile,
+    load_slo_spec,
+    render_slo_report,
+)
+from repro.observability.metrics import MetricsRegistry
+
+
+class TestHistogramQuantile:
+    def test_linear_interpolation_within_a_bucket(self):
+        # 3 obs <= 1.0, 3 more in (1.0, 2.0]; median rank 3 → exactly 1.0.
+        assert histogram_quantile(0.5, (1.0, 2.0), (3, 6), 6) == pytest.approx(1.0)
+        # rank 4.5 → halfway through the second bucket.
+        assert histogram_quantile(0.75, (1.0, 2.0), (3, 6), 6) == pytest.approx(1.5)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        assert histogram_quantile(0.5, (10.0,), (4,), 4) == pytest.approx(5.0)
+
+    def test_rank_in_inf_bucket_clamps_to_highest_finite_bound(self):
+        # 3 of 6 observations exceeded every finite bucket.
+        assert histogram_quantile(0.95, (1.0, 2.0), (3, 3), 6) == 2.0
+
+    def test_empty_histogram_is_none(self):
+        assert histogram_quantile(0.5, (1.0, 2.0), (0, 0), 0) is None
+        assert histogram_quantile(0.5, (), (), 0) is None
+
+    def test_rejects_bad_q_and_misaligned_buckets(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(1.5, (1.0,), (1,), 1)
+        with pytest.raises(ValueError):
+            histogram_quantile(0.5, (1.0, 2.0), (1,), 1)
+
+
+class TestMetricsView:
+    def _registry(self):
+        registry = MetricsRegistry(manifest={"seed": 5})
+        batches = registry.counter("repro_serve_batches_total")
+        batches.inc(8, outcome="accepted")
+        batches.inc(2, outcome="shed")
+        registry.counter("repro_serve_shed_total").inc(2, reason="queue_full")
+        hist = registry.histogram("repro_serve_day_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.05, 0.5, 0.5):
+            hist.observe(value)
+        return registry
+
+    def test_total_sums_matching_label_sets(self):
+        view = MetricsView.from_registry(self._registry())
+        assert view.total("repro_serve_batches_total") == 10
+        assert view.total("repro_serve_batches_total", {"outcome": "shed"}) == 2
+        assert view.total("repro_serve_batches_total", {"outcome": "missing"}) == 0
+        assert view.total("no_such_metric") == 0
+
+    def test_quantile_reads_the_histogram(self):
+        view = MetricsView.from_registry(self._registry())
+        assert view.quantile("repro_serve_day_seconds", 0.25) == pytest.approx(0.05)
+        assert view.quantile("no_such_histogram", 0.5) is None
+
+    def test_all_three_sources_agree(self):
+        registry = self._registry()
+        from_registry = MetricsView.from_registry(registry)
+        from_json = MetricsView.from_json(registry.to_json())
+        from_text = MetricsView.from_prometheus_text(registry.to_prometheus_text())
+        for view in (from_json, from_text):
+            assert view.total("repro_serve_batches_total") == from_registry.total(
+                "repro_serve_batches_total"
+            )
+            assert view.quantile("repro_serve_day_seconds", 0.5) == pytest.approx(
+                from_registry.quantile("repro_serve_day_seconds", 0.5)
+            )
+
+
+class TestSLORule:
+    def test_validates_kind_and_thresholds(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLORule(name="x", kind="latency", max_value=1.0)
+        with pytest.raises(ValueError, match="max_value"):
+            SLORule(name="x", kind="ratio", numerator={"metric": "m"})
+        with pytest.raises(ValueError, match="need q"):
+            SLORule(name="x", kind="quantile", metric="m", max_value=1.0)
+
+    def test_check_semantics(self):
+        rule = SLORule(
+            name="x", kind="ratio", numerator={"metric": "m"},
+            max_value=0.1, min_value=0.01,
+        )
+        assert rule.check(0.05)
+        assert not rule.check(0.2)
+        assert not rule.check(0.001)
+        assert rule.check(None)  # no data never breaches
+        assert rule.threshold == "min 0.01, max 0.1"
+
+    def test_spec_round_trip(self, tmp_path):
+        rules = default_serving_slos()
+        spec = {
+            "slo_spec_version": SLO_SPEC_VERSION,
+            "slos": [rule.to_dict() for rule in rules],
+        }
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps(spec))
+        loaded = load_slo_spec(path)
+        assert [r.name for r in loaded] == [r.name for r in rules]
+        assert loaded[0].numerator_events == rules[0].numerator_events
+
+    def test_spec_version_and_shape_enforced(self, tmp_path):
+        with pytest.raises(ValueError, match="slo_spec_version"):
+            load_slo_spec({"slo_spec_version": 99, "slos": []})
+        with pytest.raises(ValueError, match="'slos'"):
+            load_slo_spec({"slo_spec_version": SLO_SPEC_VERSION})
+        with pytest.raises(ValueError, match="unknown keys"):
+            load_slo_spec(
+                {
+                    "slo_spec_version": SLO_SPEC_VERSION,
+                    "slos": [{"name": "x", "kind": "ratio", "max_value": 1.0,
+                              "numerator": {"metric": "m"}, "typo": 1}],
+                }
+            )
+
+
+class TestEvaluateMetrics:
+    def test_ratio_and_breach(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_serve_shed_total").inc(3, reason="queue_full")
+        registry.counter("repro_serve_batches_total").inc(10, outcome="accepted")
+        view = MetricsView.from_registry(registry)
+        statuses = evaluate_metrics_slos(view, default_serving_slos())
+        by_name = {s.name: s for s in statuses}
+        shed = by_name["shed_rate"]
+        assert shed.breached and shed.value == pytest.approx(0.3)
+        assert not by_name["rejected_rate"].breached
+
+    def test_no_traffic_is_not_a_breach(self):
+        statuses = evaluate_metrics_slos(
+            MetricsView.from_registry(MetricsRegistry()), default_serving_slos()
+        )
+        assert all(s.ok for s in statuses)
+        assert all(s.value is None for s in statuses)
+
+    def test_report_rendering(self):
+        statuses = evaluate_metrics_slos(
+            MetricsView.from_registry(MetricsRegistry()), default_serving_slos()
+        )
+        text = render_slo_report(statuses)
+        assert text.startswith("slo: 4/4 ok")
+        assert "shed_rate" in text
+
+
+class TestEvaluateTrace:
+    def _serve_records(self, shed=0, accepted=8, applied=True, seconds=None):
+        records = []
+        for i in range(accepted):
+            records.append(
+                {"type": "serve.batch.accepted", "data": {"day": 0, "submitter": i}}
+            )
+        for i in range(shed):
+            records.append(
+                {"type": "serve.batch.rejected",
+                 "data": {"day": 0, "submitter": i, "reason": "queue_full"}}
+            )
+        records.append({"type": "serve.day.sealed", "data": {"day": 0, "ordinal": 0}})
+        if applied:
+            data = {"day": 0, "ordinal": 0}
+            if seconds is not None:
+                data["seconds"] = seconds
+            records.append({"type": "serve.day.applied", "data": data})
+        return records
+
+    def test_clean_trace_grades_ok(self):
+        statuses = evaluate_trace_slos(self._serve_records(), default_serving_slos())
+        by_name = {s.name: s for s in statuses}
+        assert by_name["shed_rate"].value == 0.0
+        assert by_name["day_seal_success"].value == 1.0
+        assert all(s.ok for s in statuses)
+
+    def test_shed_storm_breaches(self):
+        statuses = evaluate_trace_slos(
+            self._serve_records(shed=4), default_serving_slos()
+        )
+        by_name = {s.name: s for s in statuses}
+        assert by_name["shed_rate"].breached
+        assert by_name["shed_rate"].value == pytest.approx(4 / 12)
+        # queue_full is a shed reason, so it must NOT count as rejected.
+        assert by_name["rejected_rate"].value == 0.0
+
+    def test_unapplied_sealed_day_breaches_seal_success(self):
+        statuses = evaluate_trace_slos(
+            self._serve_records(applied=False), default_serving_slos()
+        )
+        by_name = {s.name: s for s in statuses}
+        assert by_name["day_seal_success"].breached
+        assert by_name["day_seal_success"].value == 0.0
+
+    def test_quantile_rule_folds_event_field(self):
+        records = self._serve_records(seconds=0.5)
+        records += [
+            {"type": "serve.day.sealed", "data": {"day": 1, "ordinal": 1}},
+            {"type": "serve.day.applied", "data": {"day": 1, "ordinal": 1, "seconds": 9.0}},
+        ]
+        statuses = evaluate_trace_slos(records, default_serving_slos())
+        latency = {s.name: s for s in statuses}["day_latency_p95"]
+        assert latency.breached  # p95 of {0.5, 9.0} exceeds 5s
+        assert latency.value > 5.0
+
+    def test_reads_a_trace_file(self, tmp_path):
+        from repro.observability.tracer import canonical_json
+
+        path = tmp_path / "serve.jsonl"
+        path.write_text(
+            "\n".join(canonical_json(r) for r in self._serve_records()) + "\n"
+        )
+        statuses = evaluate_trace_slos(path, default_serving_slos())
+        assert all(s.ok for s in statuses)

@@ -113,3 +113,97 @@ class TestReadTrace:
         path.write_text('not json\n{"seq": 0, "type": "x"}\n')
         with pytest.raises(ValueError, match="line 1"):
             read_trace(path)
+
+
+class TestEmptyAndMetadataOnlyTraces:
+    """A run that crashed before its first day must still summarize."""
+
+    def test_empty_record_list(self):
+        text = render_summary(summarize_trace([]))
+        assert "no days recorded" in text
+        assert "anomalies: none" in text
+
+    def test_metadata_only_trace(self):
+        records = [
+            {"seq": 0, "type": "run.start", "data": {"manifest": {
+                "repro_version": "1.0.0", "seed": 3, "config_hash": "cd" * 32}}},
+            {"seq": 1, "type": "run.end", "data": {}},
+        ]
+        text = render_summary(summarize_trace(records))
+        assert "no days recorded" in text
+        assert "seed 3" in text
+
+    def test_manifest_with_null_config_hash(self):
+        # run_manifest(config=None) stores config_hash=None; slicing it
+        # used to crash the renderer on exactly the traces that most
+        # needed a summary.
+        records = [
+            {"seq": 0, "type": "run.start", "data": {"manifest": {
+                "repro_version": "1.0.0", "seed": 3, "config_hash": None}}},
+        ]
+        text = render_summary(summarize_trace(records))
+        assert "config (none)" in text
+        assert "no days recorded" in text
+
+    def test_empty_file_summarizes(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        summary = summarize_trace(read_trace(path))
+        assert "no days recorded" in render_summary(summary)
+
+
+class TestSchemaVersioning:
+    def test_unknown_schema_version_warns_once_not_fatal(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            '{"schema": 99, "seq": 0, "type": "day.start", "data": {"day": 0}}\n'
+            '{"schema": 99, "seq": 1, "type": "day.end", "data": {"day": 0}}\n'
+        )
+        with pytest.warns(UserWarning, match="schema version 99") as caught:
+            records = read_trace(path)
+        assert len(caught) == 1  # one warning per file, not per record
+        assert [r["type"] for r in records] == ["day.start", "day.end"]
+
+    def test_current_and_missing_schema_are_silent(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "current.jsonl"
+        path.write_text(
+            '{"schema": 1, "seq": 0, "type": "day.start", "data": {"day": 0}}\n'
+            '{"seq": 1, "type": "day.end", "data": {"day": 0}}\n'
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(read_trace(path)) == 2
+
+
+class TestTruncationFuzz:
+    """Every byte-offset cut inside the final two records must be safe.
+
+    The crash contract: a torn tail never raises and never surfaces a
+    partial record — whatever suffix the crash ate, the reader returns
+    an exact prefix of the original records (plus at most one
+    ``trace.truncated`` marker).
+    """
+
+    def test_every_cut_in_the_final_two_records(self, tmp_path):
+        path = tmp_path / "full.jsonl"
+        with RunTracer(sink=path) as tracer:
+            tracer.emit("run.start", manifest={"seed": 1})
+            for day in range(3):
+                tracer.emit("day.start", day=day, n_tasks=5)
+                tracer.emit("mle.converged", iterations=day + 2)
+                tracer.emit("day.end", day=day, error=0.1 * day)
+            tracer.emit("run.end", fault_counts={})
+        original = read_trace(path)
+        data = path.read_bytes()
+        lines = data.splitlines(keepends=True)
+        cut_start = len(data) - len(lines[-1]) - len(lines[-2])
+
+        for cut in range(cut_start, len(data) + 1):
+            torn = tmp_path / "torn.jsonl"
+            torn.write_bytes(data[:cut])
+            records = read_trace(torn)  # must never raise
+            if records and records[-1]["type"] == "trace.truncated":
+                records = records[:-1]
+            assert records == original[: len(records)], f"cut at byte {cut}"

@@ -96,8 +96,17 @@ class TestSink:
             tracer.emit("b")
         lines = path.read_text().splitlines()
         assert len(lines) == 2
-        assert lines[0] == canonical_json({"seq": 0, "type": "a", "data": {"x": 1}})
-        assert json.loads(lines[1]) == {"seq": 1, "type": "b"}
+        assert lines[0] == canonical_json(
+            {"schema": 1, "seq": 0, "type": "a", "data": {"x": 1}}
+        )
+        assert json.loads(lines[1]) == {"schema": 1, "seq": 1, "type": "b"}
+
+    def test_records_carry_the_schema_version(self):
+        from repro.observability.tracer import TRACE_SCHEMA_VERSION
+
+        tracer = RunTracer()
+        tracer.emit("a")
+        assert tracer.events()[0]["schema"] == TRACE_SCHEMA_VERSION
 
     def test_sink_creates_parent_directories(self, tmp_path):
         path = tmp_path / "nested" / "deep" / "trace.jsonl"

@@ -1,0 +1,166 @@
+"""Live SLO monitoring inside IngestionService: gauges, health, events."""
+
+import numpy as np
+import pytest
+
+from repro.observability.metrics import MetricsRegistry, validate_prometheus_text
+from repro.observability.tracer import RunTracer
+from repro.serve import DEGRADED, READY, IngestionService, ReportBatch
+from repro.observability.analyze.slo import SLORule, default_serving_slos
+
+
+def _queue_depth_rule(max_depth: float) -> SLORule:
+    """A rule on a live gauge: breaches while the day's queue is deep."""
+    return SLORule(
+        name="queue_depth",
+        kind="ratio",
+        description="Open-day queue depth.",
+        max_value=max_depth,
+        numerator={"metric": "repro_serve_queue_depth"},
+    )
+
+
+def _submit_day(service, tasks, day=0, n_batches=4):
+    service.open_day(day, tasks)
+    for user in range(n_batches):
+        result = service.submit(
+            ReportBatch(
+                submitter=user,
+                day=day,
+                reports=[(user, t, 10.0 + 0.1 * user) for t in range(len(tasks))],
+            )
+        )
+        assert result.accepted
+
+
+class TestLiveSLOs:
+    def test_no_rules_means_no_slo_samples(self, tmp_path, make_system, make_tasks):
+        service = IngestionService(
+            make_system(), tmp_path, metrics=MetricsRegistry(), tracer=RunTracer()
+        )
+        _submit_day(service, make_tasks())
+        service.seal_day()
+        assert service.check_slos() == []
+        assert "repro_serve_slo" not in service.metrics.to_prometheus_text()
+
+    def test_day_boundary_evaluates_and_exports_gauges(
+        self, tmp_path, make_system, make_tasks
+    ):
+        service = IngestionService(
+            make_system(),
+            tmp_path,
+            metrics=MetricsRegistry(),
+            tracer=RunTracer(),
+            slos=default_serving_slos(),
+        )
+        _submit_day(service, make_tasks())
+        service.seal_day()
+        assert service.slo_statuses, "seal_day must evaluate the rules"
+        ok = service.metrics.gauge("repro_serve_slo_ok")
+        assert ok.value(slo="shed_rate") == 1.0
+        assert ok.value(slo="day_seal_success") == 1.0
+        value = service.metrics.gauge("repro_serve_slo_value")
+        assert value.value(slo="day_seal_success") == 1.0
+        assert value.value(slo="day_latency_p95") >= 0.0
+        validate_prometheus_text(service.metrics.to_prometheus_text())
+        assert service.health == READY
+
+    def test_day_latency_histogram_observes_each_day(
+        self, tmp_path, make_system, make_tasks
+    ):
+        service = IngestionService(
+            make_system(), tmp_path, metrics=MetricsRegistry()
+        )
+        _submit_day(service, make_tasks(), day=0)
+        service.seal_day()
+        _submit_day(service, make_tasks(), day=1)
+        service.seal_day()
+        state = service.metrics.histogram("repro_serve_day_seconds").value()
+        assert state["count"] == 2
+        sealed = service.metrics.counter("repro_serve_days_total")
+        assert sealed.value(outcome="sealed") == 2
+        assert sealed.value(outcome="applied") == 2
+
+    def test_breach_flips_health_to_degraded_with_event(
+        self, tmp_path, make_system, make_tasks
+    ):
+        tracer = RunTracer()
+        service = IngestionService(
+            make_system(),
+            tmp_path,
+            metrics=MetricsRegistry(),
+            tracer=tracer,
+            slos=[_queue_depth_rule(max_depth=2.0)],
+        )
+        _submit_day(service, make_tasks(), n_batches=4)  # queue depth 4 > 2
+        statuses = service.check_slos()
+        assert statuses[0].breached
+        assert service.health == DEGRADED
+        breaches = tracer.events("serve.slo_breach")
+        assert len(breaches) == 1
+        assert breaches[0]["data"]["slo"] == "queue_depth"
+        assert service.metrics.gauge("repro_serve_slo_ok").value(slo="queue_depth") == 0.0
+
+    def test_breach_event_fires_once_per_transition_and_recovers(
+        self, tmp_path, make_system, make_tasks
+    ):
+        tracer = RunTracer()
+        service = IngestionService(
+            make_system(),
+            tmp_path,
+            metrics=MetricsRegistry(),
+            tracer=tracer,
+            slos=[_queue_depth_rule(max_depth=2.0)],
+        )
+        _submit_day(service, make_tasks(), n_batches=4)
+        service.check_slos()
+        service.check_slos()  # still breached: no second event
+        breaches = tracer.events("serve.slo_breach")
+        assert len(breaches) == 1
+        assert service.health == DEGRADED
+
+        # Sealing resets the queue gauge to 0 and re-evaluates: recovered.
+        service.seal_day()
+        assert service.health == READY
+        recoveries = tracer.events("serve.slo_recovered")
+        assert len(recoveries) == 1
+        assert recoveries[0]["data"]["slo"] == "queue_depth"
+        assert service.metrics.gauge("repro_serve_slo_ok").value(slo="queue_depth") == 1.0
+
+    def test_default_rules_catch_a_shed_storm(self, tmp_path, make_system, make_tasks):
+        tracer = RunTracer()
+        service = IngestionService(
+            make_system(),
+            tmp_path,
+            max_queue=3,
+            metrics=MetricsRegistry(),
+            tracer=tracer,
+            slos=default_serving_slos(),
+        )
+        tasks = make_tasks()
+        service.open_day(0, tasks)
+        outcomes = [
+            service.submit(
+                ReportBatch(
+                    submitter=user,
+                    day=0,
+                    reports=[(user, t, 10.0) for t in range(len(tasks))],
+                )
+            ).accepted
+            for user in range(8)
+        ]
+        assert not all(outcomes), "the tiny queue must shed some batches"
+        service.seal_day()
+        by_name = {s.name: s for s in service.slo_statuses}
+        assert by_name["shed_rate"].breached
+        assert service.health == DEGRADED
+        assert tracer.events("serve.slo_breach")
+
+    def test_slo_eval_without_metrics_is_a_noop(self, tmp_path, make_system, make_tasks):
+        service = IngestionService(
+            make_system(), tmp_path, slos=default_serving_slos()
+        )
+        _submit_day(service, make_tasks())
+        service.seal_day()
+        assert service.check_slos() == []
+        assert service.health == READY

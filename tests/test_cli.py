@@ -364,3 +364,172 @@ def test_serve_telemetry_outputs(tmp_path, capsys):
     validate_prometheus_text(metrics_path.read_text())
     assert "repro_serve_days_total" in metrics_path.read_text()
     assert any('"serve.day.applied"' in line for line in trace_path.read_text().splitlines())
+
+
+# --- trace analytics subcommands --------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced simulation shared by the analytics tests."""
+    path = tmp_path_factory.mktemp("analytics") / "run.jsonl"
+    assert main(["simulate", "--days", "2", "--seed", "3", "--trace-out", str(path)]) == 0
+    return path
+
+
+def test_trace_query_streams_jsonl_rows(traced_run, capsys):
+    import json
+
+    args = [
+        "trace", "query", str(traced_run),
+        "--type", "mle.iteration",
+        "--select", "day", "--select", "data.iteration",
+        "--limit", "3",
+    ]
+    assert main(args) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        row = json.loads(line)
+        assert set(row) == {"day", "data.iteration"}
+
+
+def test_trace_query_aggregate_groups_by_day(traced_run, capsys):
+    import json
+
+    args = [
+        "trace", "query", str(traced_run),
+        "--type", "mle.", "--aggregate", "count", "--group-by", "day",
+    ]
+    assert main(args) == 0
+    result = json.loads(capsys.readouterr().out)
+    assert [g["group"] for g in result["groups"]] == [0, 1]
+    assert all(g["value"] > 0 for g in result["groups"])
+
+
+def test_trace_query_rejects_malformed_where(traced_run, capsys):
+    assert main(["trace", "query", str(traced_run), "--where", "no-equals"]) == 2
+    assert "PATH=VALUE" in capsys.readouterr().err
+
+
+def test_trace_profile_renders_the_phase_tree(traced_run, capsys):
+    assert main(["trace", "profile", str(traced_run)]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0].startswith("frame")
+    assert "phase:truth" in out
+
+
+def test_trace_profile_collapsed_is_flamegraph_ready(traced_run, capsys):
+    import re
+
+    assert main(["trace", "profile", str(traced_run), "--collapsed"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines, "collapsed output must not be empty"
+    for line in lines:
+        assert re.match(r"^\S+(?:;\S+)* \d+$", line), line
+    assert any(";" in line for line in lines)  # real stacks, not flat frames
+
+
+def test_trace_digest_then_diff_passes_the_gate(traced_run, tmp_path, capsys):
+    digest_path = tmp_path / "baseline.json"
+    assert main(["trace", "digest", str(traced_run), "--out", str(digest_path)]) == 0
+    assert "digest written" in capsys.readouterr().out
+
+    # Same trace vs its committed digest: the CI gate passes.
+    assert main(["trace", "diff", str(traced_run), str(digest_path)]) == 0
+    assert "zero drift" in capsys.readouterr().out
+
+
+def test_trace_diff_fails_on_perturbed_trace(traced_run, tmp_path, capsys):
+    import json
+
+    lines = traced_run.read_text().splitlines()
+    dropped = [line for line in lines if '"mle.iteration"' in line][-1:]
+    perturbed = tmp_path / "perturbed.jsonl"
+    perturbed.write_text("\n".join(l for l in lines if l not in dropped) + "\n")
+
+    assert main(["trace", "diff", str(traced_run), str(perturbed), "--json"]) == 1
+    verdict = json.loads(capsys.readouterr().out)
+    assert verdict["verdict"] == "drift"
+    assert any(d["name"] == "mle.iteration" for d in verdict["drifts"])
+
+
+def test_trace_diff_mismatched_kinds_exit_2(traced_run, tmp_path, capsys):
+    import json
+
+    from repro.observability.metrics import MetricsRegistry
+
+    metrics_path = tmp_path / "metrics.json"
+    metrics_path.write_text(json.dumps(MetricsRegistry().to_json()))
+    assert main(["trace", "diff", str(traced_run), str(metrics_path)]) == 2
+    assert "cannot compare" in capsys.readouterr().err
+
+
+def test_trace_slo_grades_a_serve_trace(tmp_path, capsys):
+    trace_path = tmp_path / "serve.jsonl"
+    metrics_path = tmp_path / "metrics.prom"
+    args = [
+        "serve", "--wal-dir", str(tmp_path / "wal"),
+        "--days", "1", "--users", "8", "--tasks", "8", "--sync", "none",
+        "--trace-out", str(trace_path), "--metrics-out", str(metrics_path),
+        "--slos", "default",
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert "repro_serve_slo_ok" in metrics_path.read_text()
+
+    # Both the trace and the Prometheus export grade clean.
+    for source in (trace_path, metrics_path):
+        assert main(["trace", "slo", str(source), "--check"]) == 0
+        assert "4/4 ok" in capsys.readouterr().out
+
+
+def test_trace_slo_check_fails_on_a_breached_trace(tmp_path, capsys):
+    from repro.observability.tracer import canonical_json
+
+    records = [
+        {"type": "serve.batch.accepted", "data": {"day": 0, "submitter": 0}},
+        {"type": "serve.batch.rejected",
+         "data": {"day": 0, "submitter": 1, "reason": "queue_full"}},
+        {"type": "serve.day.sealed", "data": {"day": 0, "ordinal": 0}},
+        {"type": "serve.day.applied", "data": {"day": 0, "ordinal": 0}},
+    ]
+    path = tmp_path / "shed.jsonl"
+    path.write_text("\n".join(canonical_json(r) for r in records) + "\n")
+
+    assert main(["trace", "slo", str(path)]) == 0  # report-only never gates
+    assert "BREACH" in capsys.readouterr().out
+    assert main(["trace", "slo", str(path), "--check"]) == 1
+
+
+def test_trace_slo_rejects_a_bad_spec(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text('{"slo_spec_version": 99, "slos": []}')
+    source = tmp_path / "empty.jsonl"
+    source.write_text("")
+    assert main(["trace", "slo", str(source), "--spec", str(spec)]) == 2
+    assert "slo_spec_version" in capsys.readouterr().err
+
+
+def test_serve_slos_require_telemetry(tmp_path, capsys):
+    args = [
+        "serve", "--wal-dir", str(tmp_path / "wal"),
+        "--days", "1", "--users", "8", "--tasks", "8", "--sync", "none",
+        "--slos", "default",
+    ]
+    assert main(args) == 2
+    assert "--slos needs" in capsys.readouterr().err
+
+
+def test_trace_commands_survive_a_broken_pipe(traced_run, monkeypatch):
+    import io
+    import sys as _sys
+
+    class _ClosedPipe(io.StringIO):
+        def write(self, text):
+            raise BrokenPipeError
+
+    monkeypatch.setattr(_sys, "stdout", _ClosedPipe())
+    monkeypatch.setattr(_sys, "stderr", io.StringIO())
+    assert main(["trace", "summarize", str(traced_run)]) == 0
+    assert main(["trace", "query", str(traced_run), "--type", "mle."]) == 0
