@@ -176,6 +176,7 @@ class ETA2System:
         clustering_metric: str = "euclidean",
         robust: "RobustConfig | None" = None,
         seed=None,
+        parallel_domains: int = 0,
     ):
         capacities = np.asarray(capacities, dtype=float)
         if capacities.shape != (n_users,):
@@ -221,6 +222,18 @@ class ETA2System:
         if robust is not None and not isinstance(robust, RobustConfig):
             raise TypeError("robust must be a RobustConfig or None")
         self._robust = robust
+        if parallel_domains < 0:
+            raise ValueError("parallel_domains must be non-negative")
+        #: Domain-sharded truth analysis (None = serial).  The engine is
+        #: bit-identical to the serial path, so this is purely a
+        #: performance knob; robust configs delegate back to serial.
+        self._parallel = None
+        if parallel_domains >= 1:
+            from repro.core.parallel import ParallelConfig, ParallelTruthEngine
+
+            self._parallel = ParallelTruthEngine(
+                ParallelConfig(n_shards=int(parallel_domains))
+            )
         #: Cross-day reputation tracker (None until enable_reputation()).
         self.reputation = None
         #: Phase-boundary invariant guard (None until enable_guards()).
@@ -234,6 +247,41 @@ class ETA2System:
         self.metrics = None
         #: Optional run manifest (repro.observability.run_manifest).
         self.run_manifest = None
+
+    def _estimate_truth_phase(self, observations, domains):
+        """Batch MLE (Section 4.1), sharded when parallel_domains is set."""
+        tracer = self.tracer if self.tracer.enabled else None
+        if self._parallel is not None:
+            return self._parallel.estimate_truth(
+                observations,
+                domains,
+                robust=self._robust,
+                tracer=tracer,
+                metrics=self.metrics,
+            )
+        return estimate_truth(observations, domains, robust=self._robust, tracer=tracer)
+
+    def _incorporate_phase(self, observations, domains, commit=True, traced=True):
+        """Dynamic update (Section 4.2), sharded when parallel_domains is set."""
+        tracer = self.tracer if (traced and self.tracer.enabled) else None
+        if self._parallel is not None:
+            return self._parallel.incorporate(
+                self._updater,
+                observations,
+                domains,
+                commit=commit,
+                robust=self._robust,
+                tracer=tracer,
+                metrics=self.metrics,
+            )
+        return self._updater.incorporate(
+            observations, domains, commit=commit, robust=self._robust, tracer=tracer
+        )
+
+    def close(self) -> None:
+        """Release runtime resources (the parallel engine's worker pool)."""
+        if self._parallel is not None:
+            self._parallel.close()
 
     @property
     def n_users(self) -> int:
@@ -677,12 +725,7 @@ class ETA2System:
             )
 
         with timer.phase("truth"):
-            result = estimate_truth(
-                observations,
-                domains,
-                robust=self._robust,
-                tracer=self.tracer if self.tracer.enabled else None,
-            )
+            result = self._estimate_truth_phase(observations, domains)
             if self.guard is not None:
                 truths, sigmas, truth_report = self.guard.check_truths(
                     result.truths, result.sigmas, observed=observations.mask.any(axis=0)
@@ -777,12 +820,7 @@ class ETA2System:
                 excluded=excluded,
             )
         with timer.phase("truth"):
-            incorporate = self._updater.incorporate(
-                observations,
-                domains,
-                robust=self._robust,
-                tracer=self.tracer if self.tracer.enabled else None,
-            )
+            incorporate = self._incorporate_phase(observations, domains)
 
         self.iteration_log.append(incorporate.iterations)
         truths, sigmas = incorporate.truths, incorporate.sigmas
@@ -871,12 +909,7 @@ class ETA2System:
             )
         if not self._warmed_up:
             with timer.phase("truth"):
-                result = estimate_truth(
-                    observations,
-                    domains,
-                    robust=self._robust,
-                    tracer=self.tracer if self.tracer.enabled else None,
-                )
+                result = self._estimate_truth_phase(observations, domains)
                 if self.guard is not None:
                     truths, sigmas, truth_report = self.guard.check_truths(
                         result.truths, result.sigmas, observed=observations.mask.any(axis=0)
@@ -894,12 +927,7 @@ class ETA2System:
             self._warmed_up = True
         else:
             with timer.phase("truth"):
-                incorporate = self._updater.incorporate(
-                    observations,
-                    domains,
-                    robust=self._robust,
-                    tracer=self.tracer if self.tracer.enabled else None,
-                )
+                incorporate = self._incorporate_phase(observations, domains)
             truths, sigmas = incorporate.truths, incorporate.sigmas
             task_expertise = np.vstack(
                 [incorporate.expertise[d] for d in domains.tolist()]
@@ -1077,8 +1105,8 @@ class ETA2System:
         """
 
         def estimate(observations: ObservationMatrix):
-            preview = self._updater.incorporate(
-                observations, domains, commit=False, robust=self._robust
+            preview = self._incorporate_phase(
+                observations, domains, commit=False, traced=False
             )
             task_expertise = np.vstack(
                 [preview.expertise[d] for d in domains.tolist()]

@@ -82,29 +82,35 @@ def update_truths_for_expertise(
     pass is reweighted once (IRLS step): standardized residuals under the
     plain pass's pilot estimates earn each observation a Huber or trimming
     weight that multiplies its ``u^2`` likelihood weight.
+
+    The sums are scatter-sums (``np.bincount``) over the observed entries
+    in row-major order, the same kernel :class:`_SparseObservations` uses.
+    Beyond skipping the masked zeros, this makes each task's accumulation
+    order a function of its *own* observations only, so computing a column
+    subset (the domain-sharded engine in :mod:`repro.core.parallel` does
+    exactly that) reproduces the full-matrix result bit for bit — a dense
+    ``sum(axis=0)`` does not, its reduction tree changes with the matrix
+    width.
     """
     mask = observations.mask
-    weights = np.where(mask, task_expertise**2, 0.0)
-    weight_totals = weights.sum(axis=0)
-    counts = mask.sum(axis=0)
-
-    with np.errstate(invalid="ignore", divide="ignore"):
-        truths = np.where(
-            weight_totals > 0,
-            (weights * observations.values).sum(axis=0) / np.where(weight_totals > 0, weight_totals, 1.0),
-            np.nan,
-        )
-    residuals = np.where(mask, observations.values - np.where(np.isnan(truths), 0.0, truths), 0.0)
-    weighted_square = (weights * residuals**2).sum(axis=0)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        variance = np.where(counts > 0, weighted_square / np.maximum(counts, 1), 0.0)
-    sigmas = np.maximum(np.sqrt(variance), SIGMA_FLOOR)
-    if robust is None or robust.method == "none":
-        return truths, sigmas
-
+    n_tasks = observations.n_tasks
     rows, cols = np.nonzero(mask)
     values = observations.values[rows, cols]
     obs_expertise = task_expertise[rows, cols]
+
+    weights = obs_expertise**2
+    weight_totals = np.bincount(cols, weights=weights, minlength=n_tasks)
+    weighted_values = np.bincount(cols, weights=weights * values, minlength=n_tasks)
+    counts = np.bincount(cols, minlength=n_tasks)
+    observed = weight_totals > 0
+    truths = np.where(observed, weighted_values / np.where(observed, weight_totals, 1.0), np.nan)
+    safe_truths = np.where(np.isnan(truths), 0.0, truths)
+    residuals = values - safe_truths[cols]
+    weighted_square = np.bincount(cols, weights=weights * residuals**2, minlength=n_tasks)
+    variance = np.where(counts > 0, weighted_square / np.maximum(counts, 1), 0.0)
+    sigmas = np.maximum(np.sqrt(variance), SIGMA_FLOOR)
+    if robust is None or robust.method == "none":
+        return truths, sigmas
     safe_truths = np.where(np.isnan(truths), 0.0, truths)
     z = (values - safe_truths[cols]) * obs_expertise / sigmas[cols]
     rw = robust_weights(z, cols, observations.n_tasks, robust)

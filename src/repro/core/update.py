@@ -112,6 +112,25 @@ class ExpertiseUpdater:
             return np.full(self._n_users, DEFAULT_EXPERTISE)
         return expertise_from_sums(numerator, self._denominators[domain_id])
 
+    def decayed_base(self, domain_ids) -> "tuple[dict, dict]":
+        """Eqs. 7-8 decayed time-``T`` base sums for one update (pure).
+
+        The returned arrays are fresh products, never views of the
+        running sums — callers may accumulate into them freely.  Domains
+        must already be registered (see :meth:`ensure_domain`).
+        """
+        base_n = {d: self._alpha * self._numerators[d] for d in domain_ids}
+        base_d = {d: self._alpha * self._denominators[d] for d in domain_ids}
+        return base_n, base_d
+
+    def commit_sums(self, new_n: dict, new_d: dict) -> None:
+        """Install post-update running sums (the commit step of
+        :meth:`incorporate`, also used by the domain-sharded engine in
+        :mod:`repro.core.parallel`)."""
+        for domain_id in new_n:
+            self._numerators[domain_id] = new_n[domain_id]
+            self._denominators[domain_id] = new_d[domain_id]
+
     def expertise_matrix(self) -> ExpertiseMatrix:
         """Snapshot of all domains as an :class:`ExpertiseMatrix`."""
         matrix = ExpertiseMatrix(self._n_users)
@@ -180,8 +199,7 @@ class ExpertiseUpdater:
             self.ensure_domain(domain_id)
 
         # Snapshots at time T; the decayed base stays fixed across iterations.
-        base_n = {d: self._alpha * self._numerators[d] for d in distinct}
-        base_d = {d: self._alpha * self._denominators[d] for d in distinct}
+        base_n, base_d = self.decayed_base(distinct)
 
         damping = 1.0 if robust is None else robust.damping
         traced = tracer is not None and tracer.enabled
@@ -270,9 +288,7 @@ class ExpertiseUpdater:
                 "weighted-median fallback" if used_fallback else "last iterate",
             )
         if commit:
-            for domain_id in distinct:
-                self._numerators[domain_id] = new_n[domain_id]
-                self._denominators[domain_id] = new_d[domain_id]
+            self.commit_sums(new_n, new_d)
         return IncorporateResult(
             truths=truths,
             sigmas=sigmas,

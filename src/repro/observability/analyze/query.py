@@ -24,6 +24,7 @@ above.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 
 from repro.observability.summarize import iter_trace
@@ -123,12 +124,13 @@ class P2Quantile:
         if self.count == 0:
             return None
         if self.count <= 5:
-            # Exact small-sample quantile (nearest-rank with interpolation).
+            # Exact small-sample quantile (nearest rank).  Interpolating
+            # here would report e.g. a 3-event p95 *below* the observed
+            # max — the markers are not initialised yet, so the only
+            # honest answer is the order statistic itself.
             ordered = sorted(self._heights)
-            rank = self.q * (len(ordered) - 1)
-            low = int(rank)
-            high = min(low + 1, len(ordered) - 1)
-            return ordered[low] + (rank - low) * (ordered[high] - ordered[low])
+            index = min(math.ceil(self.q * len(ordered)) - 1, len(ordered) - 1)
+            return ordered[max(index, 0)]
         return self._heights[2]
 
 

@@ -27,6 +27,7 @@ traffic is not an outage.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -79,7 +80,12 @@ def histogram_quantile(q: float, buckets, counts, total=None) -> "float | None":
     prev_bound = 0.0
     prev_cum = 0.0
     passed = False
-    for bound, c in zip(bounds, cum):
+    # Only finite bounds can win: interpolating toward a +Inf edge yields
+    # inf (or nan when the rank lands exactly on the boundary, prev_cum ==
+    # rank), so the +Inf bucket — explicit or implied by ``total`` — always
+    # clamps to the highest finite edge instead.
+    finite = [(bound, c) for bound, c in zip(bounds, cum) if math.isfinite(bound)]
+    for bound, c in finite:
         if c > 0 and c >= rank:
             if bound <= 0 and not passed:
                 return bound  # no meaningful lower edge below zero
@@ -90,7 +96,7 @@ def histogram_quantile(q: float, buckets, counts, total=None) -> "float | None":
             return lower + (bound - lower) * ((rank - prev_cum) / span)
         prev_bound, prev_cum = bound, c
         passed = True
-    return bounds[-1] if bounds else None
+    return finite[-1][0] if finite else None
 
 
 def _labels_match(sample_labels: dict, selector: "dict | None") -> bool:

@@ -112,8 +112,15 @@ class CheckpointManager:
         }
         path = self.path_for(step)
         text = json.dumps(record)
+        # Rotate *before* the new checkpoint becomes visible.  The old
+        # order (write, then rotate) had a crash window in which keep+1
+        # files existed and latest_valid() resumed from the unrotated
+        # extra — a step the caller never saw save() acknowledge.  Trimming
+        # to keep-1 first keeps "at most `keep` checkpoint files" true at
+        # every instant; a crash mid-write still leaves the keep-1 newest
+        # previous checkpoints restorable.
+        self._rotate(pending=path)
         atomic_write_text(path, text, writer=_writer)
-        self._rotate()
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             # File *name* only (not the tmp-dir-dependent full path) so
@@ -123,9 +130,17 @@ class CheckpointManager:
             )
         return path
 
-    def _rotate(self) -> None:
-        checkpoints = self.checkpoints()
-        for path in checkpoints[: max(0, len(checkpoints) - self.keep)]:
+    def _rotate(self, pending: "Path | None" = None) -> None:
+        """Trim old checkpoints; ``pending`` reserves a slot for a save.
+
+        With a ``pending`` path the budget for *existing* files is
+        ``keep - 1`` (the about-to-be-written file takes the last slot);
+        re-saving an existing step does not shrink the budget because the
+        pending path is excluded from the count.
+        """
+        checkpoints = [path for path in self.checkpoints() if path != pending]
+        budget = self.keep - 1 if pending is not None else self.keep
+        for path in checkpoints[: max(0, len(checkpoints) - budget)]:
             try:
                 path.unlink()
             except OSError as error:  # pragma: no cover — racing cleanup

@@ -12,7 +12,9 @@ bit-identically in tests:
 - **reputation-ordered shedding** — while shedding, submitters are ranked
   by their :class:`~repro.reliability.reputation.ReputationTracker`
   standing (quarantined worst, then probation, then active; ties broken
-  by mean absolute residual, then user id) and the *worst* fraction of
+  by mean absolute residual, then first-admission seniority recorded via
+  :meth:`AdmissionController.record_admission`, then user id) and the
+  *worst* fraction of
   the roster is shed first: a submitter is admitted iff their standing
   fraction is at least the queue's fill fraction ``(depth - low) /
   (max - low)``.  At ``depth >= max_queue`` everyone is shed.  Without a
@@ -116,6 +118,11 @@ class AdmissionController:
         self._clock = clock if clock is not None else time.monotonic
         self._buckets: dict = {}
         self._standing: "np.ndarray | None" = None
+        #: submitter -> order of their first *durable* admission.  The WAL
+        #: replays admitted batches only, so this — not arrival order of
+        #: raw offers — is the tie-break that survives a restart.
+        self._admission_seq: dict = {}
+        self._next_seq = 0
         self.state = READY
 
     # ------------------------------------------------------------------ #
@@ -126,13 +133,31 @@ class AdmissionController:
         """Invalidate the cached standing order (call after each day)."""
         self._standing = None
 
+    def record_admission(self, submitter: int) -> None:
+        """Note ``submitter``'s first durably admitted batch (WAL order).
+
+        The shedding order's reputation keys often tie (fresh rosters all
+        start at the same score), and plain user-id tie-breaks are not what
+        a restarted process replays — the WAL only holds *admitted*
+        batches.  Recording the first-admission sequence here, from both
+        the live submit path and WAL recovery, makes the shed set
+        bit-identical across a crash/replay.
+        """
+        submitter = int(submitter)
+        if submitter not in self._admission_seq:
+            self._admission_seq[submitter] = self._next_seq
+            self._next_seq += 1
+            self._standing = None  # a new seniority entry reorders ties
+
     def standing_fraction(self, submitter: int) -> float:
         """The submitter's standing in [0, 1]; 1 is best, shed last.
 
         Deterministic worst-first ordering: quarantined < probation <
         active, then larger decayed mean absolute residual is worse, then
-        lower user id is worse (a pure tie-break — the point is that the
-        order is total and replayable).
+        never-admitted / later-admitted is worse (the replay-stable
+        seniority from :meth:`record_admission`), then lower user id is
+        worse (a pure tie-break — the point is that the order is total
+        and replayable).
         """
         if self.reputation is None:
             return 1.0
@@ -152,8 +177,15 @@ class AdmissionController:
         rank_key = np.where(status == QUARANTINED, 0, np.where(status == PROBATION, 1, 2))
         badness = np.asarray(tracker.scores().mean_abs_residual, dtype=float)
         badness = np.where(np.isfinite(badness), badness, 0.0)
-        # Worst first: status ascending, badness descending, id ascending.
-        order = np.lexsort((np.arange(n), -badness, rank_key))
+        # First-admission seniority: earlier durable admits rank better;
+        # submitters the WAL has never seen get +inf (worst, shed first).
+        seniority = np.full(n, np.inf)
+        for user, seq in self._admission_seq.items():
+            if 0 <= user < n:
+                seniority[user] = float(seq)
+        # Worst first: status ascending, badness descending, seniority
+        # descending (never/late admitted first), id ascending.
+        order = np.lexsort((np.arange(n), -seniority, -badness, rank_key))
         standing = np.empty(n)
         standing[order] = np.arange(n) / (n - 1)
         return standing

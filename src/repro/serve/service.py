@@ -528,6 +528,10 @@ class IngestionService:
             )
         seq = self.wal.append("batch", data_json=clean.canonical_data_json())
         self._count_wal_record()
+        # Durable now: record first-admission order so shedding tie-breaks
+        # replay identically after a crash (the WAL holds admitted batches
+        # only, so this is the order _recover() can rebuild).
+        self.admission.record_admission(clean.submitter)
         self._open.batches.append(clean)
         if clean.batch_id is not None:
             self._seen_batch_ids.add(clean.batch_id)
@@ -781,6 +785,7 @@ class IngestionService:
                 if open_day is None:
                     raise WALError(f"batch at seq {seq} outside any open day")
                 batch = ReportBatch.from_dict(data)
+                self.admission.record_admission(batch.submitter)
                 open_day.batches.append(batch)
                 if batch.batch_id is not None:
                     self._seen_batch_ids.add(batch.batch_id)

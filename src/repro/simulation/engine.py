@@ -20,7 +20,9 @@ Two reliability extensions support chaos testing and crash/restore drills:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+
 import numpy as np
 
 from repro.reliability.faults import FaultProfile
@@ -186,6 +188,26 @@ class SimulationResult:
         if not self.days:
             return np.zeros(0, dtype=int)
         return np.concatenate([day.task_indices for day in self.days])
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the run's numeric outcome, for equivalence checks.
+
+        Covers the per-day errors, every collected observation (error and
+        hidden expertise), the MLE iteration counts, and each day's truth
+        estimates byte-for-byte.  Two runs fingerprint identically iff the
+        solver produced bit-identical numbers — this is the contract the
+        domain-sharded MLE (``--parallel-domains``) is held to against the
+        serial solver.
+        """
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self.errors_by_day(), dtype=np.float64).tobytes())
+        digest.update(np.ascontiguousarray(self.observation_errors, dtype=np.float64).tobytes())
+        digest.update(np.ascontiguousarray(self.observation_expertise, dtype=np.float64).tobytes())
+        digest.update(np.asarray(self.mle_iterations, dtype=np.int64).tobytes())
+        for day in self.days:
+            digest.update(np.ascontiguousarray(day.truths, dtype=np.float64).tobytes())
+            digest.update(np.asarray(day.allocation_cost, dtype=np.float64).tobytes())
+        return digest.hexdigest()
 
 
 def run_simulation(

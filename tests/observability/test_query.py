@@ -39,6 +39,31 @@ class TestP2Quantile:
             est.add(value)
         assert est.value() == 3.0
 
+    def test_small_sample_p95_never_below_max(self):
+        """Regression: interpolating 3 samples reported a p95 (9.2) below
+        the stream's own maximum; the exact order statistic is 10.0."""
+        est = P2Quantile(0.95)
+        for value in (1.0, 2.0, 10.0):
+            est.add(value)
+        assert est.value() == 10.0
+
+    def test_small_samples_are_exact_order_statistics(self):
+        # Nearest rank: index ceil(q*n) (1-based) of the sorted sample.
+        est = P2Quantile(0.25)
+        for value in (4.0, 2.0, 1.0, 3.0):
+            est.add(value)
+        assert est.value() == 1.0
+        high = P2Quantile(0.75)
+        for value in (4.0, 2.0, 1.0, 3.0):
+            high.add(value)
+        assert high.value() == 3.0
+
+    def test_single_sample_is_that_sample(self):
+        for q in (0.05, 0.5, 0.95):
+            est = P2Quantile(q)
+            est.add(7.0)
+            assert est.value() == 7.0
+
     def test_empty_is_none(self):
         assert P2Quantile(0.9).value() is None
 

@@ -32,6 +32,21 @@ class TestHistogramQuantile:
         # 3 of 6 observations exceeded every finite bucket.
         assert histogram_quantile(0.95, (1.0, 2.0), (3, 3), 6) == 2.0
 
+    def test_explicit_inf_bucket_clamps_instead_of_inf(self):
+        """Regression: with an explicit +Inf bound the winning-bucket scan
+        interpolated toward inf and reported an infinite quantile."""
+        value = histogram_quantile(0.95, (1.0, 2.0, float("inf")), (3, 3, 10), 10)
+        assert value == 2.0
+
+    def test_rank_exactly_on_boundary_of_inf_bucket_is_finite(self):
+        """Regression: rank landing exactly on the finite/+Inf boundary
+        made the interpolation 0 * inf = nan."""
+        value = histogram_quantile(0.0, (1.0, float("inf")), (0, 10), 10)
+        assert value == 1.0
+
+    def test_all_inf_buckets_is_none(self):
+        assert histogram_quantile(0.5, (float("inf"),), (4,), 4) is None
+
     def test_empty_histogram_is_none(self):
         assert histogram_quantile(0.5, (1.0, 2.0), (0, 0), 0) is None
         assert histogram_quantile(0.5, (), (), 0) is None

@@ -77,6 +77,38 @@ class TestManagerBasics:
         names = [path.name for path in manager.checkpoints()]
         assert names == ["checkpoint-00000004.json", "checkpoint-00000005.json"]
 
+    def test_rotation_happens_before_the_save_is_visible(self, tmp_path, monkeypatch):
+        """Regression: rotation used to run *after* the write, so a crash
+        in the window left keep+1 files and latest_valid() resumed from a
+        step the caller never saw save() acknowledge."""
+        system, _, _ = _warmed_system()
+        manager = CheckpointManager(tmp_path, keep=2)
+        for step in (1, 2):
+            manager.save(system, step=step)
+
+        def crash_at_rotation(pending=None):
+            raise SimulatedCrash("drill: killed during checkpoint rotation")
+
+        monkeypatch.setattr(manager, "_rotate", crash_at_rotation)
+        with pytest.raises(SimulatedCrash):
+            manager.save(system, step=3)
+        monkeypatch.undo()
+
+        # At most `keep` files at every instant, and the newest valid
+        # checkpoint is still the last *acknowledged* save.
+        assert len(manager.checkpoints()) <= manager.keep
+        found = manager.latest_valid()
+        assert found is not None and found[1]["step"] == 2
+
+    def test_resaving_the_same_step_does_not_shrink_retention(self, tmp_path):
+        system, _, _ = _warmed_system()
+        manager = CheckpointManager(tmp_path, keep=2)
+        manager.save(system, step=1)
+        manager.save(system, step=2)
+        manager.save(system, step=2)  # overwrite in place
+        names = [path.name for path in manager.checkpoints()]
+        assert names == ["checkpoint-00000001.json", "checkpoint-00000002.json"]
+
     def test_stray_files_ignored(self, tmp_path):
         (tmp_path / "notes.txt").write_text("not a checkpoint")
         (tmp_path / "checkpoint-0000001.json").write_text("{}")  # wrong digit count

@@ -139,6 +139,53 @@ class TestReputationShedding:
         assert not controller.offer(0, depth=5).admitted  # even the best user
 
 
+class TestAdmissionSeniority:
+    """First-durable-admission order as the replay-stable tie-break."""
+
+    def _tied_controller(self, n=4):
+        # Everyone ACTIVE with zero badness: the reputation keys are all
+        # ties, so only the seniority / id tie-breaks order the roster.
+        tracker = FakeTracker(status=[ACTIVE] * n)
+        return AdmissionController(
+            max_queue=10, high_watermark=6, low_watermark=2, reputation=tracker
+        )
+
+    def test_first_admission_order_breaks_reputation_ties(self):
+        """Regression: equal-reputation submitters used to shed in array
+        (user-id) order, which is not the order a WAL replay rebuilds —
+        the log holds admitted batches, not raw arrival ids."""
+        controller = self._tied_controller()
+        controller.record_admission(2)
+        controller.record_admission(0)
+        standings = [controller.standing_fraction(u) for u in range(4)]
+        # Worst first: never admitted (1, then 3, by id), then the later
+        # admitted (0), then the most senior (2).
+        assert standings == [pytest.approx(2 / 3), 0.0, 1.0, pytest.approx(1 / 3)]
+
+    def test_seniority_decides_who_sheds_under_pressure(self):
+        controller = self._tied_controller()
+        for user in (3, 1, 2, 0):
+            controller.record_admission(user)
+        controller.offer(0, depth=6)  # trip into shedding; fill = 1/2
+        # standings: u0=0, u2=1/3, u1=2/3, u3=1 (admission order reversed).
+        assert controller.offer(1, depth=6).admitted
+        assert not controller.offer(2, depth=6).admitted
+
+    def test_duplicate_admissions_keep_the_first_seq(self):
+        controller = self._tied_controller()
+        controller.record_admission(1)
+        controller.record_admission(0)
+        controller.record_admission(1)  # later batches do not demote user 1
+        assert controller.standing_fraction(1) > controller.standing_fraction(0)
+
+    def test_new_admission_invalidates_cached_standing(self):
+        controller = self._tied_controller()
+        controller.record_admission(3)
+        before = controller.standing_fraction(0)  # caches the order
+        controller.record_admission(0)
+        assert controller.standing_fraction(0) > before
+
+
 class TestTokenBucket:
     def test_bucket_refills_on_clock(self):
         clock = FakeClock()

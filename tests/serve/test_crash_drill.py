@@ -168,6 +168,66 @@ class TestExactlyOnce:
         clean = run_uninterrupted(trace, tmp_path / "clean", _factory(trace), sync="none")
         assert resumed.state_fingerprint() == clean
 
+    def test_shed_set_is_replay_identical(self, tmp_path):
+        """Shedding decisions under pressure must be bit-identical between
+        an uninterrupted run and a crash-and-resume run of the same
+        traffic: the tie-break is first-*durable*-admission order, which
+        the WAL replay rebuilds exactly."""
+        from repro.core.pipeline import ETA2System
+        from repro.serve.service import ReportBatch
+
+        trace = _trace(n_days=1)
+        tasks = trace.days[0].tasks
+
+        def system():
+            fresh = ETA2System(
+                n_users=trace.n_users, capacities=np.asarray(trace.capacities), seed=3
+            )
+            fresh.enable_reputation()  # all-ACTIVE roster: pure tie-breaks
+            return fresh
+
+        def service(wal_dir, resume=False):
+            return IngestionService(
+                system(), wal_dir, resume=resume, sync="none",
+                max_queue=8, high_watermark=4, low_watermark=1,
+            )
+
+        def batch(submitter, tag):
+            return ReportBatch(
+                submitter=submitter, day=0, reports=((submitter, 0, 5.0),),
+                batch_id=f"{tag}-{submitter}",
+            )
+
+        # Phase 1 fills the queue to the high watermark and establishes
+        # the durable-admission order; phase 2 offers under pressure.
+        phase1 = [batch(u, "warm") for u in (2, 0, 3, 1)]
+        phase2 = [batch(u, "burst") for u in (5, 2, 6, 0, 7, 4, 1, 3)]
+
+        def phase2_decisions(svc):
+            return {b.submitter: svc.submit(b).accepted for b in phase2}
+
+        clean = service(tmp_path / "clean")
+        clean.open_day(0, tasks)
+        for b in phase1:
+            assert clean.submit(b).accepted
+        clean_decisions = phase2_decisions(clean)
+
+        crashed = service(tmp_path / "crashed")
+        crashed.open_day(0, tasks)
+        for b in phase1:
+            assert crashed.submit(b).accepted
+        crashed.wal._fh.flush()
+        del crashed  # crash without close(): in-memory seniority dies here
+        resumed = service(tmp_path / "crashed", resume=True)
+        assert resumed.queue_depth == len(phase1)
+
+        assert phase2_decisions(resumed) == clean_decisions
+        # And the order is seniority, not user id: submitter 2 (first
+        # durably admitted) outranks the never-admitted 4/5/6 despite the
+        # lower ids shedding first under the old array-order tie-break.
+        assert clean_decisions[2] is True
+        assert clean_decisions[5] is False and clean_decisions[6] is False
+
     def test_resumed_service_skips_applied_days(self, tmp_path):
         trace = _trace()
         wal_dir = tmp_path / "wal"
